@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 11 — accuracy vs. signature-set size (2..20) for RS, MIS and
+ * SCCS. MIS/SCCS selections are greedy, so a single size-20 run
+ * provides every prefix; RS is averaged over GCM_FIG11_RS_SAMPLES
+ * random sets per size (the paper averaged 100).
+ */
+
+#include <cstdio>
+
+#include "bench_support.hh"
+#include "core/evaluation.hh"
+#include "util/table.hh"
+
+using namespace gcm;
+
+int
+main()
+{
+    const std::size_t rs_samples =
+        bench::envSize("GCM_FIG11_RS_SAMPLES", 5);
+    bench::banner("Figure 11",
+                  "R^2 vs signature-set size (RS x"
+                      + std::to_string(rs_samples) + " / MIS / SCCS)");
+    const auto ctx = bench::fullContext();
+    core::EvaluationHarness harness(ctx);
+    const auto split = core::splitDevices(ctx.fleet().size(), 0.3, 42);
+    const auto train_lat = ctx.latencyMatrix(split.train);
+
+    const std::vector<std::size_t> sizes{2, 4, 6, 8, 10, 14, 20};
+
+    // Greedy selections once at the maximum size; prefixes reuse them.
+    core::SignatureConfig sel;
+    sel.size = sizes.back();
+    const auto mis_full = core::selectMisSignature(
+        train_lat, sizes.back(), sel);
+    const auto sccs_full = core::selectSccsSignature(
+        train_lat, sizes.back(), sel);
+
+    TextTable t({"size", "RS (mean)", "MIS", "SCCS"});
+    for (std::size_t size : sizes) {
+        double rs_sum = 0.0;
+        for (std::size_t s = 0; s < rs_samples; ++s) {
+            const auto sig = core::selectRandomSignature(
+                ctx.numNetworks(), size, 500 + s);
+            rs_sum += harness.evalWithSignature(split, sig).r2;
+        }
+        const std::vector<std::size_t> mis(
+            mis_full.begin(),
+            mis_full.begin() + static_cast<std::ptrdiff_t>(size));
+        const std::vector<std::size_t> sccs(
+            sccs_full.begin(),
+            sccs_full.begin() + static_cast<std::ptrdiff_t>(size));
+        const double rs = rs_sum / static_cast<double>(rs_samples);
+        const double mis_r2 = harness.evalWithSignature(split, mis).r2;
+        const double sccs_r2 =
+            harness.evalWithSignature(split, sccs).r2;
+        t.addRow(std::to_string(size), {rs, mis_r2, sccs_r2});
+        std::printf("  size %2zu done (RS %.3f, MIS %.3f, SCCS %.3f)\n",
+                    size, rs, mis_r2, sccs_r2);
+    }
+    std::printf("\n%s\n", t.render().c_str());
+    std::printf("paper: MIS/SCCS are ~0.94 even for small sets and\n"
+                "saturate by size 5-10; RS keeps improving with size\n"
+                "but needs larger sets to match.\n");
+    return 0;
+}

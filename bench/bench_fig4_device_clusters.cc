@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fig. 4 — k-means clustering of the 105 devices into fast / medium /
+ * slow (each device a 118-dim latency vector), the per-cluster
+ * latency distributions (violin-plot statistics), and the CPU <->
+ * cluster membership overlap (the paper's Venn diagram).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_support.hh"
+#include "stats/descriptive.hh"
+#include "stats/kmeans.hh"
+#include "util/table.hh"
+
+using namespace gcm;
+
+int
+main()
+{
+    bench::banner("Figure 4",
+                  "device clusters (fast/medium/slow) via k-means, k=3");
+    const auto ctx = bench::fullContext();
+    const auto vectors = ctx.deviceVectors();
+
+    stats::KMeansConfig cfg;
+    cfg.k = 3;
+    const auto km = stats::kMeans(vectors, cfg);
+
+    // Order clusters fast -> slow by mean latency.
+    std::vector<double> cluster_mean(3, 0.0);
+    std::vector<std::size_t> cluster_count(3, 0);
+    for (std::size_t d = 0; d < vectors.size(); ++d) {
+        double m = 0.0;
+        for (double v : vectors[d])
+            m += v;
+        cluster_mean[km.assignments[d]] += m / vectors[d].size();
+        ++cluster_count[km.assignments[d]];
+    }
+    std::vector<std::size_t> order{0, 1, 2};
+    for (int c = 0; c < 3; ++c) {
+        cluster_mean[c] /= std::max<std::size_t>(cluster_count[c], 1);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return cluster_mean[a] < cluster_mean[b];
+              });
+    const char *names[3] = {"fast", "medium", "slow"};
+
+    TextTable t({"cluster", "devices", "mean ms", "median ms", "q1 ms",
+                 "q3 ms", "min ms", "max ms"});
+    std::map<std::size_t, std::string> cluster_name;
+    for (int rank = 0; rank < 3; ++rank) {
+        const std::size_t c = order[static_cast<std::size_t>(rank)];
+        cluster_name[c] = names[rank];
+        std::vector<double> lat;
+        for (std::size_t d = 0; d < vectors.size(); ++d) {
+            if (km.assignments[d] != c)
+                continue;
+            lat.insert(lat.end(), vectors[d].begin(), vectors[d].end());
+        }
+        const auto s = stats::summarize(lat);
+        t.addRow({names[rank], std::to_string(cluster_count[c]),
+                  formatDouble(s.mean, 1), formatDouble(s.median, 1),
+                  formatDouble(s.q1, 1), formatDouble(s.q3, 1),
+                  formatDouble(s.min, 1), formatDouble(s.max, 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("paper cluster means: fast ~50 ms, medium ~115 ms, "
+                "slow ~235 ms\n\n");
+
+    // CPU <-> cluster membership (the Venn diagram).
+    std::map<std::string, std::set<std::string>> cpu_clusters;
+    std::size_t unique_devices = 0;
+    for (std::size_t d = 0; d < ctx.fleet().size(); ++d) {
+        const auto &core = ctx.fleet().coreOf(ctx.fleet().device(d));
+        cpu_clusters[core.name].insert(
+            cluster_name[km.assignments[d]]);
+    }
+    TextTable venn({"CPU", "clusters containing it"});
+    for (const auto &[cpu, clusters] : cpu_clusters) {
+        std::string joined;
+        for (const auto &c : clusters) {
+            if (!joined.empty())
+                joined += ", ";
+            joined += c;
+        }
+        venn.addRow({cpu, joined});
+    }
+    std::printf("%s\n", venn.render().c_str());
+
+    // How often the CPU alone determines the cluster (paper: 80/105).
+    std::map<std::string, std::set<std::size_t>> cpu_cluster_ids;
+    for (std::size_t d = 0; d < ctx.fleet().size(); ++d) {
+        cpu_cluster_ids[ctx.fleet().coreOf(ctx.fleet().device(d)).name]
+            .insert(km.assignments[d]);
+    }
+    for (std::size_t d = 0; d < ctx.fleet().size(); ++d) {
+        const auto &core = ctx.fleet().coreOf(ctx.fleet().device(d));
+        if (cpu_cluster_ids[core.name].size() == 1)
+            ++unique_devices;
+    }
+    std::printf("devices whose CPU uniquely determines the cluster: "
+                "%zu / %zu (paper: 80 / 105)\n",
+                unique_devices, ctx.fleet().size());
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fig. 6 — cluster the networks into small / large / giant (each
+ * network a 105-dim latency vector), then show that even controlling
+ * for BOTH the network cluster and the device cluster, the latency
+ * distributions of the device clusters overlap heavily.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_support.hh"
+#include "stats/descriptive.hh"
+#include "stats/kmeans.hh"
+#include "util/table.hh"
+
+using namespace gcm;
+
+namespace
+{
+
+/** Rank clusters by mean of the member vectors; returns names[i]. */
+std::vector<std::string>
+rankClusters(const std::vector<std::vector<double>> &vectors,
+             const std::vector<std::size_t> &assignments,
+             const std::vector<std::string> &names)
+{
+    std::vector<double> mean(names.size(), 0.0);
+    std::vector<std::size_t> count(names.size(), 0);
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+        double m = 0.0;
+        for (double v : vectors[i])
+            m += v;
+        mean[assignments[i]] += m / vectors[i].size();
+        ++count[assignments[i]];
+    }
+    std::vector<std::size_t> order(names.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+        mean[i] /= std::max<std::size_t>(count[i], 1);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+        return mean[a] < mean[b];
+    });
+    std::vector<std::string> label(names.size());
+    for (std::size_t rank = 0; rank < order.size(); ++rank)
+        label[order[rank]] = names[rank];
+    return label;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 6",
+                  "latency distributions: device clusters x network "
+                  "clusters");
+    const auto ctx = bench::fullContext();
+
+    // Device clusters (as Fig. 4).
+    const auto dev_vecs = ctx.deviceVectors();
+    stats::KMeansConfig cfg;
+    cfg.k = 3;
+    const auto dev_km = stats::kMeans(dev_vecs, cfg);
+    const auto dev_label =
+        rankClusters(dev_vecs, dev_km.assignments,
+                     {"fast", "medium", "slow"});
+
+    // Network clusters: each network is a 105-dim vector.
+    const auto net_vecs = ctx.latencyMatrix(bench::allDevices(ctx));
+    cfg.seed = 43;
+    const auto net_km = stats::kMeans(net_vecs, cfg);
+    const auto net_label = rankClusters(
+        net_vecs, net_km.assignments, {"small", "large", "giant"});
+
+    // For every (network cluster, device cluster): latency summary.
+    TextTable t({"network cluster", "device cluster", "points", "q1 ms",
+                 "median ms", "q3 ms"});
+    std::vector<std::string> net_names{"small", "large", "giant"};
+    std::vector<std::string> dev_names{"fast", "medium", "slow"};
+    // Also track overlap: for each network cluster, do the central
+    // 50% latency ranges of the device clusters intersect?
+    for (const auto &nl : net_names) {
+        std::vector<std::pair<double, double>> iqrs;
+        for (const auto &dl : dev_names) {
+            std::vector<double> lat;
+            for (std::size_t n = 0; n < ctx.numNetworks(); ++n) {
+                if (net_label[net_km.assignments[n]] != nl)
+                    continue;
+                for (std::size_t d = 0; d < ctx.fleet().size(); ++d) {
+                    if (dev_label[dev_km.assignments[d]] != dl)
+                        continue;
+                    lat.push_back(ctx.latencyMs(d, n));
+                }
+            }
+            if (lat.empty())
+                continue;
+            const auto s = stats::summarize(lat);
+            iqrs.emplace_back(s.q1, s.q3);
+            t.addRow({nl, dl, std::to_string(lat.size()),
+                      formatDouble(s.q1, 1), formatDouble(s.median, 1),
+                      formatDouble(s.q3, 1)});
+        }
+        bool overlap = false;
+        for (std::size_t a = 0; a + 1 < iqrs.size(); ++a) {
+            if (iqrs[a].second >= iqrs[a + 1].first)
+                overlap = true;
+        }
+        t.addRow({nl, "-> IQRs overlap?", overlap ? "yes" : "no", "",
+                  "", ""});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("paper: for every network cluster, the device-cluster "
+                "latency distributions overlap, so (device cluster, "
+                "network cluster) alone cannot predict latency.\n");
+    return 0;
+}

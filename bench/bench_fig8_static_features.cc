@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 8 — cost model trained with the static hardware representation
+ * (CPU one-hot + frequency + RAM). The paper reports R^2 = 0.13; the
+ * point reproduced here is the qualitative failure of static specs
+ * relative to the signature representation (Fig. 9).
+ */
+
+#include <cstdio>
+
+#include "bench_support.hh"
+#include "core/evaluation.hh"
+#include "util/table.hh"
+
+using namespace gcm;
+
+int
+main()
+{
+    bench::banner("Figure 8",
+                  "cost model from static device specs (CPU, freq, RAM)");
+    const auto ctx = bench::fullContext();
+    core::EvaluationHarness harness(ctx);
+    const auto split = core::splitDevices(ctx.fleet().size(), 0.3, 42);
+
+    const auto eval = harness.evalStaticFeatureModel(split);
+
+    std::printf("train devices: %zu, test devices: %zu\n",
+                split.train.size(), split.test.size());
+    std::printf("test R^2  = %.4f   (paper: 0.13)\n", eval.r2);
+    std::printf("test RMSE = %.1f ms\n", eval.rmse_ms);
+    std::printf("test MAPE = %.1f %%\n\n", eval.mape_pct);
+
+    // A coarse actual-vs-predicted scatter, binned by actual latency.
+    TextTable t({"actual bin (ms)", "points", "mean predicted (ms)",
+                 "mean |error| (ms)"});
+    const double edges[] = {0, 50, 100, 200, 400, 1e9};
+    for (int b = 0; b < 5; ++b) {
+        double pred_sum = 0.0, err_sum = 0.0;
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < eval.y_true.size(); ++i) {
+            if (eval.y_true[i] < edges[b] || eval.y_true[i] >= edges[b + 1])
+                continue;
+            pred_sum += eval.y_pred[i];
+            err_sum += std::abs(eval.y_pred[i] - eval.y_true[i]);
+            ++n;
+        }
+        if (n == 0)
+            continue;
+        const std::string label = b < 4
+            ? formatDouble(edges[b], 0) + "-" + formatDouble(edges[b + 1], 0)
+            : ">= " + formatDouble(edges[b], 0);
+        t.addRow({label, std::to_string(n),
+                  formatDouble(pred_sum / static_cast<double>(n), 1),
+                  formatDouble(err_sum / static_cast<double>(n), 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("shape check: this R^2 must be far below the signature\n"
+                "models of Figure 9 (compare bench_fig9 output).\n");
+    return 0;
+}

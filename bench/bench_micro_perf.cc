@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot paths: GBT
+ * training/prediction, the latency simulator, the network encoder,
+ * signature selection and the EDA kernels.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/net_encoder.hh"
+#include "core/signature.hh"
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include "ml/gbt.hh"
+#include "sim/campaign.hh"
+#include "stats/correlation.hh"
+#include "stats/kmeans.hh"
+#include "stats/mutual_info.hh"
+#include "util/rng.hh"
+
+using namespace gcm;
+
+namespace
+{
+
+ml::Dataset
+syntheticDataset(std::size_t rows, std::size_t features,
+                 std::uint64_t seed)
+{
+    Rng rng(seed);
+    ml::Dataset ds(features);
+    std::vector<float> row(features);
+    for (std::size_t i = 0; i < rows; ++i) {
+        double y = 0.0;
+        for (std::size_t f = 0; f < features; ++f) {
+            row[f] = static_cast<float>(rng.uniform(-1, 1));
+            if (f < 8)
+                y += (f + 1) * row[f];
+        }
+        ds.addRow(row, y + 0.1 * rng.normal());
+    }
+    return ds;
+}
+
+const dnn::Graph &
+v2Int8()
+{
+    static const dnn::Graph g =
+        dnn::quantize(dnn::buildZooModel("mobilenet_v2_1.0"));
+    return g;
+}
+
+/** Synthetic latency matrix (networks x devices). */
+std::vector<std::vector<double>>
+latencyMatrix(std::size_t nets, std::size_t devices, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> speed(devices);
+    for (auto &s : speed)
+        s = rng.uniform(1.0, 8.0);
+    std::vector<std::vector<double>> m(nets,
+                                       std::vector<double>(devices));
+    for (std::size_t n = 0; n < nets; ++n) {
+        const double size = rng.uniform(50.0, 800.0);
+        for (std::size_t d = 0; d < devices; ++d)
+            m[n][d] = size / speed[d] * rng.lognormalFactor(0.05);
+    }
+    return m;
+}
+
+} // namespace
+
+static void
+BM_GbtTrain(benchmark::State &state)
+{
+    const auto ds = syntheticDataset(
+        static_cast<std::size_t>(state.range(0)), 64, 1);
+    ml::GbtParams p;
+    p.n_estimators = 50;
+    for (auto _ : state) {
+        ml::GradientBoostedTrees model(p);
+        model.train(ds);
+        benchmark::DoNotOptimize(model.numTrees());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GbtTrain)->Arg(1000)->Arg(4000);
+
+static void
+BM_GbtPredict(benchmark::State &state)
+{
+    const auto ds = syntheticDataset(2000, 64, 2);
+    ml::GradientBoostedTrees model;
+    model.train(ds);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.predict(ds));
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_GbtPredict);
+
+static void
+BM_SimulatorGraphLatency(benchmark::State &state)
+{
+    const auto fleet = sim::DeviceDatabase::standard();
+    const sim::LatencyModel model;
+    const auto &device = fleet.device(0);
+    const auto &chipset = fleet.chipsetOf(device);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.graphLatencyMs(v2Int8(), device, chipset));
+    }
+}
+BENCHMARK(BM_SimulatorGraphLatency);
+
+static void
+BM_DeviceMeasure30Runs(benchmark::State &state)
+{
+    const auto fleet = sim::DeviceDatabase::standard();
+    const sim::LatencyModel model;
+    const auto &device = fleet.device(0);
+    const auto &chipset = fleet.chipsetOf(device);
+    sim::DeviceRuntime runtime(device, chipset, model, 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runtime.measure(v2Int8()).mean_ms);
+    }
+}
+BENCHMARK(BM_DeviceMeasure30Runs);
+
+static void
+BM_QuantizePass(benchmark::State &state)
+{
+    const auto g = dnn::buildZooModel("mobilenet_v3_large");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dnn::quantize(g).numNodes());
+    }
+}
+BENCHMARK(BM_QuantizePass);
+
+static void
+BM_NetworkEncode(benchmark::State &state)
+{
+    const core::NetworkEncoder enc(130);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(enc.encode(v2Int8()));
+    }
+}
+BENCHMARK(BM_NetworkEncode);
+
+static void
+BM_SpearmanMatrix118(benchmark::State &state)
+{
+    const auto m = latencyMatrix(118, 73, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::spearmanMatrix(m));
+    }
+}
+BENCHMARK(BM_SpearmanMatrix118);
+
+static void
+BM_MisSelection(benchmark::State &state)
+{
+    const auto m = latencyMatrix(118, 73, 4);
+    core::SignatureConfig cfg;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::selectMisSignature(m, 10, cfg));
+    }
+}
+BENCHMARK(BM_MisSelection)->Unit(benchmark::kMillisecond);
+
+static void
+BM_SccsSelection(benchmark::State &state)
+{
+    const auto m = latencyMatrix(118, 73, 5);
+    core::SignatureConfig cfg;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::selectSccsSignature(m, 10, cfg));
+    }
+}
+BENCHMARK(BM_SccsSelection)->Unit(benchmark::kMillisecond);
+
+static void
+BM_KMeansDevices(benchmark::State &state)
+{
+    const auto nets = latencyMatrix(105, 118, 6); // device vectors
+    stats::KMeansConfig cfg;
+    cfg.k = 3;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::kMeans(nets, cfg).inertia);
+    }
+    state.SetLabel("105 devices x 118 dims");
+}
+BENCHMARK(BM_KMeansDevices)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the
+ * paper's tables and figures. Every bench builds the standard dataset
+ * (118 networks x 105 devices) through ExperimentContext::build(),
+ * which is deterministic and takes well under a second.
+ */
+
+#ifndef GCM_BENCH_BENCH_SUPPORT_HH
+#define GCM_BENCH_BENCH_SUPPORT_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment_context.hh"
+
+namespace gcm::bench
+{
+
+/** The paper's full dataset. */
+inline core::ExperimentContext
+fullContext()
+{
+    return core::ExperimentContext::build();
+}
+
+/** Integer environment override with a default (sweep sizing). */
+inline std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    const long parsed = std::strtol(v, nullptr, 10);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/** Banner naming the paper artifact a bench regenerates. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** All device indices of a context. */
+inline std::vector<std::size_t>
+allDevices(const core::ExperimentContext &ctx)
+{
+    std::vector<std::size_t> devices(ctx.fleet().size());
+    for (std::size_t i = 0; i < devices.size(); ++i)
+        devices[i] = i;
+    return devices;
+}
+
+} // namespace gcm::bench
+
+#endif // GCM_BENCH_BENCH_SUPPORT_HH

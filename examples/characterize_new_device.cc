@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scenario: an app developer wants latency estimates for a phone
+ * model that is not in the repository at all — a custom configuration
+ * never seen in training. The phone runs the signature set once
+ * (here: through the device simulator, standing in for the paper's
+ * Android app), the ten mean latencies are uploaded, and the shared
+ * cost model predicts the rest of the catalogue.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "core/experiment_context.hh"
+#include "sim/measurement.hh"
+
+using namespace gcm;
+
+int
+main()
+{
+    const auto ctx = core::ExperimentContext::build();
+
+    // Train on the full repository.
+    std::vector<std::size_t> all_devices(ctx.fleet().size());
+    for (std::size_t i = 0; i < all_devices.size(); ++i)
+        all_devices[i] = i;
+    const auto model = core::SignatureCostModel::train(
+        ctx.suite(), ctx.latencyMatrix(all_devices));
+
+    // A brand-new phone: mid-range chipset, shipped underclocked,
+    // mediocre cooling — a configuration absent from the fleet.
+    sim::DeviceSpec phone;
+    phone.id = 9999;
+    phone.model_name = "Prototype-X";
+    phone.chipset_index = sim::chipsetIndexByName("Snapdragon-730");
+    phone.freq_ghz = 2.0; // below the chipset's 2.2 GHz spec
+    phone.ram_gb = 6;
+    phone.hidden.thermal_sustain = 0.7;
+    phone.hidden.mem_efficiency = 0.85;
+    phone.hidden.os_overhead = 1.2;
+    phone.hidden.silicon_bin = 1.0;
+    const auto &chipset = sim::chipsetTable()[phone.chipset_index];
+    std::printf("new device: %s (%s big core @ %.2f GHz, %.0f GB)\n\n",
+                phone.model_name.c_str(),
+                sim::coreFamily(chipset.big_core).name.c_str(),
+                phone.freq_ghz, phone.ram_gb);
+
+    // The only on-device work: run the signature set, 30 runs each.
+    const sim::LatencyModel latency_model;
+    sim::DeviceRuntime runtime(phone, chipset, latency_model, 321);
+    std::vector<double> signature_latencies;
+    std::printf("signature measurements (30-run means):\n");
+    for (std::size_t s : model.signature()) {
+        const auto res = runtime.measure(ctx.suite()[s]);
+        signature_latencies.push_back(res.mean_ms);
+        std::printf("  %-22s %8.1f ms (stddev %.1f)\n",
+                    ctx.networkNames()[s].c_str(), res.mean_ms,
+                    res.stddev_ms);
+    }
+
+    // Predict the popular-network catalogue; verify against the
+    // simulator's ground truth for this phone.
+    std::printf("\n%-22s %12s %12s %8s\n", "network", "predicted ms",
+                "measured ms", "error");
+    double sum_ape = 0.0;
+    const std::size_t zoo_count = 18;
+    for (std::size_t n = 0; n < zoo_count; ++n) {
+        const double pred =
+            model.predictMs(ctx.suite()[n], signature_latencies);
+        const double meas = runtime.measure(ctx.suite()[n]).mean_ms;
+        sum_ape += std::abs(pred - meas) / meas;
+        std::printf("%-22s %12.1f %12.1f %7.1f%%\n",
+                    ctx.networkNames()[n].c_str(), pred, meas,
+                    100.0 * (pred - meas) / meas);
+    }
+    std::printf("\nmean abs error over the catalogue: %.1f%%\n",
+                100.0 * sum_ape / static_cast<double>(zoo_count));
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: build the dataset, train a signature-based cost model,
+ * and predict the latency of a network on a device the model has
+ * never seen — using nothing but that device's measured latencies on
+ * the 10-network signature set.
+ */
+
+#include <cstdio>
+
+#include "core/cost_model.hh"
+#include "core/experiment_context.hh"
+#include "dnn/quantize.hh"
+#include "sim/measurement.hh"
+
+using namespace gcm;
+
+int
+main()
+{
+    // 1. Assemble the study: 118 networks (18 popular + 100 generated),
+    //    a 105-phone fleet, and the simulated measurement campaign.
+    const auto ctx = core::ExperimentContext::build();
+    std::printf("dataset: %zu networks x %zu devices = %zu measurements\n",
+                ctx.numNetworks(), ctx.fleet().size(), ctx.repo().size());
+
+    // 2. Hold out one device entirely: the model never sees it.
+    const std::size_t held_out = ctx.fleet().size() - 1;
+    std::vector<std::size_t> train_devices;
+    for (std::size_t d = 0; d + 1 < ctx.fleet().size(); ++d)
+        train_devices.push_back(d);
+    std::printf("held-out device: %s\n",
+                ctx.fleet().device(held_out).model_name.c_str());
+
+    // 3. Train the cost model (MIS signature of 10 networks + GBT).
+    const auto model = core::SignatureCostModel::train(
+        ctx.suite(), ctx.latencyMatrix(train_devices));
+    std::printf("signature set:");
+    for (const auto &name : model.signatureNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\n\n");
+
+    // 4. "Measure" the signature set on the new device — in the field
+    //    this is the only data collection the device owner performs.
+    std::vector<double> signature_latencies;
+    for (std::size_t s : model.signature())
+        signature_latencies.push_back(ctx.latencyMs(held_out, s));
+
+    // 5. Predict every network on the new device and compare.
+    std::printf("%-22s %12s %12s %8s\n", "network", "predicted ms",
+                "measured ms", "error");
+    double sum_ape = 0.0;
+    std::size_t shown = 0;
+    for (std::size_t n = 0; n < ctx.numNetworks(); n += 9) {
+        const double pred =
+            model.predictMs(ctx.suite()[n], signature_latencies);
+        const double meas = ctx.latencyMs(held_out, n);
+        sum_ape += std::abs(pred - meas) / meas;
+        ++shown;
+        std::printf("%-22s %12.1f %12.1f %7.1f%%\n",
+                    ctx.networkNames()[n].c_str(), pred, meas,
+                    100.0 * (pred - meas) / meas);
+    }
+    std::printf("\nmean abs error on the sample: %.1f%%\n",
+                100.0 * sum_ape / static_cast<double>(shown));
+    std::printf("the device contributed only %zu measurements.\n",
+                model.signature().size());
+    return 0;
+}

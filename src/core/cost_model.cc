@@ -1,0 +1,175 @@
+#include "core/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hh"
+
+namespace gcm::core
+{
+
+SignatureCostModel
+SignatureCostModel::train(const std::vector<dnn::Graph> &suite,
+                          const std::vector<std::vector<double>> &latencies)
+{
+    return train(suite, latencies, Config{});
+}
+
+SignatureCostModel
+SignatureCostModel::train(const std::vector<dnn::Graph> &suite,
+                          const std::vector<std::vector<double>> &latencies,
+                          const Config &config)
+{
+    GCM_ASSERT(!suite.empty(), "SignatureCostModel: empty suite");
+    if (latencies.size() != suite.size()) {
+        fatal("SignatureCostModel: latency matrix has ",
+              latencies.size(), " rows for ", suite.size(), " networks");
+    }
+    const std::size_t num_devices = latencies[0].size();
+    for (const auto &row : latencies) {
+        if (row.size() != num_devices)
+            fatal("SignatureCostModel: ragged latency matrix");
+    }
+    if (num_devices == 0)
+        fatal("SignatureCostModel: no training devices");
+
+    SignatureCostModel model;
+    model.signature_ =
+        selectSignature(latencies, config.method, config.selection);
+    model.signatureNames_.reserve(model.signature_.size());
+    for (std::size_t s : model.signature_)
+        model.signatureNames_.push_back(suite[s].name());
+
+    // Encoder layout with headroom for deeper unseen networks.
+    const NetworkEncoder fitted(suite);
+    model.encoder_ = std::make_unique<NetworkEncoder>(
+        fitted.maxLayers() + config.layer_headroom);
+
+    std::vector<bool> is_sig(suite.size(), false);
+    for (std::size_t s : model.signature_)
+        is_sig[s] = true;
+
+    model.anchorNormalization_ = config.anchor_normalization;
+    const std::size_t net_f = model.encoder_->numFeatures();
+    const std::size_t width = net_f + model.signature_.size();
+    ml::Dataset train_set(width);
+    std::vector<float> row(width);
+    for (std::size_t d = 0; d < num_devices; ++d) {
+        std::vector<double> sig_lat;
+        sig_lat.reserve(model.signature_.size());
+        for (std::size_t s : model.signature_)
+            sig_lat.push_back(latencies[s][d]);
+        const double anchor = model.anchorOf(sig_lat);
+        for (std::size_t k = 0; k < sig_lat.size(); ++k)
+            row[net_f + k] = static_cast<float>(sig_lat[k] / anchor);
+        for (std::size_t n = 0; n < suite.size(); ++n) {
+            if (is_sig[n])
+                continue;
+            const auto enc = model.encoder_->encode(suite[n]);
+            std::copy(enc.begin(), enc.end(), row.begin());
+            train_set.addRow(row, latencies[n][d] / anchor);
+        }
+    }
+
+    model.booster_ = ml::GradientBoostedTrees(config.gbt);
+    model.booster_.train(train_set);
+    return model;
+}
+
+double
+SignatureCostModel::anchorOf(
+    const std::vector<double> &signature_latencies_ms) const
+{
+    if (!anchorNormalization_)
+        return 1.0;
+    double log_sum = 0.0;
+    for (double ms : signature_latencies_ms) {
+        if (ms <= 0.0)
+            fatal("signature latency must be positive, got ", ms);
+        log_sum += std::log(ms);
+    }
+    return std::exp(log_sum
+                    / static_cast<double>(signature_latencies_ms.size()));
+}
+
+double
+SignatureCostModel::predictMs(
+    const dnn::Graph &network,
+    const std::vector<double> &signature_latencies_ms) const
+{
+    if (signature_latencies_ms.size() != signature_.size()) {
+        fatal("predictMs: expected ", signature_.size(),
+              " signature latencies, got ",
+              signature_latencies_ms.size());
+    }
+    const double anchor = anchorOf(signature_latencies_ms);
+    const std::size_t net_f = encoder_->numFeatures();
+    std::vector<float> row(net_f + signature_.size());
+    const auto enc = encoder_->encode(network);
+    std::copy(enc.begin(), enc.end(), row.begin());
+    for (std::size_t k = 0; k < signature_.size(); ++k) {
+        row[net_f + k] =
+            static_cast<float>(signature_latencies_ms[k] / anchor);
+    }
+    return booster_.predictRow(row.data()) * anchor;
+}
+
+} // namespace gcm::core
+
+namespace gcm::core
+{
+
+void
+SignatureCostModel::serialize(std::ostream &os) const
+{
+    os << "gcm-cost-model v1\n";
+    os << "anchor_normalization " << (anchorNormalization_ ? 1 : 0)
+       << "\n";
+    os << "max_layers " << encoder_->maxLayers() << "\n";
+    os << "signature " << signature_.size() << "\n";
+    for (std::size_t k = 0; k < signature_.size(); ++k) {
+        const std::string &name = signatureNames_[k];
+        if (name.find_first_of(" \t\n") != std::string::npos)
+            fatal("serialize: signature name contains whitespace: ",
+                  name);
+        os << signature_[k] << ' ' << name << "\n";
+    }
+    booster_.serialize(os);
+}
+
+SignatureCostModel
+SignatureCostModel::deserialize(std::istream &is)
+{
+    std::string magic, version, tag;
+    if (!(is >> magic >> version) || magic != "gcm-cost-model"
+        || version != "v1") {
+        fatal("SignatureCostModel::deserialize: bad header");
+    }
+    SignatureCostModel model;
+    int anchor_flag = 1;
+    if (!(is >> tag >> anchor_flag) || tag != "anchor_normalization")
+        fatal("SignatureCostModel::deserialize: bad anchor flag");
+    model.anchorNormalization_ = anchor_flag != 0;
+    std::size_t max_layers = 0, sig_count = 0;
+    if (!(is >> tag >> max_layers) || tag != "max_layers"
+        || max_layers == 0) {
+        fatal("SignatureCostModel::deserialize: bad max_layers");
+    }
+    if (!(is >> tag >> sig_count) || tag != "signature"
+        || sig_count == 0) {
+        fatal("SignatureCostModel::deserialize: bad signature count");
+    }
+    model.encoder_ = std::make_unique<NetworkEncoder>(max_layers);
+    model.signature_.resize(sig_count);
+    model.signatureNames_.resize(sig_count);
+    for (std::size_t k = 0; k < sig_count; ++k) {
+        if (!(is >> model.signature_[k] >> model.signatureNames_[k]))
+            fatal("SignatureCostModel::deserialize: bad signature row");
+    }
+    model.booster_ = ml::GradientBoostedTrees::deserialize(is);
+    return model;
+}
+
+} // namespace gcm::core

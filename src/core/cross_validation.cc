@@ -1,0 +1,64 @@
+#include "core/cross_validation.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace gcm::core
+{
+
+std::vector<std::vector<std::size_t>>
+kFoldDevices(std::size_t n, std::size_t k, std::uint64_t seed)
+{
+    GCM_ASSERT(k >= 2, "kFoldDevices: need at least 2 folds");
+    GCM_ASSERT(k <= n, "kFoldDevices: more folds than devices");
+    Rng rng(seed);
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    rng.shuffle(order);
+    std::vector<std::vector<std::size_t>> folds(k);
+    for (std::size_t i = 0; i < n; ++i)
+        folds[i % k].push_back(order[i]);
+    return folds;
+}
+
+CrossValidationResult
+crossValidateSignatureModel(const EvaluationHarness &harness,
+                            std::size_t num_devices, std::size_t folds,
+                            SignatureMethod method,
+                            const SignatureConfig &config,
+                            const ml::GbtParams &params,
+                            std::uint64_t seed)
+{
+    const auto partition = kFoldDevices(num_devices, folds, seed);
+    CrossValidationResult result;
+    double mape_sum = 0.0;
+    for (std::size_t f = 0; f < folds; ++f) {
+        DeviceSplit split;
+        split.test = partition[f];
+        for (std::size_t g = 0; g < folds; ++g) {
+            if (g == f)
+                continue;
+            split.train.insert(split.train.end(), partition[g].begin(),
+                               partition[g].end());
+        }
+        const auto eval =
+            harness.evalSignatureModel(split, method, config, params);
+        result.fold_r2.push_back(eval.r2);
+        mape_sum += eval.mape_pct;
+    }
+    double sum = 0.0;
+    for (double r : result.fold_r2)
+        sum += r;
+    result.mean_r2 = sum / static_cast<double>(folds);
+    double ss = 0.0;
+    for (double r : result.fold_r2)
+        ss += (r - result.mean_r2) * (r - result.mean_r2);
+    result.std_r2 = std::sqrt(ss / static_cast<double>(folds));
+    result.mean_mape_pct = mape_sum / static_cast<double>(folds);
+    return result;
+}
+
+} // namespace gcm::core

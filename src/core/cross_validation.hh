@@ -1,0 +1,49 @@
+/**
+ * @file
+ * k-fold cross-validation over devices: a sturdier estimate of the
+ * cost model's generalization than the paper's single 70/30 split,
+ * since with 105 devices one split leaves a small test set.
+ */
+
+#ifndef GCM_CORE_CROSS_VALIDATION_HH
+#define GCM_CORE_CROSS_VALIDATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluation.hh"
+
+namespace gcm::core
+{
+
+/** Result of a k-fold run. */
+struct CrossValidationResult
+{
+    std::vector<double> fold_r2;
+    double mean_r2 = 0.0;
+    double std_r2 = 0.0;
+    double mean_mape_pct = 0.0;
+};
+
+/**
+ * Partition n devices into k folds (shuffled, near-equal sizes).
+ * Every device appears in exactly one fold.
+ */
+std::vector<std::vector<std::size_t>> kFoldDevices(std::size_t n,
+                                                   std::size_t k,
+                                                   std::uint64_t seed);
+
+/**
+ * k-fold cross-validation of the signature cost model: each fold in
+ * turn is the test set, the signature is re-selected on each fold's
+ * training devices.
+ */
+CrossValidationResult crossValidateSignatureModel(
+    const EvaluationHarness &harness, std::size_t num_devices,
+    std::size_t folds, SignatureMethod method,
+    const SignatureConfig &config, const ml::GbtParams &params = {},
+    std::uint64_t seed = 97);
+
+} // namespace gcm::core
+
+#endif // GCM_CORE_CROSS_VALIDATION_HH

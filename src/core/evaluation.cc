@@ -1,0 +1,185 @@
+#include "core/evaluation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hw_features.hh"
+#include "ml/metrics.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace gcm::core
+{
+
+DeviceSplit
+splitDevices(std::size_t num_devices, double test_fraction,
+             std::uint64_t seed)
+{
+    GCM_ASSERT(test_fraction > 0.0 && test_fraction < 1.0,
+               "splitDevices: test_fraction out of (0, 1)");
+    Rng rng(seed);
+    std::vector<std::size_t> order(num_devices);
+    for (std::size_t i = 0; i < num_devices; ++i)
+        order[i] = i;
+    rng.shuffle(order);
+    const auto test_n = static_cast<std::size_t>(
+        static_cast<double>(num_devices) * test_fraction);
+    GCM_ASSERT(test_n > 0 && test_n < num_devices,
+               "splitDevices: degenerate split");
+    DeviceSplit split;
+    split.test.assign(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(test_n));
+    split.train.assign(order.begin() + static_cast<std::ptrdiff_t>(test_n),
+                       order.end());
+    return split;
+}
+
+EvaluationHarness::EvaluationHarness(const ExperimentContext &ctx,
+                                     HarnessOptions options)
+    : ctx_(ctx), options_(options)
+{
+    encodings_.reserve(ctx_.numNetworks());
+    for (const auto &g : ctx_.suite())
+        encodings_.push_back(ctx_.encoder().encode(g));
+}
+
+namespace
+{
+
+ModelEvaluation
+score(const ml::GradientBoostedTrees &model, const ml::Dataset &test)
+{
+    ModelEvaluation eval;
+    eval.y_true = test.labels();
+    eval.y_pred = model.predict(test);
+    eval.r2 = ml::r2Score(eval.y_true, eval.y_pred);
+    eval.rmse_ms = ml::rmse(eval.y_true, eval.y_pred);
+    eval.mape_pct = ml::mape(eval.y_true, eval.y_pred);
+    return eval;
+}
+
+} // namespace
+
+ModelEvaluation
+EvaluationHarness::evalStaticFeatureModel(const DeviceSplit &split,
+                                          const ml::GbtParams &params) const
+{
+    GCM_ASSERT(!split.train.empty() && !split.test.empty(),
+               "evalStaticFeatureModel: empty split");
+    const StaticHardwareEncoder hw;
+    const std::size_t net_f = ctx_.encoder().numFeatures();
+    const std::size_t width = net_f + hw.numFeatures();
+
+    auto build = [&](const std::vector<std::size_t> &devices) {
+        ml::Dataset ds(width);
+        std::vector<float> row(width);
+        for (std::size_t d : devices) {
+            const auto hw_vec =
+                hw.encode(ctx_.fleet().device(d), ctx_.fleet());
+            for (std::size_t n = 0; n < ctx_.numNetworks(); ++n) {
+                std::copy(encodings_[n].begin(), encodings_[n].end(),
+                          row.begin());
+                std::copy(hw_vec.begin(), hw_vec.end(),
+                          row.begin() + static_cast<std::ptrdiff_t>(net_f));
+                ds.addRow(row, ctx_.latencyMs(d, n));
+            }
+        }
+        return ds;
+    };
+
+    const ml::Dataset train = build(split.train);
+    const ml::Dataset test = build(split.test);
+    ml::GradientBoostedTrees model(params);
+    model.train(train);
+    return score(model, test);
+}
+
+EvaluationHarness::SignatureData
+EvaluationHarness::buildSignatureDataset(
+    const std::vector<std::size_t> &devices,
+    const std::vector<std::size_t> &signature) const
+{
+    const std::size_t net_f = ctx_.encoder().numFeatures();
+    const std::size_t width = net_f + signature.size();
+    std::vector<bool> is_signature(ctx_.numNetworks(), false);
+    for (std::size_t s : signature) {
+        GCM_ASSERT(s < ctx_.numNetworks(),
+                   "signature index out of range");
+        is_signature[s] = true;
+    }
+
+    SignatureData out{ml::Dataset(width), {}};
+    std::vector<float> row(width);
+    for (std::size_t d : devices) {
+        // The device's hardware representation: measured latencies of
+        // the signature networks on it, optionally rescaled by the
+        // device anchor (geometric mean of the signature latencies).
+        double anchor = 1.0;
+        if (options_.anchor_normalization) {
+            double log_sum = 0.0;
+            for (std::size_t s : signature) {
+                const double ms = ctx_.latencyMs(d, s);
+                GCM_ASSERT(ms > 0.0, "non-positive signature latency");
+                log_sum += std::log(ms);
+            }
+            anchor = std::exp(log_sum
+                              / static_cast<double>(signature.size()));
+        }
+        for (std::size_t k = 0; k < signature.size(); ++k) {
+            row[net_f + k] = static_cast<float>(
+                ctx_.latencyMs(d, signature[k]) / anchor);
+        }
+        for (std::size_t n = 0; n < ctx_.numNetworks(); ++n) {
+            if (is_signature[n])
+                continue; // paper: signature rows are discarded
+            std::copy(encodings_[n].begin(), encodings_[n].end(),
+                      row.begin());
+            out.dataset.addRow(row, ctx_.latencyMs(d, n) / anchor);
+            out.anchors.push_back(anchor);
+        }
+    }
+    return out;
+}
+
+ModelEvaluation
+EvaluationHarness::evalWithSignature(
+    const DeviceSplit &split, const std::vector<std::size_t> &signature,
+    const ml::GbtParams &params) const
+{
+    GCM_ASSERT(!split.train.empty() && !split.test.empty(),
+               "evalWithSignature: empty split");
+    GCM_ASSERT(!signature.empty(), "evalWithSignature: empty signature");
+    const SignatureData train =
+        buildSignatureDataset(split.train, signature);
+    const SignatureData test =
+        buildSignatureDataset(split.test, signature);
+    ml::GradientBoostedTrees model(params);
+    model.train(train.dataset);
+    // Denormalize: metrics are always reported in milliseconds.
+    ModelEvaluation eval;
+    eval.y_true = test.dataset.labels();
+    eval.y_pred = model.predict(test.dataset);
+    for (std::size_t i = 0; i < eval.y_true.size(); ++i) {
+        eval.y_true[i] *= test.anchors[i];
+        eval.y_pred[i] *= test.anchors[i];
+    }
+    eval.r2 = ml::r2Score(eval.y_true, eval.y_pred);
+    eval.rmse_ms = ml::rmse(eval.y_true, eval.y_pred);
+    eval.mape_pct = ml::mape(eval.y_true, eval.y_pred);
+    eval.signature = signature;
+    return eval;
+}
+
+ModelEvaluation
+EvaluationHarness::evalSignatureModel(const DeviceSplit &split,
+                                      SignatureMethod method,
+                                      const SignatureConfig &config,
+                                      const ml::GbtParams &params) const
+{
+    // Selection sees training devices only (Section IV-A).
+    const auto train_latencies = ctx_.latencyMatrix(split.train);
+    const auto signature = selectSignature(train_latencies, method, config);
+    return evalWithSignature(split, signature, params);
+}
+
+} // namespace gcm::core

@@ -1,0 +1,102 @@
+#include "core/experiment_context.hh"
+
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include "util/error.hh"
+
+namespace gcm::core
+{
+
+ExperimentContext
+ExperimentContext::build(const ExperimentConfig &config)
+{
+    ExperimentContext ctx;
+
+    // 1. Network suite: the 18 popular networks + generated networks.
+    ctx.fp32_ = dnn::buildZoo();
+    if (config.num_random_networks > 0) {
+        dnn::RandomNetworkGenerator gen(config.search_space,
+                                        config.network_seed);
+        auto random = gen.generateSuite(config.num_random_networks,
+                                        "randnet");
+        for (auto &g : random)
+            ctx.fp32_.push_back(std::move(g));
+    }
+    ctx.suite_.reserve(ctx.fp32_.size());
+    ctx.names_.reserve(ctx.fp32_.size());
+    for (const auto &g : ctx.fp32_) {
+        ctx.suite_.push_back(dnn::quantize(g));
+        ctx.names_.push_back(g.name());
+    }
+
+    // 2. Device fleet.
+    ctx.fleet_ = std::make_unique<sim::DeviceDatabase>(
+        sim::DeviceDatabase::standard(config.fleet_seed,
+                                      config.num_devices));
+
+    // 3. Measurement campaign (the crowd-sourced app, simulated).
+    ctx.campaign_ = std::make_unique<sim::CharacterizationCampaign>(
+        *ctx.fleet_, ctx.model_, config.campaign);
+    ctx.repo_ = ctx.campaign_->run(ctx.suite_);
+    if (ctx.repo_.size() != ctx.suite_.size() * ctx.fleet_->size()) {
+        fatal("ExperimentContext: campaign covered ", ctx.repo_.size(),
+              " of ", ctx.suite_.size() * ctx.fleet_->size(),
+              " (network, device) pairs; GPU-target campaigns that "
+              "skip unreliable devices should be driven through "
+              "CharacterizationCampaign directly (see "
+              "bench_ext_gpu_target)");
+    }
+
+    // 4. Representation layout.
+    ctx.encoder_ = std::make_unique<NetworkEncoder>(ctx.suite_);
+    return ctx;
+}
+
+double
+ExperimentContext::latencyMs(std::size_t device_idx,
+                             std::size_t net_idx) const
+{
+    GCM_ASSERT(device_idx < fleet_->size(),
+               "latencyMs: device index out of range");
+    GCM_ASSERT(net_idx < names_.size(),
+               "latencyMs: network index out of range");
+    return repo_.latencyMs(fleet_->device(device_idx).id,
+                           names_[net_idx]);
+}
+
+std::vector<std::vector<double>>
+ExperimentContext::latencyMatrix(
+    const std::vector<std::size_t> &device_indices) const
+{
+    std::vector<std::vector<double>> m(
+        names_.size(), std::vector<double>(device_indices.size()));
+    for (std::size_t n = 0; n < names_.size(); ++n) {
+        for (std::size_t d = 0; d < device_indices.size(); ++d)
+            m[n][d] = latencyMs(device_indices[d], n);
+    }
+    return m;
+}
+
+std::vector<std::vector<double>>
+ExperimentContext::deviceVectors() const
+{
+    std::vector<std::vector<double>> m(
+        fleet_->size(), std::vector<double>(names_.size()));
+    for (std::size_t d = 0; d < fleet_->size(); ++d) {
+        for (std::size_t n = 0; n < names_.size(); ++n)
+            m[d][n] = latencyMs(d, n);
+    }
+    return m;
+}
+
+std::size_t
+ExperimentContext::networkIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
+            return i;
+    }
+    fatal("unknown network: ", name);
+}
+
+} // namespace gcm::core

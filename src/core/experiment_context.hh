@@ -1,0 +1,95 @@
+/**
+ * @file
+ * ExperimentContext: one-stop construction of the paper's dataset —
+ * the 118-network suite (18 zoo + 100 generated), the 105-device
+ * fleet, the measurement campaign that yields 12,390 latency points,
+ * and the fitted network encoder. Every bench and example starts
+ * here; construction is fully deterministic given the seeds.
+ */
+
+#ifndef GCM_CORE_EXPERIMENT_CONTEXT_HH
+#define GCM_CORE_EXPERIMENT_CONTEXT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/net_encoder.hh"
+#include "dnn/generator.hh"
+#include "dnn/graph.hh"
+#include "sim/campaign.hh"
+#include "sim/device.hh"
+#include "sim/repository.hh"
+
+namespace gcm::core
+{
+
+/** Construction parameters of the standard dataset. */
+struct ExperimentConfig
+{
+    std::size_t num_random_networks = 100;
+    std::uint64_t network_seed = 123;
+    std::size_t num_devices = 105;
+    std::uint64_t fleet_seed = 2020;
+    sim::CampaignConfig campaign;
+    dnn::SearchSpace search_space;
+};
+
+/** The assembled dataset plus derived utilities. */
+class ExperimentContext
+{
+  public:
+    /** Build the standard dataset (or a smaller one for tests). */
+    static ExperimentContext build(const ExperimentConfig &config = {});
+
+    /** Deployment (int8) networks, zoo first then generated. */
+    const std::vector<dnn::Graph> &suite() const { return suite_; }
+
+    /** Original fp32 networks (pre-quantization), same order. */
+    const std::vector<dnn::Graph> &fp32Suite() const { return fp32_; }
+
+    const std::vector<std::string> &networkNames() const { return names_; }
+    std::size_t numNetworks() const { return suite_.size(); }
+
+    const sim::DeviceDatabase &fleet() const { return *fleet_; }
+    const sim::MeasurementRepository &repo() const { return repo_; }
+    const sim::CharacterizationCampaign &campaign() const
+    {
+        return *campaign_;
+    }
+
+    /** Mean measured latency (ms) of network index n on device d. */
+    double latencyMs(std::size_t device_idx, std::size_t net_idx) const;
+
+    /**
+     * Latency matrix restricted to a device subset:
+     * result[n][i] = latency of network n on devices[i].
+     */
+    std::vector<std::vector<double>>
+    latencyMatrix(const std::vector<std::size_t> &device_indices) const;
+
+    /** Device latency vectors (one 118-dim row per device). */
+    std::vector<std::vector<double>> deviceVectors() const;
+
+    const NetworkEncoder &encoder() const { return *encoder_; }
+
+    /** Index of a network by name. Throws GcmError when unknown. */
+    std::size_t networkIndex(const std::string &name) const;
+
+  private:
+    ExperimentContext() = default;
+
+    std::vector<dnn::Graph> fp32_;
+    std::vector<dnn::Graph> suite_;
+    std::vector<std::string> names_;
+    std::unique_ptr<sim::DeviceDatabase> fleet_;
+    std::unique_ptr<sim::CharacterizationCampaign> campaign_;
+    sim::MeasurementRepository repo_;
+    std::unique_ptr<NetworkEncoder> encoder_;
+    sim::LatencyModel model_;
+};
+
+} // namespace gcm::core
+
+#endif // GCM_CORE_EXPERIMENT_CONTEXT_HH

@@ -1,0 +1,44 @@
+#include "core/hw_features.hh"
+
+#include "util/error.hh"
+
+namespace gcm::core
+{
+
+StaticHardwareEncoder::StaticHardwareEncoder()
+    : numFamilies_(sim::coreFamilyTable().size())
+{}
+
+std::size_t
+StaticHardwareEncoder::numFeatures() const
+{
+    return numFamilies_ + 2;
+}
+
+std::vector<float>
+StaticHardwareEncoder::encode(const sim::DeviceSpec &device,
+                              const sim::DeviceDatabase &fleet) const
+{
+    std::vector<float> out(numFeatures(), 0.0f);
+    const sim::Chipset &chipset = fleet.chipsetOf(device);
+    const auto family = static_cast<std::size_t>(chipset.big_core);
+    GCM_ASSERT(family < numFamilies_, "encode: bad core family");
+    out[family] = 1.0f;
+    out[numFamilies_] = static_cast<float>(device.freq_ghz);
+    out[numFamilies_ + 1] = static_cast<float>(device.ram_gb);
+    return out;
+}
+
+std::vector<std::string>
+StaticHardwareEncoder::featureNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(numFeatures());
+    for (const auto &family : sim::coreFamilyTable())
+        names.push_back("cpu_is_" + family.name);
+    names.push_back("freq_ghz");
+    names.push_back("ram_gb");
+    return names;
+}
+
+} // namespace gcm::core

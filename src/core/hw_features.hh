@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Static hardware representation (paper Section III-C, Fig. 8): a
+ * one-hot CPU core-family id, the big-core frequency and the main
+ * memory capacity. The paper — and this reproduction — show this
+ * representation is insufficient to predict latency.
+ */
+
+#ifndef GCM_CORE_HW_FEATURES_HH
+#define GCM_CORE_HW_FEATURES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/device.hh"
+
+namespace gcm::core
+{
+
+/** Encoder of device static specifications. */
+class StaticHardwareEncoder
+{
+  public:
+    StaticHardwareEncoder();
+
+    /** One-hot core family + frequency (GHz) + RAM (GB). */
+    std::size_t numFeatures() const;
+
+    std::vector<float> encode(const sim::DeviceSpec &device,
+                              const sim::DeviceDatabase &fleet) const;
+
+    std::vector<std::string> featureNames() const;
+
+  private:
+    std::size_t numFamilies_;
+};
+
+} // namespace gcm::core
+
+#endif // GCM_CORE_HW_FEATURES_HH

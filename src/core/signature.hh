@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Signature-set selection (paper Section III-C).
+ *
+ * The hardware representation is the vector of measured latencies of
+ * a small signature set of networks. Three selection methods are
+ * provided:
+ *
+ *  - RS: uniform random sampling;
+ *  - MIS (Algorithm 1): greedy maximization of the mutual information
+ *    between the signature set and the remaining networks, with a
+ *    Gaussian (log-det, default) or pairwise histogram MI estimator;
+ *  - SCCS (Algorithm 2): iteratively pick the network with the most
+ *    Spearman correlations >= gamma with other networks, then remove
+ *    its correlated group.
+ *
+ * All methods operate on the latency matrix restricted to the
+ * *training* devices — test devices never influence the selection.
+ */
+
+#ifndef GCM_CORE_SIGNATURE_HH
+#define GCM_CORE_SIGNATURE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gcm::core
+{
+
+/** Selection algorithm. */
+enum class SignatureMethod
+{
+    RandomSampling,
+    MutualInformation,
+    SpearmanCorrelation,
+};
+
+/** Display name of a method ("RS" / "MIS" / "SCCS"). */
+const char *signatureMethodName(SignatureMethod method);
+
+/** MI estimator used by MIS. */
+enum class MiEstimatorKind
+{
+    Gaussian,
+    Histogram,
+};
+
+/** Selection configuration. */
+struct SignatureConfig
+{
+    /** Networks in the signature set (paper default: 10). */
+    std::size_t size = 10;
+    /** Seed for RS (and MIS tie-breaking). */
+    std::uint64_t seed = 1;
+    /** SCCS correlation threshold gamma ("typically close to 1"). */
+    double sccs_gamma = 0.95;
+    /** SCCS gamma relaxation when candidates run out (see below). */
+    double sccs_gamma_decay = 0.9;
+    MiEstimatorKind mi_estimator = MiEstimatorKind::Gaussian;
+    /** Bins for the histogram MI estimator. */
+    std::size_t mi_bins = 6;
+    /** Ridge for the Gaussian MI estimator. */
+    double mi_ridge = 1e-2;
+};
+
+/**
+ * Select a signature set.
+ *
+ * @param net_latencies Latency samples: net_latencies[n][d] is the
+ *        latency of network n on training device d (milliseconds).
+ * @param method Selection algorithm.
+ * @param config Options; config.size must be <= the network count.
+ * @return Indices of the selected networks, in selection order (for
+ *         MIS/SCCS a prefix is itself a valid smaller selection).
+ */
+std::vector<std::size_t>
+selectSignature(const std::vector<std::vector<double>> &net_latencies,
+                SignatureMethod method, const SignatureConfig &config);
+
+/** Uniform random selection of m of n networks. */
+std::vector<std::size_t> selectRandomSignature(std::size_t num_networks,
+                                               std::size_t m,
+                                               std::uint64_t seed);
+
+/** Algorithm 1: greedy mutual-information selection. */
+std::vector<std::size_t>
+selectMisSignature(const std::vector<std::vector<double>> &net_latencies,
+                   std::size_t m, const SignatureConfig &config);
+
+/**
+ * Algorithm 2: Spearman-correlation selection. When the candidate
+ * pool empties before m picks (every remaining network already
+ * removed as correlated), gamma is relaxed geometrically and the
+ * procedure continues on the removed pool — a documented extension,
+ * as the paper leaves this case unspecified.
+ */
+std::vector<std::size_t>
+selectSccsSignature(const std::vector<std::vector<double>> &net_latencies,
+                    std::size_t m, const SignatureConfig &config);
+
+} // namespace gcm::core
+
+#endif // GCM_CORE_SIGNATURE_HH

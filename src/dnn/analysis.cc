@@ -1,0 +1,122 @@
+#include "dnn/analysis.hh"
+
+#include "util/error.hh"
+
+namespace gcm::dnn
+{
+
+namespace
+{
+
+std::int64_t
+bytesPerElement(Precision p)
+{
+    return p == Precision::Int8 ? 1 : 4;
+}
+
+} // namespace
+
+NodeCost
+nodeCost(const Graph &graph, const Node &node)
+{
+    NodeCost c;
+    const std::int64_t elem_bytes = bytesPerElement(graph.precision());
+    const std::int64_t out_elems = node.shape.elements();
+    c.output_bytes = out_elems * elem_bytes;
+    for (NodeId in : node.inputs)
+        c.input_bytes += graph.node(in).shape.elements() * elem_bytes;
+
+    switch (node.kind) {
+      case OpKind::Input:
+        c.input_bytes = 0;
+        break;
+      case OpKind::Conv2d: {
+        const TensorShape &in = graph.node(node.inputs[0]).shape;
+        const std::int64_t k = node.params.kernel;
+        const std::int64_t g = node.params.groups;
+        const std::int64_t weights =
+            k * k * (in.c / g) * node.shape.c;
+        c.macs = static_cast<std::int64_t>(node.shape.h) * node.shape.w
+            * node.shape.c * k * k * (in.c / g);
+        c.params = weights + node.shape.c; // + bias
+        c.weight_bytes = weights * elem_bytes + node.shape.c * 4;
+        break;
+      }
+      case OpKind::DepthwiseConv2d: {
+        const std::int64_t k = node.params.kernel;
+        const std::int64_t weights = k * k * node.shape.c;
+        c.macs = static_cast<std::int64_t>(node.shape.h) * node.shape.w
+            * node.shape.c * k * k;
+        c.params = weights + node.shape.c;
+        c.weight_bytes = weights * elem_bytes + node.shape.c * 4;
+        break;
+      }
+      case OpKind::FullyConnected: {
+        const std::int64_t in_features =
+            graph.node(node.inputs[0]).shape.elements();
+        const std::int64_t weights = in_features * node.shape.c;
+        c.macs = weights;
+        c.params = weights + node.shape.c;
+        c.weight_bytes = weights * elem_bytes + node.shape.c * 4;
+        break;
+      }
+      case OpKind::MaxPool2d:
+      case OpKind::AvgPool2d:
+        c.simple_ops = out_elems * node.params.kernel * node.params.kernel;
+        break;
+      case OpKind::GlobalAvgPool:
+        // One accumulate per input element.
+        c.simple_ops = graph.node(node.inputs[0]).shape.elements();
+        break;
+      case OpKind::Add:
+      case OpKind::Mul:
+      case OpKind::ReLU:
+      case OpKind::ReLU6:
+        c.simple_ops = out_elems;
+        break;
+      case OpKind::HSwish:
+      case OpKind::Sigmoid:
+      case OpKind::Softmax:
+        // Transcendental-ish: a handful of ops per element.
+        c.simple_ops = out_elems * 4;
+        break;
+      case OpKind::BatchNorm:
+        c.simple_ops = out_elems * 2;
+        c.params = 2 * node.shape.c;
+        c.weight_bytes = 2 * node.shape.c * 4;
+        break;
+      case OpKind::Concat:
+      case OpKind::ChannelShuffle:
+        c.simple_ops = out_elems; // pure data movement
+        break;
+      default:
+        GCM_ASSERT(false, "nodeCost: unhandled op kind");
+    }
+    return c;
+}
+
+std::int64_t
+totalMacs(const Graph &graph)
+{
+    std::int64_t total = 0;
+    for (const auto &n : graph.nodes())
+        total += nodeCost(graph, n).macs;
+    return total;
+}
+
+std::int64_t
+totalParams(const Graph &graph)
+{
+    std::int64_t total = 0;
+    for (const auto &n : graph.nodes())
+        total += nodeCost(graph, n).params;
+    return total;
+}
+
+double
+megaMacs(const Graph &graph)
+{
+    return static_cast<double>(totalMacs(graph)) / 1e6;
+}
+
+} // namespace gcm::dnn

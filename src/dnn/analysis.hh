@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Static cost analysis of DNN graphs: multiply-accumulate counts,
+ * parameter counts and data-movement volumes. Feeds both the FLOPs
+ * characterization (paper Fig. 2) and the latency simulator.
+ */
+
+#ifndef GCM_DNN_ANALYSIS_HH
+#define GCM_DNN_ANALYSIS_HH
+
+#include <cstdint>
+
+#include "dnn/graph.hh"
+
+namespace gcm::dnn
+{
+
+/** Static per-node cost breakdown. */
+struct NodeCost
+{
+    /** Multiply-accumulate operations (convolutions, FC). */
+    std::int64_t macs = 0;
+    /** Non-MAC elementwise/reduction operations. */
+    std::int64_t simple_ops = 0;
+    /** Trainable parameter count (weights + bias). */
+    std::int64_t params = 0;
+    /** Weight bytes at the graph's precision. */
+    std::int64_t weight_bytes = 0;
+    /** Activation bytes read (all inputs). */
+    std::int64_t input_bytes = 0;
+    /** Activation bytes written. */
+    std::int64_t output_bytes = 0;
+};
+
+/** Compute the static cost of one node. */
+NodeCost nodeCost(const Graph &graph, const Node &node);
+
+/** Total multiply-accumulates of a graph (batch 1). */
+std::int64_t totalMacs(const Graph &graph);
+
+/** Total trainable parameters of a graph. */
+std::int64_t totalParams(const Graph &graph);
+
+/** MACs in millions, the unit of the paper's Fig. 2. */
+double megaMacs(const Graph &graph);
+
+} // namespace gcm::dnn
+
+#endif // GCM_DNN_ANALYSIS_HH

@@ -1,0 +1,180 @@
+#include "dnn/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dnn/analysis.hh"
+#include "util/error.hh"
+
+namespace gcm::dnn
+{
+
+std::int32_t
+roundChannels(double c)
+{
+    const auto rounded =
+        static_cast<std::int32_t>(std::lround(c / 8.0)) * 8;
+    return std::max(rounded, 8);
+}
+
+RandomNetworkGenerator::RandomNetworkGenerator(SearchSpace space,
+                                               std::uint64_t seed)
+    : space_(std::move(space)), rng_(seed)
+{
+    GCM_ASSERT(space_.min_stages >= 1
+                   && space_.min_stages <= space_.max_stages,
+               "SearchSpace: invalid stage bounds");
+    GCM_ASSERT(space_.min_blocks_per_stage >= 1
+                   && space_.min_blocks_per_stage
+                       <= space_.max_blocks_per_stage,
+               "SearchSpace: invalid block bounds");
+    GCM_ASSERT(!space_.kernel_choices.empty()
+                   && !space_.expansion_choices.empty()
+                   && !space_.stem_channel_choices.empty(),
+               "SearchSpace: empty choice list");
+    GCM_ASSERT(space_.min_mmacs < space_.max_mmacs,
+               "SearchSpace: invalid FLOPs window");
+}
+
+namespace
+{
+
+template <typename T>
+T
+pick(Rng &rng, const std::vector<T> &choices)
+{
+    return choices[static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(choices.size()) - 1))];
+}
+
+OpKind
+pickActivation(Rng &rng)
+{
+    const double r = rng.uniform();
+    if (r < 0.45)
+        return OpKind::ReLU;
+    if (r < 0.8)
+        return OpKind::ReLU6;
+    return OpKind::HSwish;
+}
+
+/** Inverted-bottleneck block (MobileNetV2 style). */
+NodeId
+mbconv(GraphBuilder &b, NodeId x, std::int32_t out_c, std::int32_t kernel,
+       std::int32_t stride, std::int32_t expansion, bool use_se,
+       OpKind act, bool allow_residual)
+{
+    const TensorShape in_shape = b.shapeOf(x);
+    const std::int32_t in_c = in_shape.c;
+    NodeId y = x;
+    if (expansion > 1)
+        y = b.convBnAct(y, in_c * expansion, 1, 1, 0, act);
+    y = b.dwBnAct(y, kernel, stride, kernel / 2, act);
+    if (use_se)
+        y = b.squeezeExcite(y);
+    // Linear projection.
+    y = b.convBnAct(y, out_c, 1, 1, 0, OpKind::NumKinds);
+    if (allow_residual && stride == 1 && in_c == out_c)
+        y = b.add(x, y);
+    return y;
+}
+
+/** Depthwise-separable block (MobileNetV1 style). */
+NodeId
+dwSeparable(GraphBuilder &b, NodeId x, std::int32_t out_c,
+            std::int32_t kernel, std::int32_t stride, OpKind act)
+{
+    NodeId y = b.dwBnAct(x, kernel, stride, kernel / 2, act);
+    return b.convBnAct(y, out_c, 1, 1, 0, act);
+}
+
+} // namespace
+
+Graph
+RandomNetworkGenerator::generateCandidate(const std::string &name, Rng &rng)
+{
+    GraphBuilder b(name, space_.input);
+    NodeId x = b.input();
+
+    // Stem: 3x3 stride-2 convolution.
+    std::int32_t channels = pick(rng, space_.stem_channel_choices);
+    const OpKind stem_act = pickActivation(rng);
+    x = b.convBnAct(x, channels, 3, 2, 1, stem_act);
+
+    const auto stages = static_cast<std::int32_t>(rng.uniformInt(
+        space_.min_stages, space_.max_stages));
+    for (std::int32_t stage = 0; stage < stages; ++stage) {
+        const auto blocks = static_cast<std::int32_t>(rng.uniformInt(
+            space_.min_blocks_per_stage, space_.max_blocks_per_stage));
+        const double growth = rng.uniform(space_.channel_growth_min,
+                                          space_.channel_growth_max);
+        channels = std::min(roundChannels(channels * growth),
+                            space_.max_channels);
+        const OpKind act = pickActivation(rng);
+        const std::int32_t kernel = pick(rng, space_.kernel_choices);
+        for (std::int32_t blk = 0; blk < blocks; ++blk) {
+            // Downsample on the first block of a stage while the map
+            // is large enough.
+            const bool can_stride = b.shapeOf(x).h >= 8;
+            const std::int32_t stride =
+                (blk == 0 && can_stride) ? 2 : 1;
+            const double kind_r = rng.uniform();
+            if (kind_r < space_.p_mbconv) {
+                const std::int32_t expansion =
+                    pick(rng, space_.expansion_choices);
+                const bool se = rng.bernoulli(space_.se_probability);
+                const bool residual =
+                    rng.bernoulli(space_.residual_probability);
+                x = mbconv(b, x, channels, kernel, stride, expansion, se,
+                           act, residual);
+            } else if (kind_r
+                       < space_.p_mbconv + space_.p_dwseparable) {
+                x = dwSeparable(b, x, channels, kernel, stride, act);
+            } else {
+                x = b.convBnAct(x, channels, 3, stride, 1, act);
+            }
+        }
+    }
+
+    // Optional 1x1 head expansion, then classifier.
+    const std::int32_t head = pick(rng, space_.head_channel_choices);
+    if (head > channels)
+        x = b.convBnAct(x, head, 1, 1, 0, pickActivation(rng));
+    x = b.globalAvgPool(x);
+    x = b.fullyConnected(x, space_.num_classes);
+    x = b.softmax(x);
+    return b.build();
+}
+
+Graph
+RandomNetworkGenerator::generate(const std::string &name)
+{
+    for (std::size_t attempt = 0; attempt < space_.max_attempts;
+         ++attempt) {
+        Rng rng = rng_.fork(nextStream_++);
+        Graph g = generateCandidate(name, rng);
+        const double mmacs = megaMacs(g);
+        if (mmacs >= space_.min_mmacs && mmacs <= space_.max_mmacs)
+            return g;
+    }
+    fatal("RandomNetworkGenerator: no candidate within [",
+          space_.min_mmacs, ", ", space_.max_mmacs, "] MMACs after ",
+          space_.max_attempts, " attempts");
+}
+
+std::vector<Graph>
+RandomNetworkGenerator::generateSuite(std::size_t count,
+                                      const std::string &prefix)
+{
+    std::vector<Graph> suite;
+    suite.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::string num = std::to_string(i);
+        while (num.size() < 3)
+            num.insert(num.begin(), '0');
+        suite.push_back(generate(prefix + num));
+    }
+    return suite;
+}
+
+} // namespace gcm::dnn

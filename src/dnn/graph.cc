@@ -1,0 +1,423 @@
+#include "dnn/graph.hh"
+
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace gcm::dnn
+{
+
+namespace
+{
+
+/** Conv / pool spatial output size. Throws on invalid geometry. */
+std::int32_t
+windowOutput(std::int32_t in, std::int32_t kernel, std::int32_t stride,
+             std::int32_t padding, const char *what)
+{
+    if (kernel <= 0 || stride <= 0 || padding < 0)
+        fatal(what, ": invalid window (k=", kernel, ", s=", stride,
+              ", p=", padding, ")");
+    const std::int32_t eff = in + 2 * padding - kernel;
+    if (eff < 0) {
+        fatal(what, ": window larger than padded input (in=", in,
+              ", k=", kernel, ", p=", padding, ")");
+    }
+    return eff / stride + 1;
+}
+
+} // namespace
+
+Graph::Graph(std::string name, std::vector<Node> nodes, Precision precision)
+    : name_(std::move(name)), nodes_(std::move(nodes)),
+      precision_(precision)
+{}
+
+const Node &
+Graph::node(NodeId id) const
+{
+    GCM_ASSERT(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+               "Graph::node: id out of range");
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node &
+Graph::outputNode() const
+{
+    GCM_ASSERT(!nodes_.empty(), "Graph::outputNode: empty graph");
+    return nodes_.back();
+}
+
+const TensorShape &
+Graph::inputShape() const
+{
+    GCM_ASSERT(!nodes_.empty(), "Graph::inputShape: empty graph");
+    return nodes_.front().shape;
+}
+
+void
+Graph::validate() const
+{
+    if (nodes_.empty())
+        fatal("graph '", name_, "': empty");
+    if (nodes_.front().kind != OpKind::Input)
+        fatal("graph '", name_, "': first node must be Input");
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        if (n.id != static_cast<NodeId>(i))
+            fatal("graph '", name_, "': node id mismatch at ", i);
+        if (n.kind == OpKind::Input) {
+            if (i != 0)
+                fatal("graph '", name_, "': interior Input node");
+            if (!n.inputs.empty())
+                fatal("graph '", name_, "': Input with predecessors");
+            continue;
+        }
+        if (n.inputs.empty())
+            fatal("graph '", name_, "': node ", i, " has no inputs");
+        const bool binary = n.kind == OpKind::Add || n.kind == OpKind::Mul;
+        if (binary && n.inputs.size() != 2) {
+            fatal("graph '", name_, "': ", opKindName(n.kind),
+                  " must have 2 inputs");
+        }
+        if (!binary && n.kind != OpKind::Concat && n.inputs.size() != 1) {
+            fatal("graph '", name_, "': ", opKindName(n.kind),
+                  " must have 1 input");
+        }
+        for (NodeId in : n.inputs) {
+            if (in < 0 || in >= n.id) {
+                fatal("graph '", name_,
+                      "': non-topological edge ", in, " -> ", n.id);
+            }
+        }
+    }
+}
+
+std::size_t
+Graph::countKind(OpKind kind) const
+{
+    std::size_t c = 0;
+    for (const auto &n : nodes_) {
+        if (n.kind == kind)
+            ++c;
+    }
+    return c;
+}
+
+std::string
+Graph::str() const
+{
+    std::ostringstream oss;
+    oss << "graph " << name_ << " ("
+        << (precision_ == Precision::Int8 ? "int8" : "fp32") << ", "
+        << nodes_.size() << " nodes)\n";
+    for (const auto &n : nodes_) {
+        oss << "  %" << n.id << " = " << opKindName(n.kind) << "(";
+        for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+            if (i)
+                oss << ", ";
+            oss << "%" << n.inputs[i];
+        }
+        oss << ")";
+        if (opHasWindow(n.kind)) {
+            oss << " k=" << n.params.kernel << " s=" << n.params.stride
+                << " p=" << n.params.padding;
+        }
+        if (n.kind == OpKind::Conv2d && n.params.groups > 1)
+            oss << " g=" << n.params.groups;
+        if (n.params.fused_activation != FusedActivation::None)
+            oss << " act=" << fusedActivationName(n.params.fused_activation);
+        oss << " -> " << n.shape.str() << "\n";
+    }
+    return oss.str();
+}
+
+GraphBuilder::GraphBuilder(std::string name, TensorShape input_shape)
+    : name_(std::move(name))
+{
+    if (input_shape.n != 1) {
+        fatal("GraphBuilder: only batch size 1 is supported (got ",
+              input_shape.n, ")");
+    }
+    if (input_shape.h <= 0 || input_shape.w <= 0 || input_shape.c <= 0)
+        fatal("GraphBuilder: invalid input shape ", input_shape.str());
+    Node in;
+    in.id = 0;
+    in.kind = OpKind::Input;
+    in.shape = input_shape;
+    nodes_.push_back(std::move(in));
+}
+
+const Node &
+GraphBuilder::nodeRef(NodeId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+        fatal("GraphBuilder: node id ", id, " out of range");
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+const TensorShape &
+GraphBuilder::shapeOf(NodeId id) const
+{
+    return nodeRef(id).shape;
+}
+
+NodeId
+GraphBuilder::append(OpKind kind, OpParams params, std::vector<NodeId> ins,
+                     TensorShape shape)
+{
+    GCM_ASSERT(!built_, "GraphBuilder: reuse after build()");
+    Node n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.kind = kind;
+    n.params = params;
+    n.inputs = std::move(ins);
+    n.shape = shape;
+    nodes_.push_back(std::move(n));
+    return nodes_.back().id;
+}
+
+NodeId
+GraphBuilder::conv2d(NodeId in, std::int32_t out_channels,
+                     std::int32_t kernel, std::int32_t stride,
+                     std::int32_t padding, std::int32_t groups)
+{
+    const TensorShape &s = shapeOf(in);
+    if (out_channels <= 0)
+        fatal("conv2d: out_channels must be positive");
+    if (groups <= 0 || s.c % groups != 0 || out_channels % groups != 0) {
+        fatal("conv2d: groups=", groups, " must divide in_c=", s.c,
+              " and out_c=", out_channels);
+    }
+    TensorShape out = s;
+    out.h = windowOutput(s.h, kernel, stride, padding, "conv2d");
+    out.w = windowOutput(s.w, kernel, stride, padding, "conv2d");
+    out.c = out_channels;
+    OpParams p;
+    p.kernel = kernel;
+    p.stride = stride;
+    p.padding = padding;
+    p.out_channels = out_channels;
+    p.groups = groups;
+    return append(OpKind::Conv2d, p, {in}, out);
+}
+
+NodeId
+GraphBuilder::depthwiseConv2d(NodeId in, std::int32_t kernel,
+                              std::int32_t stride, std::int32_t padding)
+{
+    const TensorShape &s = shapeOf(in);
+    TensorShape out = s;
+    out.h = windowOutput(s.h, kernel, stride, padding, "depthwiseConv2d");
+    out.w = windowOutput(s.w, kernel, stride, padding, "depthwiseConv2d");
+    OpParams p;
+    p.kernel = kernel;
+    p.stride = stride;
+    p.padding = padding;
+    p.out_channels = s.c;
+    p.groups = s.c;
+    return append(OpKind::DepthwiseConv2d, p, {in}, out);
+}
+
+NodeId
+GraphBuilder::fullyConnected(NodeId in, std::int32_t out_features)
+{
+    if (out_features <= 0)
+        fatal("fullyConnected: out_features must be positive");
+    const TensorShape &s = shapeOf(in);
+    TensorShape out{1, 1, 1, out_features};
+    OpParams p;
+    p.out_channels = out_features;
+    // The flattened input width is s.elements(); recorded implicitly
+    // via the producer's shape.
+    (void)s;
+    return append(OpKind::FullyConnected, p, {in}, out);
+}
+
+NodeId
+GraphBuilder::maxPool2d(NodeId in, std::int32_t kernel, std::int32_t stride,
+                        std::int32_t padding)
+{
+    const TensorShape &s = shapeOf(in);
+    TensorShape out = s;
+    out.h = windowOutput(s.h, kernel, stride, padding, "maxPool2d");
+    out.w = windowOutput(s.w, kernel, stride, padding, "maxPool2d");
+    OpParams p;
+    p.kernel = kernel;
+    p.stride = stride;
+    p.padding = padding;
+    return append(OpKind::MaxPool2d, p, {in}, out);
+}
+
+NodeId
+GraphBuilder::avgPool2d(NodeId in, std::int32_t kernel, std::int32_t stride,
+                        std::int32_t padding)
+{
+    const TensorShape &s = shapeOf(in);
+    TensorShape out = s;
+    out.h = windowOutput(s.h, kernel, stride, padding, "avgPool2d");
+    out.w = windowOutput(s.w, kernel, stride, padding, "avgPool2d");
+    OpParams p;
+    p.kernel = kernel;
+    p.stride = stride;
+    p.padding = padding;
+    return append(OpKind::AvgPool2d, p, {in}, out);
+}
+
+NodeId
+GraphBuilder::globalAvgPool(NodeId in)
+{
+    const TensorShape &s = shapeOf(in);
+    TensorShape out{1, 1, 1, s.c};
+    OpParams p;
+    p.kernel = s.h; // informative: window spans the input
+    p.stride = 1;
+    return append(OpKind::GlobalAvgPool, p, {in}, out);
+}
+
+NodeId
+GraphBuilder::add(NodeId a, NodeId b)
+{
+    const TensorShape &sa = shapeOf(a);
+    const TensorShape &sb = shapeOf(b);
+    if (!(sa == sb)) {
+        fatal("add: shape mismatch ", sa.str(), " vs ", sb.str(),
+              " in graph '", name_, "'");
+    }
+    return append(OpKind::Add, {}, {a, b}, sa);
+}
+
+NodeId
+GraphBuilder::mul(NodeId a, NodeId b)
+{
+    const TensorShape &sa = shapeOf(a);
+    const TensorShape &sb = shapeOf(b);
+    const bool broadcast = sb.h == 1 && sb.w == 1 && sb.c == sa.c;
+    if (!(sa == sb) && !broadcast) {
+        fatal("mul: shapes not multiplicable ", sa.str(), " vs ",
+              sb.str());
+    }
+    return append(OpKind::Mul, {}, {a, b}, sa);
+}
+
+NodeId
+GraphBuilder::concat(const std::vector<NodeId> &ins)
+{
+    if (ins.size() < 2)
+        fatal("concat: needs at least 2 inputs");
+    TensorShape out = shapeOf(ins[0]);
+    std::int32_t c = 0;
+    for (NodeId id : ins) {
+        const TensorShape &s = shapeOf(id);
+        if (s.h != out.h || s.w != out.w) {
+            fatal("concat: spatial mismatch ", s.str(), " vs ",
+                  out.str());
+        }
+        c += s.c;
+    }
+    out.c = c;
+    return append(OpKind::Concat, {}, ins, out);
+}
+
+NodeId
+GraphBuilder::relu(NodeId in)
+{
+    return append(OpKind::ReLU, {}, {in}, shapeOf(in));
+}
+
+NodeId
+GraphBuilder::relu6(NodeId in)
+{
+    return append(OpKind::ReLU6, {}, {in}, shapeOf(in));
+}
+
+NodeId
+GraphBuilder::hswish(NodeId in)
+{
+    return append(OpKind::HSwish, {}, {in}, shapeOf(in));
+}
+
+NodeId
+GraphBuilder::sigmoid(NodeId in)
+{
+    return append(OpKind::Sigmoid, {}, {in}, shapeOf(in));
+}
+
+NodeId
+GraphBuilder::batchNorm(NodeId in)
+{
+    return append(OpKind::BatchNorm, {}, {in}, shapeOf(in));
+}
+
+NodeId
+GraphBuilder::softmax(NodeId in)
+{
+    return append(OpKind::Softmax, {}, {in}, shapeOf(in));
+}
+
+NodeId
+GraphBuilder::channelShuffle(NodeId in, std::int32_t groups)
+{
+    const TensorShape &s = shapeOf(in);
+    if (groups <= 0 || s.c % groups != 0) {
+        fatal("channelShuffle: groups=", groups,
+              " must divide channels=", s.c);
+    }
+    OpParams p;
+    p.groups = groups;
+    return append(OpKind::ChannelShuffle, p, {in}, s);
+}
+
+NodeId
+GraphBuilder::convBnAct(NodeId in, std::int32_t out_channels,
+                        std::int32_t kernel, std::int32_t stride,
+                        std::int32_t padding, OpKind activation,
+                        std::int32_t groups)
+{
+    NodeId x = conv2d(in, out_channels, kernel, stride, padding, groups);
+    x = batchNorm(x);
+    if (activation == OpKind::NumKinds)
+        return x; // linear (no activation), e.g. MBConv projection
+    if (!opIsActivation(activation))
+        fatal("convBnAct: not an activation kind");
+    return append(activation, {}, {x}, shapeOf(x));
+}
+
+NodeId
+GraphBuilder::dwBnAct(NodeId in, std::int32_t kernel, std::int32_t stride,
+                      std::int32_t padding, OpKind activation)
+{
+    NodeId x = depthwiseConv2d(in, kernel, stride, padding);
+    x = batchNorm(x);
+    if (activation == OpKind::NumKinds)
+        return x;
+    if (!opIsActivation(activation))
+        fatal("dwBnAct: not an activation kind");
+    return append(activation, {}, {x}, shapeOf(x));
+}
+
+NodeId
+GraphBuilder::squeezeExcite(NodeId in, std::int32_t reduction)
+{
+    const TensorShape &s = shapeOf(in);
+    const std::int32_t squeezed =
+        std::max<std::int32_t>(s.c / reduction, 8);
+    NodeId g = globalAvgPool(in);
+    NodeId f1 = fullyConnected(g, squeezed);
+    NodeId a1 = relu(f1);
+    NodeId f2 = fullyConnected(a1, s.c);
+    NodeId a2 = sigmoid(f2);
+    return mul(in, a2);
+}
+
+Graph
+GraphBuilder::build()
+{
+    GCM_ASSERT(!built_, "GraphBuilder: build() called twice");
+    built_ = true;
+    Graph g(std::move(name_), std::move(nodes_), Precision::Float32);
+    g.validate();
+    return g;
+}
+
+} // namespace gcm::dnn

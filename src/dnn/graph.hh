@@ -1,0 +1,151 @@
+/**
+ * @file
+ * DNN graph intermediate representation.
+ *
+ * A Graph is a DAG of operator nodes in topological order (guaranteed
+ * by construction through GraphBuilder). Shape inference runs as nodes
+ * are appended, so every node carries its resolved output shape.
+ */
+
+#ifndef GCM_DNN_GRAPH_HH
+#define GCM_DNN_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/op.hh"
+#include "dnn/tensor.hh"
+
+namespace gcm::dnn
+{
+
+/** Identifier of a node within its graph. */
+using NodeId = std::int32_t;
+
+/** One operator instance. */
+struct Node
+{
+    NodeId id = -1;
+    OpKind kind = OpKind::Input;
+    OpParams params;
+    /** Producer nodes, in argument order. */
+    std::vector<NodeId> inputs;
+    /** Output shape, resolved at construction. */
+    TensorShape shape;
+};
+
+/** Numeric precision the graph is lowered to. */
+enum class Precision : std::uint8_t
+{
+    Float32,
+    Int8, // after TFLite-style post-training quantization
+};
+
+/** An immutable-ish DNN model graph. */
+class Graph
+{
+  public:
+    Graph() = default;
+    Graph(std::string name, std::vector<Node> nodes, Precision precision);
+
+    const std::string &name() const { return name_; }
+    Precision precision() const { return precision_; }
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    const Node &node(NodeId id) const;
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    /** The graph output is the last node by convention. */
+    const Node &outputNode() const;
+
+    /** Input shape (shape of node 0). */
+    const TensorShape &inputShape() const;
+
+    /**
+     * Structural validation: ids match positions, inputs reference
+     * earlier nodes, arities and shape rules hold. Throws GcmError.
+     */
+    void validate() const;
+
+    /** Count nodes of a given kind. */
+    std::size_t countKind(OpKind kind) const;
+
+    /** Human-readable multi-line dump. */
+    std::string str() const;
+
+  private:
+    std::string name_;
+    std::vector<Node> nodes_;
+    Precision precision_ = Precision::Float32;
+};
+
+/**
+ * Incremental graph construction with shape inference.
+ *
+ * All builder methods return the NodeId of the appended node and throw
+ * GcmError for invalid parameters (non-positive kernels, mismatched
+ * elementwise shapes, indivisible group counts, ...).
+ */
+class GraphBuilder
+{
+  public:
+    GraphBuilder(std::string name, TensorShape input_shape);
+
+    /** Id of the input node (always 0). */
+    NodeId input() const { return 0; }
+
+    NodeId conv2d(NodeId in, std::int32_t out_channels,
+                  std::int32_t kernel, std::int32_t stride,
+                  std::int32_t padding, std::int32_t groups = 1);
+    NodeId depthwiseConv2d(NodeId in, std::int32_t kernel,
+                           std::int32_t stride, std::int32_t padding);
+    NodeId fullyConnected(NodeId in, std::int32_t out_features);
+    NodeId maxPool2d(NodeId in, std::int32_t kernel, std::int32_t stride,
+                     std::int32_t padding = 0);
+    NodeId avgPool2d(NodeId in, std::int32_t kernel, std::int32_t stride,
+                     std::int32_t padding = 0);
+    NodeId globalAvgPool(NodeId in);
+    NodeId add(NodeId a, NodeId b);
+    /** Elementwise multiply; b may be a (1,1,1,C) per-channel scale. */
+    NodeId mul(NodeId a, NodeId b);
+    NodeId concat(const std::vector<NodeId> &ins);
+    NodeId relu(NodeId in);
+    NodeId relu6(NodeId in);
+    NodeId hswish(NodeId in);
+    NodeId sigmoid(NodeId in);
+    NodeId batchNorm(NodeId in);
+    NodeId softmax(NodeId in);
+    /** ShuffleNet-style channel shuffle. @pre groups divides C. */
+    NodeId channelShuffle(NodeId in, std::int32_t groups);
+
+    /** Convenience: Conv2d + BatchNorm (+ activation node). */
+    NodeId convBnAct(NodeId in, std::int32_t out_channels,
+                     std::int32_t kernel, std::int32_t stride,
+                     std::int32_t padding, OpKind activation,
+                     std::int32_t groups = 1);
+    /** Convenience: DepthwiseConv2d + BatchNorm (+ activation node). */
+    NodeId dwBnAct(NodeId in, std::int32_t kernel, std::int32_t stride,
+                   std::int32_t padding, OpKind activation);
+    /** Squeeze-and-excite block; returns the rescaled tensor. */
+    NodeId squeezeExcite(NodeId in, std::int32_t reduction = 4);
+
+    /** Shape of an already-built node. */
+    const TensorShape &shapeOf(NodeId id) const;
+
+    /** Finalize: validates and returns the graph (builder is spent). */
+    Graph build();
+
+  private:
+    NodeId append(OpKind kind, OpParams params, std::vector<NodeId> ins,
+                  TensorShape shape);
+    const Node &nodeRef(NodeId id) const;
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    bool built_ = false;
+};
+
+} // namespace gcm::dnn
+
+#endif // GCM_DNN_GRAPH_HH

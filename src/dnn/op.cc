@@ -1,0 +1,105 @@
+#include "dnn/op.hh"
+
+#include "util/error.hh"
+
+namespace gcm::dnn
+{
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Input: return "Input";
+      case OpKind::Conv2d: return "Conv2d";
+      case OpKind::DepthwiseConv2d: return "DepthwiseConv2d";
+      case OpKind::FullyConnected: return "FullyConnected";
+      case OpKind::MaxPool2d: return "MaxPool2d";
+      case OpKind::AvgPool2d: return "AvgPool2d";
+      case OpKind::GlobalAvgPool: return "GlobalAvgPool";
+      case OpKind::Add: return "Add";
+      case OpKind::Mul: return "Mul";
+      case OpKind::Concat: return "Concat";
+      case OpKind::ReLU: return "ReLU";
+      case OpKind::ReLU6: return "ReLU6";
+      case OpKind::HSwish: return "HSwish";
+      case OpKind::Sigmoid: return "Sigmoid";
+      case OpKind::BatchNorm: return "BatchNorm";
+      case OpKind::Softmax: return "Softmax";
+      case OpKind::ChannelShuffle: return "ChannelShuffle";
+      default: break;
+    }
+    GCM_ASSERT(false, "opKindName: invalid kind");
+    return "?";
+}
+
+bool
+opHasWindow(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Conv2d:
+      case OpKind::DepthwiseConv2d:
+      case OpKind::MaxPool2d:
+      case OpKind::AvgPool2d:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opHasWeights(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Conv2d:
+      case OpKind::DepthwiseConv2d:
+      case OpKind::FullyConnected:
+      case OpKind::BatchNorm:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opIsActivation(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::ReLU:
+      case OpKind::ReLU6:
+      case OpKind::HSwish:
+      case OpKind::Sigmoid:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+fusedActivationName(FusedActivation act)
+{
+    switch (act) {
+      case FusedActivation::None: return "none";
+      case FusedActivation::ReLU: return "relu";
+      case FusedActivation::ReLU6: return "relu6";
+      case FusedActivation::HSwish: return "hswish";
+      case FusedActivation::Sigmoid: return "sigmoid";
+    }
+    GCM_ASSERT(false, "fusedActivationName: invalid value");
+    return "?";
+}
+
+FusedActivation
+toFusedActivation(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::ReLU: return FusedActivation::ReLU;
+      case OpKind::ReLU6: return FusedActivation::ReLU6;
+      case OpKind::HSwish: return FusedActivation::HSwish;
+      case OpKind::Sigmoid: return FusedActivation::Sigmoid;
+      default: break;
+    }
+    GCM_ASSERT(false, "toFusedActivation: not an activation");
+    return FusedActivation::None;
+}
+
+} // namespace gcm::dnn

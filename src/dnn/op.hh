@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Operator vocabulary of the DNN intermediate representation.
+ *
+ * The set mirrors what TFLite sees after converting the paper's
+ * PyTorch networks: convolutions (grouped/depthwise), fully-connected,
+ * pooling, elementwise arithmetic (skip connections,
+ * squeeze-and-excite scaling), activations, batch-norm (pre-fusion),
+ * concat and softmax.
+ */
+
+#ifndef GCM_DNN_OP_HH
+#define GCM_DNN_OP_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gcm::dnn
+{
+
+/** Operator kinds representable in a Graph. */
+enum class OpKind : std::uint8_t
+{
+    Input = 0,
+    Conv2d,
+    DepthwiseConv2d,
+    FullyConnected,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool,
+    Add,
+    Mul,
+    Concat,
+    ReLU,
+    ReLU6,
+    HSwish,
+    Sigmoid,
+    BatchNorm,
+    Softmax,
+    ChannelShuffle,
+    NumKinds // sentinel; keep last
+};
+
+/** Number of operator kinds (excluding the sentinel). */
+constexpr std::size_t kNumOpKinds =
+    static_cast<std::size_t>(OpKind::NumKinds);
+
+/** Stable display name of an operator kind. */
+const char *opKindName(OpKind kind);
+
+/** True for kinds with kernel/stride/padding parameters. */
+bool opHasWindow(OpKind kind);
+
+/** True for kinds carrying trainable weights. */
+bool opHasWeights(OpKind kind);
+
+/** True for pure activation functions. */
+bool opIsActivation(OpKind kind);
+
+/**
+ * Activation fused into a producing op after the TFLite-style
+ * quantization/fusion pass.
+ */
+enum class FusedActivation : std::uint8_t
+{
+    None = 0,
+    ReLU,
+    ReLU6,
+    HSwish,
+    Sigmoid,
+};
+
+/** Display name of a fused activation. */
+const char *fusedActivationName(FusedActivation act);
+
+/** Map an activation OpKind to its fused form. @pre opIsActivation */
+FusedActivation toFusedActivation(OpKind kind);
+
+/** Parameters attached to a node; fields unused by a kind stay 0/1. */
+struct OpParams
+{
+    /** Square kernel / pooling window size. */
+    std::int32_t kernel = 0;
+    std::int32_t stride = 1;
+    /** Symmetric spatial padding. */
+    std::int32_t padding = 0;
+    /** Output channels for conv/fc; 0 = same as input. */
+    std::int32_t out_channels = 0;
+    /** Grouped convolution factor (Conv2d only). */
+    std::int32_t groups = 1;
+    /** Activation fused into this op (set by the fusion pass). */
+    FusedActivation fused_activation = FusedActivation::None;
+
+    bool operator==(const OpParams &) const = default;
+};
+
+} // namespace gcm::dnn
+
+#endif // GCM_DNN_OP_HH

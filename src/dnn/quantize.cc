@@ -1,0 +1,78 @@
+#include "dnn/quantize.hh"
+
+#include <vector>
+
+#include "util/error.hh"
+
+namespace gcm::dnn
+{
+
+Graph
+quantize(const Graph &graph)
+{
+    graph.validate();
+    const auto &nodes = graph.nodes();
+
+    // Consumer counts in the original graph; a node is fusable into
+    // its producer only when that producer feeds nothing else.
+    std::vector<std::size_t> consumers(nodes.size(), 0);
+    for (const auto &n : nodes) {
+        for (NodeId in : n.inputs)
+            ++consumers[static_cast<std::size_t>(in)];
+    }
+
+    std::vector<Node> out;
+    out.reserve(nodes.size());
+    // remap[old id] -> new id of the node now producing that value.
+    std::vector<NodeId> remap(nodes.size(), -1);
+    // exclusive[new id]: every original node aliased onto this new node
+    // has at most one consumer, so absorbing further ops is safe.
+    std::vector<bool> exclusive;
+
+    auto fusable_producer = [](OpKind k) {
+        return k == OpKind::Conv2d || k == OpKind::DepthwiseConv2d
+            || k == OpKind::FullyConnected || k == OpKind::Add;
+    };
+
+    for (const auto &n : nodes) {
+        const std::size_t oid = static_cast<std::size_t>(n.id);
+        if (n.kind == OpKind::BatchNorm) {
+            // Folded into the producing convolution: structurally an
+            // identity once weights are merged.
+            const auto new_prod = static_cast<std::size_t>(
+                remap[static_cast<std::size_t>(n.inputs[0])]);
+            remap[oid] = static_cast<NodeId>(new_prod);
+            if (consumers[oid] > 1)
+                exclusive[new_prod] = false;
+            continue;
+        }
+        if (n.kind == OpKind::ReLU || n.kind == OpKind::ReLU6) {
+            const auto new_prod = static_cast<std::size_t>(
+                remap[static_cast<std::size_t>(n.inputs[0])]);
+            Node &prod = out[new_prod];
+            if (exclusive[new_prod] && fusable_producer(prod.kind)
+                && prod.params.fused_activation == FusedActivation::None) {
+                prod.params.fused_activation = toFusedActivation(n.kind);
+                remap[oid] = static_cast<NodeId>(new_prod);
+                if (consumers[oid] > 1)
+                    exclusive[new_prod] = false;
+                continue;
+            }
+        }
+        Node copy = n;
+        copy.id = static_cast<NodeId>(out.size());
+        for (auto &in : copy.inputs) {
+            in = remap[static_cast<std::size_t>(in)];
+            GCM_ASSERT(in >= 0, "quantize: dangling input after fold");
+        }
+        remap[oid] = copy.id;
+        out.push_back(std::move(copy));
+        exclusive.push_back(consumers[oid] <= 1);
+    }
+
+    Graph q(graph.name(), std::move(out), Precision::Int8);
+    q.validate();
+    return q;
+}
+
+} // namespace gcm::dnn

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * TFLite-style post-training quantization of a graph.
+ *
+ * Mirrors what the paper's pipeline does before deployment: the
+ * converter folds BatchNorm into the preceding convolution and fuses
+ * ReLU / ReLU6 into their single-consumer producer op, then lowers all
+ * tensors to int8. The pass operates purely on graph structure (this
+ * project never materializes weights numerically).
+ */
+
+#ifndef GCM_DNN_QUANTIZE_HH
+#define GCM_DNN_QUANTIZE_HH
+
+#include "dnn/graph.hh"
+
+namespace gcm::dnn
+{
+
+/**
+ * Produce the int8 deployment graph:
+ *  - BatchNorm nodes are folded away (their consumers rewire to the
+ *    BatchNorm's producer);
+ *  - ReLU / ReLU6 nodes whose producer chain has a single consumer are
+ *    fused into Conv2d / DepthwiseConv2d / FullyConnected / Add;
+ *  - the result is marked Precision::Int8.
+ *
+ * HSwish and Sigmoid remain standalone ops, matching TFLite.
+ */
+Graph quantize(const Graph &graph);
+
+} // namespace gcm::dnn
+
+#endif // GCM_DNN_QUANTIZE_HH

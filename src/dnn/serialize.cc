@@ -1,0 +1,158 @@
+#include "dnn/serialize.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace gcm::dnn
+{
+
+void
+serializeGraph(const Graph &graph, std::ostream &os)
+{
+    graph.validate();
+    if (graph.name().find_first_of(" \t\n") != std::string::npos)
+        fatal("serializeGraph: graph name contains whitespace: ",
+              graph.name());
+    os << "gcm-graph v1\n";
+    os << "name " << graph.name() << "\n";
+    os << "precision "
+       << (graph.precision() == Precision::Int8 ? "int8" : "fp32")
+       << "\n";
+    os << "nodes " << graph.numNodes() << "\n";
+    for (const auto &n : graph.nodes()) {
+        os << "node " << n.id << ' ' << opKindName(n.kind)
+           << " k=" << n.params.kernel << " s=" << n.params.stride
+           << " p=" << n.params.padding << " oc=" << n.params.out_channels
+           << " g=" << n.params.groups << " act="
+           << static_cast<int>(n.params.fused_activation) << " in=";
+        if (n.inputs.empty()) {
+            os << '-';
+        } else {
+            for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+                if (i)
+                    os << ',';
+                os << n.inputs[i];
+            }
+        }
+        os << " shape=" << n.shape.n << ',' << n.shape.h << ','
+           << n.shape.w << ',' << n.shape.c << "\n";
+    }
+}
+
+std::string
+graphToText(const Graph &graph)
+{
+    std::ostringstream oss;
+    serializeGraph(graph, oss);
+    return oss.str();
+}
+
+namespace
+{
+
+OpKind
+kindFromName(const std::string &name)
+{
+    for (std::size_t k = 0; k < kNumOpKinds; ++k) {
+        const auto kind = static_cast<OpKind>(k);
+        if (name == opKindName(kind))
+            return kind;
+    }
+    fatal("deserializeGraph: unknown operator '", name, "'");
+}
+
+/** Parse "key=value", checking the key. */
+std::string
+expectField(std::istringstream &iss, const std::string &key)
+{
+    std::string token;
+    if (!(iss >> token) || token.rfind(key + "=", 0) != 0)
+        fatal("deserializeGraph: expected field '", key, "='");
+    return token.substr(key.size() + 1);
+}
+
+} // namespace
+
+Graph
+deserializeGraph(std::istream &is)
+{
+    std::string magic, version, tag;
+    if (!(is >> magic >> version) || magic != "gcm-graph"
+        || version != "v1") {
+        fatal("deserializeGraph: bad header (expected 'gcm-graph v1')");
+    }
+    std::string name;
+    if (!(is >> tag >> name) || tag != "name")
+        fatal("deserializeGraph: missing name");
+    std::string precision_str;
+    if (!(is >> tag >> precision_str) || tag != "precision"
+        || (precision_str != "fp32" && precision_str != "int8")) {
+        fatal("deserializeGraph: missing/invalid precision");
+    }
+    std::size_t count = 0;
+    if (!(is >> tag >> count) || tag != "nodes" || count == 0)
+        fatal("deserializeGraph: missing node count");
+
+    is.ignore(); // consume the newline before per-line parsing
+    std::vector<Node> nodes;
+    nodes.reserve(count);
+    std::string line;
+    while (nodes.size() < count && std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream iss(line);
+        std::string node_tag, kind_name;
+        Node n;
+        if (!(iss >> node_tag >> n.id >> kind_name)
+            || node_tag != "node") {
+            fatal("deserializeGraph: malformed node line: ", line);
+        }
+        n.kind = kindFromName(kind_name);
+        n.params.kernel =
+            std::stoi(expectField(iss, "k"));
+        n.params.stride = std::stoi(expectField(iss, "s"));
+        n.params.padding = std::stoi(expectField(iss, "p"));
+        n.params.out_channels = std::stoi(expectField(iss, "oc"));
+        n.params.groups = std::stoi(expectField(iss, "g"));
+        const int act = std::stoi(expectField(iss, "act"));
+        if (act < 0 || act > static_cast<int>(FusedActivation::Sigmoid))
+            fatal("deserializeGraph: invalid fused activation ", act);
+        n.params.fused_activation = static_cast<FusedActivation>(act);
+        const std::string ins = expectField(iss, "in");
+        if (ins != "-") {
+            std::istringstream ins_ss(ins);
+            std::string id;
+            while (std::getline(ins_ss, id, ','))
+                n.inputs.push_back(std::stoi(id));
+        }
+        const std::string shape = expectField(iss, "shape");
+        std::istringstream shape_ss(shape);
+        char comma;
+        if (!(shape_ss >> n.shape.n >> comma >> n.shape.h >> comma
+              >> n.shape.w >> comma >> n.shape.c)) {
+            fatal("deserializeGraph: malformed shape: ", shape);
+        }
+        nodes.push_back(std::move(n));
+    }
+    if (nodes.size() != count)
+        fatal("deserializeGraph: truncated stream (", nodes.size(),
+              " of ", count, " nodes)");
+
+    Graph g(name, std::move(nodes),
+            precision_str == "int8" ? Precision::Int8
+                                    : Precision::Float32);
+    g.validate();
+    return g;
+}
+
+Graph
+graphFromText(const std::string &text)
+{
+    std::istringstream iss(text);
+    return deserializeGraph(iss);
+}
+
+} // namespace gcm::dnn

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text serialization of DNN graphs ("gcm-graph v1").
+ *
+ * One node per line in topological order:
+ *
+ *   gcm-graph v1
+ *   name <graph-name>
+ *   precision fp32|int8
+ *   nodes <count>
+ *   node <id> <kind> k=<kernel> s=<stride> p=<pad> oc=<out_c>
+ *        g=<groups> act=<fused> in=<id,id,...> shape=<n,h,w,c>
+ *   ...
+ *
+ * The format round-trips exactly (shapes are stored, then re-checked
+ * against the stored structure on load via Graph::validate()).
+ */
+
+#ifndef GCM_DNN_SERIALIZE_HH
+#define GCM_DNN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "dnn/graph.hh"
+
+namespace gcm::dnn
+{
+
+/** Write a graph to a stream in the gcm-graph v1 format. */
+void serializeGraph(const Graph &graph, std::ostream &os);
+
+/** Convenience: serialize to a string. */
+std::string graphToText(const Graph &graph);
+
+/** Parse a graph written by serializeGraph(). Throws GcmError. */
+Graph deserializeGraph(std::istream &is);
+
+/** Convenience: parse from a string. */
+Graph graphFromText(const std::string &text);
+
+} // namespace gcm::dnn
+
+#endif // GCM_DNN_SERIALIZE_HH

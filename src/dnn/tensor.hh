@@ -1,0 +1,41 @@
+/**
+ * @file
+ * NHWC tensor shapes flowing along graph edges.
+ */
+
+#ifndef GCM_DNN_TENSOR_HH
+#define GCM_DNN_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gcm::dnn
+{
+
+/** Static NHWC shape; batch is always 1 in this project. */
+struct TensorShape
+{
+    std::int32_t n = 1;
+    std::int32_t h = 1;
+    std::int32_t w = 1;
+    std::int32_t c = 1;
+
+    std::int64_t
+    elements() const
+    {
+        return static_cast<std::int64_t>(n) * h * w * c;
+    }
+
+    bool operator==(const TensorShape &) const = default;
+
+    std::string
+    str() const
+    {
+        return "[" + std::to_string(n) + "," + std::to_string(h) + ","
+            + std::to_string(w) + "," + std::to_string(c) + "]";
+    }
+};
+
+} // namespace gcm::dnn
+
+#endif // GCM_DNN_TENSOR_HH

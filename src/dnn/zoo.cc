@@ -1,0 +1,574 @@
+#include "dnn/zoo.hh"
+
+#include <functional>
+#include <map>
+
+#include "dnn/generator.hh"
+#include "util/error.hh"
+
+namespace gcm::dnn
+{
+
+namespace
+{
+
+constexpr TensorShape kImageNetInput{1, 224, 224, 3};
+
+/**
+ * Inverted bottleneck with an absolute expanded width (MobileNetV3 /
+ * MnasNet convention). A residual is added when the geometry allows.
+ */
+NodeId
+mbconvAbs(GraphBuilder &b, NodeId x, std::int32_t expanded_c,
+          std::int32_t out_c, std::int32_t kernel, std::int32_t stride,
+          bool use_se, OpKind act)
+{
+    const std::int32_t in_c = b.shapeOf(x).c;
+    NodeId y = x;
+    if (expanded_c != in_c)
+        y = b.convBnAct(y, expanded_c, 1, 1, 0, act);
+    y = b.dwBnAct(y, kernel, stride, kernel / 2, act);
+    if (use_se)
+        y = b.squeezeExcite(y);
+    y = b.convBnAct(y, out_c, 1, 1, 0, OpKind::NumKinds);
+    if (stride == 1 && in_c == out_c)
+        y = b.add(x, y);
+    return y;
+}
+
+/** Inverted bottleneck with a relative expansion ratio. */
+NodeId
+mbconv(GraphBuilder &b, NodeId x, std::int32_t expansion,
+       std::int32_t out_c, std::int32_t kernel, std::int32_t stride,
+       bool use_se, OpKind act)
+{
+    return mbconvAbs(b, x, b.shapeOf(x).c * expansion, out_c, kernel,
+                     stride, use_se, act);
+}
+
+/** One row of an MBConv-style stage table. */
+struct MbStage
+{
+    std::int32_t expansion;
+    std::int32_t channels;
+    std::int32_t repeats;
+    std::int32_t stride;
+    std::int32_t kernel;
+    bool se;
+};
+
+NodeId
+mbStages(GraphBuilder &b, NodeId x, const std::vector<MbStage> &stages,
+         OpKind act, double width = 1.0)
+{
+    for (const auto &st : stages) {
+        const std::int32_t c = width == 1.0
+            ? st.channels
+            : roundChannels(st.channels * width);
+        for (std::int32_t i = 0; i < st.repeats; ++i) {
+            x = mbconv(b, x, st.expansion, c, st.kernel,
+                       i == 0 ? st.stride : 1, st.se, act);
+        }
+    }
+    return x;
+}
+
+NodeId
+classifierHead(GraphBuilder &b, NodeId x, std::int32_t head_channels,
+               OpKind act, std::int32_t classes = 1000)
+{
+    if (head_channels > 0)
+        x = b.convBnAct(x, head_channels, 1, 1, 0, act);
+    x = b.globalAvgPool(x);
+    x = b.fullyConnected(x, classes);
+    return b.softmax(x);
+}
+
+Graph
+mobileNetV1(const std::string &name, double width)
+{
+    GraphBuilder b(name, kImageNetInput);
+    const OpKind act = OpKind::ReLU6;
+    auto ch = [width](std::int32_t c) { return roundChannels(c * width); };
+    NodeId x = b.convBnAct(b.input(), ch(32), 3, 2, 1, act);
+    const std::vector<std::pair<std::int32_t, std::int32_t>> blocks = {
+        {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},
+        {512, 2}, {512, 1}, {512, 1}, {512, 1},  {512, 1},
+        {512, 1}, {1024, 2}, {1024, 1},
+    };
+    for (const auto &[c, s] : blocks) {
+        x = b.dwBnAct(x, 3, s, 1, act);
+        x = b.convBnAct(x, ch(c), 1, 1, 0, act);
+    }
+    x = b.globalAvgPool(x);
+    x = b.fullyConnected(x, 1000);
+    b.softmax(x);
+    return b.build();
+}
+
+Graph
+mobileNetV2(const std::string &name, double width)
+{
+    GraphBuilder b(name, kImageNetInput);
+    const OpKind act = OpKind::ReLU6;
+    NodeId x = b.convBnAct(b.input(), roundChannels(32 * width), 3, 2, 1,
+                           act);
+    const std::vector<MbStage> stages = {
+        {1, 16, 1, 1, 3, false},  {6, 24, 2, 2, 3, false},
+        {6, 32, 3, 2, 3, false},  {6, 64, 4, 2, 3, false},
+        {6, 96, 3, 1, 3, false},  {6, 160, 3, 2, 3, false},
+        {6, 320, 1, 1, 3, false},
+    };
+    x = mbStages(b, x, stages, act, width);
+    const std::int32_t head =
+        width > 1.0 ? roundChannels(1280 * width) : 1280;
+    classifierHead(b, x, head, act);
+    return b.build();
+}
+
+Graph
+mobileNetV3Large()
+{
+    GraphBuilder b("mobilenet_v3_large", kImageNetInput);
+    const OpKind re = OpKind::ReLU;
+    const OpKind hs = OpKind::HSwish;
+    NodeId x = b.convBnAct(b.input(), 16, 3, 2, 1, hs);
+    struct Row
+    {
+        std::int32_t k, exp, out;
+        bool se;
+        OpKind act;
+        std::int32_t s;
+    };
+    const std::vector<Row> rows = {
+        {3, 16, 16, false, re, 1},   {3, 64, 24, false, re, 2},
+        {3, 72, 24, false, re, 1},   {5, 72, 40, true, re, 2},
+        {5, 120, 40, true, re, 1},   {5, 120, 40, true, re, 1},
+        {3, 240, 80, false, hs, 2},  {3, 200, 80, false, hs, 1},
+        {3, 184, 80, false, hs, 1},  {3, 184, 80, false, hs, 1},
+        {3, 480, 112, true, hs, 1},  {3, 672, 112, true, hs, 1},
+        {5, 672, 160, true, hs, 2},  {5, 960, 160, true, hs, 1},
+        {5, 960, 160, true, hs, 1},
+    };
+    for (const auto &r : rows)
+        x = mbconvAbs(b, x, r.exp, r.out, r.k, r.s, r.se, r.act);
+    x = b.convBnAct(x, 960, 1, 1, 0, hs);
+    x = b.globalAvgPool(x);
+    x = b.fullyConnected(x, 1280);
+    x = b.hswish(x);
+    x = b.fullyConnected(x, 1000);
+    b.softmax(x);
+    return b.build();
+}
+
+Graph
+mobileNetV3Small()
+{
+    GraphBuilder b("mobilenet_v3_small", kImageNetInput);
+    const OpKind re = OpKind::ReLU;
+    const OpKind hs = OpKind::HSwish;
+    NodeId x = b.convBnAct(b.input(), 16, 3, 2, 1, hs);
+    struct Row
+    {
+        std::int32_t k, exp, out;
+        bool se;
+        OpKind act;
+        std::int32_t s;
+    };
+    const std::vector<Row> rows = {
+        {3, 16, 16, true, re, 2},   {3, 72, 24, false, re, 2},
+        {3, 88, 24, false, re, 1},  {5, 96, 40, true, hs, 2},
+        {5, 240, 40, true, hs, 1},  {5, 240, 40, true, hs, 1},
+        {5, 120, 48, true, hs, 1},  {5, 144, 48, true, hs, 1},
+        {5, 288, 96, true, hs, 2},  {5, 576, 96, true, hs, 1},
+        {5, 576, 96, true, hs, 1},
+    };
+    for (const auto &r : rows)
+        x = mbconvAbs(b, x, r.exp, r.out, r.k, r.s, r.se, r.act);
+    x = b.convBnAct(x, 576, 1, 1, 0, hs);
+    x = b.globalAvgPool(x);
+    x = b.fullyConnected(x, 1024);
+    x = b.hswish(x);
+    x = b.fullyConnected(x, 1000);
+    b.softmax(x);
+    return b.build();
+}
+
+NodeId
+fire(GraphBuilder &b, NodeId x, std::int32_t squeeze, std::int32_t e1,
+     std::int32_t e3)
+{
+    NodeId s = b.relu(b.conv2d(x, squeeze, 1, 1, 0));
+    NodeId x1 = b.relu(b.conv2d(s, e1, 1, 1, 0));
+    NodeId x3 = b.relu(b.conv2d(s, e3, 3, 1, 1));
+    return b.concat({x1, x3});
+}
+
+Graph
+squeezeNet10()
+{
+    GraphBuilder b("squeezenet_1.0", kImageNetInput);
+    NodeId x = b.relu(b.conv2d(b.input(), 96, 7, 2, 3));
+    x = b.maxPool2d(x, 3, 2);
+    x = fire(b, x, 16, 64, 64);
+    x = fire(b, x, 16, 64, 64);
+    x = fire(b, x, 32, 128, 128);
+    x = b.maxPool2d(x, 3, 2);
+    x = fire(b, x, 32, 128, 128);
+    x = fire(b, x, 48, 192, 192);
+    x = fire(b, x, 48, 192, 192);
+    x = fire(b, x, 64, 256, 256);
+    x = b.maxPool2d(x, 3, 2);
+    x = fire(b, x, 64, 256, 256);
+    x = b.relu(b.conv2d(x, 1000, 1, 1, 0));
+    x = b.globalAvgPool(x);
+    b.softmax(x);
+    return b.build();
+}
+
+Graph
+squeezeNet11()
+{
+    GraphBuilder b("squeezenet_1.1", kImageNetInput);
+    NodeId x = b.relu(b.conv2d(b.input(), 64, 3, 2, 1));
+    x = b.maxPool2d(x, 3, 2);
+    x = fire(b, x, 16, 64, 64);
+    x = fire(b, x, 16, 64, 64);
+    x = b.maxPool2d(x, 3, 2);
+    x = fire(b, x, 32, 128, 128);
+    x = fire(b, x, 32, 128, 128);
+    x = b.maxPool2d(x, 3, 2);
+    x = fire(b, x, 48, 192, 192);
+    x = fire(b, x, 48, 192, 192);
+    x = fire(b, x, 64, 256, 256);
+    x = fire(b, x, 64, 256, 256);
+    x = b.relu(b.conv2d(x, 1000, 1, 1, 0));
+    x = b.globalAvgPool(x);
+    b.softmax(x);
+    return b.build();
+}
+
+Graph
+mnasNet(const std::string &name, bool a1)
+{
+    GraphBuilder b(name, kImageNetInput);
+    const OpKind act = OpKind::ReLU;
+    NodeId x = b.convBnAct(b.input(), 32, 3, 2, 1, act);
+    // SepConv 16.
+    x = b.dwBnAct(x, 3, 1, 1, act);
+    x = b.convBnAct(x, 16, 1, 1, 0, OpKind::NumKinds);
+    const std::vector<MbStage> b1 = {
+        {3, 24, 3, 2, 3, false}, {3, 40, 3, 2, 5, false},
+        {6, 80, 3, 2, 5, false}, {6, 96, 2, 1, 3, false},
+        {6, 192, 4, 2, 5, false}, {6, 320, 1, 1, 3, false},
+    };
+    const std::vector<MbStage> a1_stages = {
+        {6, 24, 2, 2, 3, false}, {3, 40, 3, 2, 5, true},
+        {6, 80, 4, 2, 3, false}, {6, 112, 2, 1, 3, true},
+        {6, 160, 3, 2, 5, true}, {6, 320, 1, 1, 3, false},
+    };
+    x = mbStages(b, x, a1 ? a1_stages : b1, act);
+    classifierHead(b, x, 1280, act);
+    return b.build();
+}
+
+/**
+ * ProxylessNAS variants, encoded from the architectures in the paper
+ * (Cai et al., Fig. 4): Mobile favors large kernels and deep stacks,
+ * CPU favors 3x3 kernels and shallow-but-wide stages, GPU favors
+ * shallow networks with wide expanded layers.
+ */
+Graph
+proxylessNas(const std::string &flavor)
+{
+    GraphBuilder b("proxyless_" + flavor, kImageNetInput);
+    const OpKind act = OpKind::ReLU6;
+    NodeId x = b.convBnAct(b.input(), 32, 3, 2, 1, act);
+    x = mbconv(b, x, 1, 16, 3, 1, false, act);
+    std::vector<MbStage> stages;
+    if (flavor == "mobile") {
+        stages = {
+            {3, 32, 1, 2, 5, false}, {3, 32, 1, 1, 3, false},
+            {3, 40, 1, 2, 7, false}, {3, 40, 3, 1, 3, false},
+            {6, 80, 1, 2, 7, false}, {3, 80, 3, 1, 5, false},
+            {6, 96, 1, 1, 5, false}, {3, 96, 3, 1, 5, false},
+            {6, 192, 1, 2, 7, false}, {6, 192, 3, 1, 7, false},
+            {6, 320, 1, 1, 7, false},
+        };
+    } else if (flavor == "cpu") {
+        stages = {
+            {6, 32, 1, 2, 3, false}, {3, 32, 3, 1, 3, false},
+            {6, 48, 1, 2, 3, false}, {3, 48, 3, 1, 3, false},
+            {6, 88, 1, 2, 3, false}, {3, 88, 3, 1, 3, false},
+            {6, 104, 1, 1, 3, false}, {3, 104, 3, 1, 3, false},
+            {6, 216, 1, 2, 3, false}, {3, 216, 3, 1, 3, false},
+            {6, 360, 1, 1, 3, false},
+        };
+    } else if (flavor == "gpu") {
+        stages = {
+            {6, 40, 1, 2, 5, false}, {3, 40, 1, 1, 3, false},
+            {6, 56, 1, 2, 5, false}, {3, 56, 1, 1, 3, false},
+            {6, 112, 1, 2, 7, false}, {3, 112, 2, 1, 3, false},
+            {6, 128, 1, 1, 5, false}, {3, 128, 1, 1, 3, false},
+            {6, 256, 1, 2, 7, false}, {6, 256, 2, 1, 5, false},
+            {6, 432, 1, 1, 7, false},
+        };
+    } else {
+        fatal("proxylessNas: unknown flavor '", flavor, "'");
+    }
+    NodeId y = x;
+    for (const auto &st : stages) {
+        for (std::int32_t i = 0; i < st.repeats; ++i) {
+            y = mbconv(b, y, st.expansion, st.channels, st.kernel,
+                       i == 0 ? st.stride : 1, st.se, act);
+        }
+    }
+    classifierHead(b, y, 1280, act);
+    return b.build();
+}
+
+/** FBNet variants (Wu et al.), block tables approximated per paper. */
+Graph
+fbNet(const std::string &flavor)
+{
+    GraphBuilder b("fbnet_" + flavor, kImageNetInput);
+    const OpKind act = OpKind::ReLU;
+    NodeId x = b.convBnAct(b.input(), 16, 3, 2, 1, act);
+    std::vector<MbStage> stages;
+    if (flavor == "a") {
+        stages = {
+            {1, 16, 1, 1, 3, false}, {6, 24, 1, 2, 3, false},
+            {1, 24, 3, 1, 3, false}, {6, 32, 1, 2, 5, false},
+            {3, 32, 3, 1, 3, false}, {6, 64, 1, 2, 5, false},
+            {3, 64, 3, 1, 5, false}, {6, 112, 1, 1, 5, false},
+            {3, 112, 3, 1, 5, false}, {6, 184, 1, 2, 5, false},
+            {6, 184, 3, 1, 5, false}, {6, 352, 1, 1, 3, false},
+        };
+    } else { // flavor "c"
+        stages = {
+            {1, 16, 1, 1, 3, false}, {6, 24, 1, 2, 3, false},
+            {3, 24, 3, 1, 3, false}, {6, 32, 1, 2, 5, false},
+            {6, 32, 3, 1, 5, false}, {6, 64, 1, 2, 5, false},
+            {6, 64, 3, 1, 5, false}, {6, 112, 1, 1, 5, false},
+            {6, 112, 3, 1, 5, false}, {6, 184, 1, 2, 5, false},
+            {6, 184, 3, 1, 5, false}, {6, 352, 1, 1, 5, false},
+        };
+    }
+    x = mbStages(b, x, stages, act);
+    classifierHead(b, x, flavor == "a" ? 1504 : 1984, act);
+    return b.build();
+}
+
+/** SinglePath-NAS (Stamoulis et al.): MnasNet-like backbone. */
+Graph
+singlePathNas()
+{
+    GraphBuilder b("singlepath_nas", kImageNetInput);
+    const OpKind act = OpKind::ReLU6;
+    NodeId x = b.convBnAct(b.input(), 32, 3, 2, 1, act);
+    x = b.dwBnAct(x, 3, 1, 1, act);
+    x = b.convBnAct(x, 16, 1, 1, 0, OpKind::NumKinds);
+    const std::vector<MbStage> stages = {
+        {3, 24, 1, 2, 3, false}, {3, 24, 3, 1, 3, false},
+        {3, 40, 1, 2, 5, false}, {3, 40, 3, 1, 3, false},
+        {6, 80, 1, 2, 5, false}, {3, 80, 3, 1, 3, false},
+        {6, 96, 1, 1, 5, false}, {3, 96, 3, 1, 5, false},
+        {6, 192, 1, 2, 5, false}, {6, 192, 3, 1, 5, false},
+        {6, 320, 1, 1, 3, false},
+    };
+    x = mbStages(b, x, stages, act);
+    classifierHead(b, x, 1280, act);
+    return b.build();
+}
+
+/**
+ * EfficientNet-B0 (Tan & Le): MBConv backbone with squeeze-excite on
+ * every block; swish activations approximated by HSwish (the int8
+ * deployment substitution TFLite also makes).
+ */
+Graph
+efficientNetB0()
+{
+    GraphBuilder b("efficientnet_b0", kImageNetInput);
+    const OpKind act = OpKind::HSwish;
+    NodeId x = b.convBnAct(b.input(), 32, 3, 2, 1, act);
+    const std::vector<MbStage> stages = {
+        {1, 16, 1, 1, 3, true},  {6, 24, 2, 2, 3, true},
+        {6, 40, 2, 2, 5, true},  {6, 80, 3, 2, 3, true},
+        {6, 112, 3, 1, 5, true}, {6, 192, 4, 2, 5, true},
+        {6, 320, 1, 1, 3, true},
+    };
+    x = mbStages(b, x, stages, act);
+    classifierHead(b, x, 1280, act);
+    return b.build();
+}
+
+/**
+ * ShuffleNetV2 1.0x (Ma et al.). The channel-split entering each
+ * stride-1 unit is approximated with a half-width 1x1 projection on
+ * the shortcut branch (the IR is single-output per node), preserving
+ * the unit's structure: two branches, concat, channel shuffle.
+ */
+Graph
+shuffleNetV2()
+{
+    GraphBuilder b("shufflenet_v2_1.0", kImageNetInput);
+    const OpKind act = OpKind::ReLU;
+    NodeId x = b.convBnAct(b.input(), 24, 3, 2, 1, act);
+    x = b.maxPool2d(x, 3, 2, 1);
+    const struct
+    {
+        std::int32_t channels;
+        std::int32_t repeats;
+    } stages[] = {{116, 4}, {232, 8}, {464, 4}};
+    for (const auto &st : stages) {
+        const std::int32_t half = st.channels / 2;
+        // Downsampling unit: both branches see the full input.
+        NodeId left = b.dwBnAct(x, 3, 2, 1, OpKind::NumKinds);
+        left = b.convBnAct(left, half, 1, 1, 0, act);
+        NodeId right = b.convBnAct(x, half, 1, 1, 0, act);
+        right = b.dwBnAct(right, 3, 2, 1, OpKind::NumKinds);
+        right = b.convBnAct(right, half, 1, 1, 0, act);
+        x = b.channelShuffle(b.concat({left, right}), 2);
+        // Stride-1 units.
+        for (std::int32_t r = 1; r < st.repeats; ++r) {
+            NodeId shortcut = b.convBnAct(x, half, 1, 1, 0, act);
+            NodeId branch = b.convBnAct(x, half, 1, 1, 0, act);
+            branch = b.dwBnAct(branch, 3, 1, 1, OpKind::NumKinds);
+            branch = b.convBnAct(branch, half, 1, 1, 0, act);
+            x = b.channelShuffle(b.concat({shortcut, branch}), 2);
+        }
+    }
+    x = b.convBnAct(x, 1024, 1, 1, 0, act);
+    x = b.globalAvgPool(x);
+    x = b.fullyConnected(x, 1000);
+    b.softmax(x);
+    return b.build();
+}
+
+/** ResNet-18 (He et al.), the classic server-class reference point. */
+Graph
+resNet18()
+{
+    GraphBuilder b("resnet_18", kImageNetInput);
+    const OpKind act = OpKind::ReLU;
+    NodeId x = b.convBnAct(b.input(), 64, 7, 2, 3, act);
+    x = b.maxPool2d(x, 3, 2, 1);
+    const std::int32_t channels[] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        const std::int32_t c = channels[stage];
+        for (int block = 0; block < 2; ++block) {
+            const std::int32_t stride =
+                (stage > 0 && block == 0) ? 2 : 1;
+            NodeId shortcut = x;
+            if (stride != 1 || b.shapeOf(x).c != c) {
+                shortcut =
+                    b.convBnAct(x, c, 1, stride, 0, OpKind::NumKinds);
+            }
+            NodeId y = b.convBnAct(x, c, 3, stride, 1, act);
+            y = b.convBnAct(y, c, 3, 1, 1, OpKind::NumKinds);
+            x = b.relu(b.add(shortcut, y));
+        }
+    }
+    x = b.globalAvgPool(x);
+    x = b.fullyConnected(x, 1000);
+    b.softmax(x);
+    return b.build();
+}
+
+using BuildFn = std::function<Graph()>;
+
+const std::vector<std::pair<std::string, BuildFn>> &
+registry()
+{
+    static const std::vector<std::pair<std::string, BuildFn>> reg = {
+        {"mobilenet_v1_1.0",
+         [] { return mobileNetV1("mobilenet_v1_1.0", 1.0); }},
+        {"mobilenet_v1_0.75",
+         [] { return mobileNetV1("mobilenet_v1_0.75", 0.75); }},
+        {"mobilenet_v1_0.5",
+         [] { return mobileNetV1("mobilenet_v1_0.5", 0.5); }},
+        {"mobilenet_v2_1.0",
+         [] { return mobileNetV2("mobilenet_v2_1.0", 1.0); }},
+        {"mobilenet_v2_0.75",
+         [] { return mobileNetV2("mobilenet_v2_0.75", 0.75); }},
+        {"mobilenet_v2_1.4",
+         [] { return mobileNetV2("mobilenet_v2_1.4", 1.4); }},
+        {"mobilenet_v3_large", [] { return mobileNetV3Large(); }},
+        {"mobilenet_v3_small", [] { return mobileNetV3Small(); }},
+        {"squeezenet_1.0", [] { return squeezeNet10(); }},
+        {"squeezenet_1.1", [] { return squeezeNet11(); }},
+        {"mnasnet_a1", [] { return mnasNet("mnasnet_a1", true); }},
+        {"mnasnet_b1", [] { return mnasNet("mnasnet_b1", false); }},
+        {"proxyless_mobile", [] { return proxylessNas("mobile"); }},
+        {"proxyless_cpu", [] { return proxylessNas("cpu"); }},
+        {"proxyless_gpu", [] { return proxylessNas("gpu"); }},
+        {"fbnet_a", [] { return fbNet("a"); }},
+        {"fbnet_c", [] { return fbNet("c"); }},
+        {"singlepath_nas", [] { return singlePathNas(); }},
+    };
+    return reg;
+}
+
+const std::vector<std::pair<std::string, BuildFn>> &
+extendedRegistry()
+{
+    static const std::vector<std::pair<std::string, BuildFn>> reg = {
+        {"efficientnet_b0", [] { return efficientNetB0(); }},
+        {"shufflenet_v2_1.0", [] { return shuffleNetV2(); }},
+        {"resnet_18", [] { return resNet18(); }},
+    };
+    return reg;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+zooModelNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &[name, fn] : registry())
+            out.push_back(name);
+        return out;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
+extendedZooModelNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &[name, fn] : extendedRegistry())
+            out.push_back(name);
+        return out;
+    }();
+    return names;
+}
+
+Graph
+buildZooModel(const std::string &name)
+{
+    for (const auto &[n, fn] : registry()) {
+        if (n == name)
+            return fn();
+    }
+    for (const auto &[n, fn] : extendedRegistry()) {
+        if (n == name)
+            return fn();
+    }
+    fatal("unknown zoo model: ", name);
+}
+
+std::vector<Graph>
+buildZoo()
+{
+    std::vector<Graph> out;
+    out.reserve(registry().size());
+    for (const auto &[name, fn] : registry())
+        out.push_back(fn());
+    return out;
+}
+
+} // namespace gcm::dnn

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Model zoo: the 18 popular pre-designed networks of the paper's
+ * benchmark suite — MobileNet V1/V2/V3 (several width multipliers),
+ * SqueezeNet 1.0/1.1, MnasNet A1/B1, ProxylessNAS (Mobile/CPU/GPU),
+ * FBNet A/C and SinglePath-NAS.
+ *
+ * Architectures are encoded from the original papers. Where a NAS
+ * paper leaves block-level details ambiguous, the closest published
+ * variant is used; latency characterization only depends on the
+ * block structure, which is preserved.
+ */
+
+#ifndef GCM_DNN_ZOO_HH
+#define GCM_DNN_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hh"
+
+namespace gcm::dnn
+{
+
+/** Names of all zoo models, in canonical order (18 entries). */
+const std::vector<std::string> &zooModelNames();
+
+/**
+ * Extra models beyond the paper's 18-network suite (EfficientNet-B0,
+ * ShuffleNetV2, ResNet-18), used to probe the cost model on network
+ * families absent from training. buildZooModel accepts these too.
+ */
+const std::vector<std::string> &extendedZooModelNames();
+
+/** Build a zoo model by name. Throws GcmError for unknown names. */
+Graph buildZooModel(const std::string &name);
+
+/** Build the full 18-network zoo. */
+std::vector<Graph> buildZoo();
+
+} // namespace gcm::dnn
+
+#endif // GCM_DNN_ZOO_HH

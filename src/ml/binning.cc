@@ -1,0 +1,73 @@
+#include "ml/binning.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace gcm::ml
+{
+
+std::uint8_t
+FeatureBins::binOf(float v) const
+{
+    const auto it = std::lower_bound(cuts.begin(), cuts.end(), v);
+    return static_cast<std::uint8_t>(it - cuts.begin());
+}
+
+BinnedMatrix::BinnedMatrix(const Dataset &data, std::size_t max_bins,
+                           std::size_t quantile_sample_cap)
+    : numRows_(data.numRows())
+{
+    GCM_ASSERT(max_bins >= 2 && max_bins <= 256,
+               "BinnedMatrix: max_bins out of [2, 256]");
+    GCM_ASSERT(numRows_ > 0, "BinnedMatrix: empty dataset");
+    const std::size_t f_count = data.numFeatures();
+    bins_.resize(f_count);
+    codes_.resize(f_count * numRows_);
+
+    // Deterministic strided subsample for quantile estimation.
+    const std::size_t sample_n = std::min(numRows_, quantile_sample_cap);
+    const double stride =
+        static_cast<double>(numRows_) / static_cast<double>(sample_n);
+
+    std::vector<float> col;
+    col.reserve(sample_n);
+    for (std::size_t f = 0; f < f_count; ++f) {
+        col.clear();
+        for (std::size_t s = 0; s < sample_n; ++s) {
+            const auto i =
+                static_cast<std::size_t>(static_cast<double>(s) * stride);
+            col.push_back(data.at(i, f));
+        }
+        std::sort(col.begin(), col.end());
+
+        FeatureBins &fb = bins_[f];
+        if (col.front() != col.back()) {
+            // Candidate cuts at interior quantiles, deduplicated.
+            for (std::size_t b = 1; b < max_bins; ++b) {
+                const auto pos = static_cast<std::size_t>(
+                    static_cast<double>(b) * static_cast<double>(sample_n)
+                    / static_cast<double>(max_bins));
+                const float cut = col[std::min(pos, sample_n - 1)];
+                if (fb.cuts.empty() || cut > fb.cuts.back())
+                    fb.cuts.push_back(cut);
+            }
+            // Make sure the maximum sampled value has its own bin edge
+            // below it, i.e. drop a trailing cut equal to the max
+            // (values above the last cut land in the final bin anyway).
+            while (!fb.cuts.empty() && fb.cuts.back() >= col.back())
+                fb.cuts.pop_back();
+        }
+
+        std::uint8_t *codes = codes_.data() + f * numRows_;
+        if (fb.isConstant()) {
+            std::fill(codes, codes + numRows_, std::uint8_t{0});
+        } else {
+            for (std::size_t i = 0; i < numRows_; ++i)
+                codes[i] = fb.binOf(data.at(i, f));
+            activeFeatures_.push_back(f);
+        }
+    }
+}
+
+} // namespace gcm::ml

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quantile feature binning shared by the histogram-based tree learners
+ * (GradientBoostedTrees and RandomForest).
+ *
+ * Each feature is discretized into at most max_bins buckets using
+ * approximate quantile cut points; the binned matrix is stored
+ * column-major (uint8) so node-histogram accumulation streams one
+ * column at a time.
+ */
+
+#ifndef GCM_ML_BINNING_HH
+#define GCM_ML_BINNING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace gcm::ml
+{
+
+/** Per-feature bin cut points (bin b covers values <= cuts[b]). */
+struct FeatureBins
+{
+    /**
+     * Upper edges of all bins except the last; a value v maps to the
+     * first bin whose cut is >= v, or to the last bin.
+     */
+    std::vector<float> cuts;
+
+    /** Number of bins for this feature (cuts.size() + 1). */
+    std::size_t numBins() const { return cuts.size() + 1; }
+
+    /** True when the feature is constant over the fit data. */
+    bool isConstant() const { return cuts.empty(); }
+
+    /** Map a raw value to a bin index. */
+    std::uint8_t binOf(float v) const;
+};
+
+/** A dataset discretized against a set of FeatureBins. */
+class BinnedMatrix
+{
+  public:
+    /**
+     * Fit cut points on (a deterministic subsample of) the dataset and
+     * bin every row.
+     *
+     * @param data Source dataset.
+     * @param max_bins Maximum bins per feature (2..=256).
+     * @param quantile_sample_cap Rows used for quantile estimation;
+     *        evenly strided subsample when the dataset is larger.
+     */
+    BinnedMatrix(const Dataset &data, std::size_t max_bins,
+                 std::size_t quantile_sample_cap = 4096);
+
+    std::size_t numRows() const { return numRows_; }
+    std::size_t numFeatures() const { return bins_.size(); }
+
+    const FeatureBins &featureBins(std::size_t f) const { return bins_[f]; }
+
+    /** Column-major access: bin of feature f in row i. */
+    std::uint8_t
+    binAt(std::size_t f, std::size_t i) const
+    {
+        return codes_[f * numRows_ + i];
+    }
+
+    /** Raw pointer to a feature column (numRows() codes). */
+    const std::uint8_t *column(std::size_t f) const
+    {
+        return codes_.data() + f * numRows_;
+    }
+
+    /** Indices of features that are not constant. */
+    const std::vector<std::size_t> &activeFeatures() const
+    {
+        return activeFeatures_;
+    }
+
+  private:
+    std::size_t numRows_;
+    std::vector<FeatureBins> bins_;
+    std::vector<std::uint8_t> codes_;
+    std::vector<std::size_t> activeFeatures_;
+};
+
+} // namespace gcm::ml
+
+#endif // GCM_ML_BINNING_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dense row-major regression dataset shared by all learners.
+ */
+
+#ifndef GCM_ML_DATASET_HH
+#define GCM_ML_DATASET_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gcm::ml
+{
+
+/**
+ * A fixed-width feature matrix with one scalar regression target per
+ * row. Feature values are stored as float: the representations used in
+ * this project (one-hot codes, layer parameters, latencies in ms) all
+ * fit comfortably.
+ */
+class Dataset
+{
+  public:
+    /** Create an empty dataset with a fixed feature width. */
+    explicit Dataset(std::size_t num_features);
+
+    /** Append a row. @pre x.size() == numFeatures() */
+    void addRow(const std::vector<float> &x, double y);
+
+    std::size_t numRows() const { return labels_.size(); }
+    std::size_t numFeatures() const { return numFeatures_; }
+
+    /** Pointer to the i-th row (numFeatures() floats). */
+    const float *row(std::size_t i) const;
+
+    double label(std::size_t i) const;
+    const std::vector<double> &labels() const { return labels_; }
+
+    /** Single feature value. */
+    float at(std::size_t row_idx, std::size_t feature) const;
+
+    /** Extract a row-subset dataset (feature names preserved). */
+    Dataset subset(const std::vector<std::size_t> &row_indices) const;
+
+    /** Optional feature names (for importances / debugging). */
+    void setFeatureNames(std::vector<std::string> names);
+    const std::vector<std::string> &featureNames() const
+    {
+        return featureNames_;
+    }
+
+  private:
+    std::size_t numFeatures_;
+    std::vector<float> values_;
+    std::vector<double> labels_;
+    std::vector<std::string> featureNames_;
+};
+
+} // namespace gcm::ml
+
+#endif // GCM_ML_DATASET_HH

@@ -1,0 +1,186 @@
+#include "ml/gbt.hh"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+#include "ml/metrics.hh"
+#include "util/error.hh"
+
+namespace gcm::ml
+{
+
+GradientBoostedTrees::GradientBoostedTrees(GbtParams params)
+    : params_(params)
+{
+    GCM_ASSERT(params_.n_estimators > 0, "GBT: n_estimators must be > 0");
+    GCM_ASSERT(params_.learning_rate > 0.0, "GBT: learning_rate <= 0");
+    GCM_ASSERT(params_.subsample > 0.0 && params_.subsample <= 1.0,
+               "GBT: subsample out of (0, 1]");
+}
+
+void
+GradientBoostedTrees::train(const Dataset &data)
+{
+    trainImpl(data, nullptr);
+}
+
+void
+GradientBoostedTrees::train(const Dataset &data, const Dataset &eval)
+{
+    trainImpl(data, &eval);
+}
+
+void
+GradientBoostedTrees::trainImpl(const Dataset &data, const Dataset *eval)
+{
+    GCM_ASSERT(data.numRows() > 0, "GBT: empty training set");
+    trees_.clear();
+    evalHistory_.clear();
+    featureGain_.assign(data.numFeatures(), 0.0);
+
+    const std::size_t n = data.numRows();
+    baseScore_ =
+        std::accumulate(data.labels().begin(), data.labels().end(), 0.0)
+        / static_cast<double>(n);
+    trained_ = true;
+
+    BinnedMatrix binned(data, params_.max_bins);
+
+    std::vector<double> preds(n, baseScore_);
+    std::vector<float> grad(n);
+    std::vector<std::uint32_t> all_rows(n);
+    std::iota(all_rows.begin(), all_rows.end(), std::uint32_t{0});
+
+    TreeTrainConfig tree_cfg;
+    tree_cfg.max_depth = params_.max_depth;
+    tree_cfg.lambda = params_.lambda;
+    tree_cfg.gamma = params_.gamma;
+    tree_cfg.min_child_weight = params_.min_child_weight;
+
+    Rng rng(params_.seed);
+    std::vector<double> eval_preds;
+    if (eval)
+        eval_preds.assign(eval->numRows(), baseScore_);
+
+    std::vector<double> tree_gain;
+    for (std::size_t t = 0; t < params_.n_estimators; ++t) {
+        // Squared-error objective: g = pred - y (unit hessian).
+        for (std::size_t i = 0; i < n; ++i)
+            grad[i] = static_cast<float>(preds[i] - data.label(i));
+
+        std::vector<std::uint32_t> rows;
+        if (params_.subsample < 1.0) {
+            rows.reserve(n);
+            Rng tree_rng = rng.fork(t);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                if (tree_rng.bernoulli(params_.subsample))
+                    rows.push_back(i);
+            }
+            if (rows.empty())
+                rows = all_rows;
+        } else {
+            rows = all_rows;
+        }
+
+        tree_gain.assign(data.numFeatures(), 0.0);
+        RegressionTree tree =
+            trainTree(binned, rows, grad, tree_cfg, &rng, &tree_gain);
+        tree.scaleLeaves(params_.learning_rate);
+        for (std::size_t f = 0; f < tree_gain.size(); ++f)
+            featureGain_[f] += tree_gain[f];
+
+        for (std::size_t i = 0; i < n; ++i)
+            preds[i] += tree.predictBinnedRow(binned, i);
+
+        if (eval) {
+            for (std::size_t i = 0; i < eval->numRows(); ++i)
+                eval_preds[i] += tree.predictRow(eval->row(i));
+            evalHistory_.push_back(rmse(eval->labels(), eval_preds));
+        }
+
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+GradientBoostedTrees::predictRow(const float *x) const
+{
+    GCM_ASSERT(trained_, "GBT: predict before train");
+    double v = baseScore_;
+    for (const auto &tree : trees_)
+        v += tree.predictRow(x);
+    return v;
+}
+
+std::vector<double>
+GradientBoostedTrees::predict(const Dataset &data) const
+{
+    std::vector<double> out(data.numRows());
+    for (std::size_t i = 0; i < data.numRows(); ++i)
+        out[i] = predictRow(data.row(i));
+    return out;
+}
+
+void
+GradientBoostedTrees::serialize(std::ostream &os) const
+{
+    GCM_ASSERT(trained_, "GBT::serialize: model not trained");
+    const auto prec =
+        os.precision(std::numeric_limits<double>::max_digits10);
+    os << "gcm-gbt v1\n";
+    os << "params " << params_.n_estimators << ' ' << params_.max_depth
+       << ' ' << params_.learning_rate << ' ' << params_.lambda << ' '
+       << params_.gamma << ' ' << params_.min_child_weight << ' '
+       << params_.subsample << ' ' << params_.max_bins << ' '
+       << params_.seed << "\n";
+    os << "base_score " << baseScore_ << "\n";
+    os << "num_features " << featureGain_.size() << "\n";
+    os << "trees " << trees_.size() << "\n";
+    for (const auto &tree : trees_)
+        tree.serialize(os);
+    os.precision(prec);
+}
+
+GradientBoostedTrees
+GradientBoostedTrees::deserialize(std::istream &is)
+{
+    std::string magic, version, tag;
+    if (!(is >> magic >> version) || magic != "gcm-gbt"
+        || version != "v1") {
+        fatal("GBT::deserialize: bad header (expected 'gcm-gbt v1')");
+    }
+    GbtParams p;
+    if (!(is >> tag >> p.n_estimators >> p.max_depth >> p.learning_rate
+          >> p.lambda >> p.gamma >> p.min_child_weight >> p.subsample
+          >> p.max_bins >> p.seed)
+        || tag != "params") {
+        fatal("GBT::deserialize: malformed params line");
+    }
+    GradientBoostedTrees model(p);
+    std::size_t features = 0, trees = 0;
+    if (!(is >> tag >> model.baseScore_) || tag != "base_score")
+        fatal("GBT::deserialize: malformed base_score line");
+    if (!(is >> tag >> features) || tag != "num_features")
+        fatal("GBT::deserialize: malformed num_features line");
+    if (!(is >> tag >> trees) || tag != "trees")
+        fatal("GBT::deserialize: malformed trees line");
+    model.featureGain_.assign(features, 0.0);
+    model.trees_.reserve(trees);
+    for (std::size_t t = 0; t < trees; ++t) {
+        model.trees_.push_back(RegressionTree::deserialize(is));
+        for (const auto &node : model.trees_.back().nodes()) {
+            if (!node.isLeaf()
+                && static_cast<std::size_t>(node.feature) >= features) {
+                fatal("GBT::deserialize: split references feature ",
+                      node.feature, " but the model has ", features);
+            }
+        }
+    }
+    model.trained_ = true;
+    return model;
+}
+
+} // namespace gcm::ml

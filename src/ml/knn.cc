@@ -1,0 +1,105 @@
+#include "ml/knn.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gcm::ml
+{
+
+KNearestNeighbors::KNearestNeighbors(KnnParams params) : params_(params)
+{
+    GCM_ASSERT(params_.k > 0, "kNN: k must be > 0");
+}
+
+void
+KNearestNeighbors::train(const Dataset &data)
+{
+    GCM_ASSERT(data.numRows() > 0, "kNN: empty training set");
+    numFeatures_ = data.numFeatures();
+    const std::size_t n = data.numRows();
+
+    means_.assign(numFeatures_, 0.0f);
+    invStd_.assign(numFeatures_, 1.0f);
+    std::vector<double> sum(numFeatures_, 0.0), sum2(numFeatures_, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *r = data.row(i);
+        for (std::size_t f = 0; f < numFeatures_; ++f) {
+            sum[f] += r[f];
+            sum2[f] += static_cast<double>(r[f]) * r[f];
+        }
+    }
+    for (std::size_t f = 0; f < numFeatures_; ++f) {
+        const double m = sum[f] / static_cast<double>(n);
+        const double var =
+            std::max(sum2[f] / static_cast<double>(n) - m * m, 0.0);
+        means_[f] = static_cast<float>(m);
+        invStd_[f] = var > 1e-12
+            ? static_cast<float>(1.0 / std::sqrt(var))
+            : 0.0f; // constant features contribute nothing
+    }
+
+    trainRows_.resize(n * numFeatures_);
+    trainLabels_ = data.labels();
+    std::vector<float> z(numFeatures_);
+    for (std::size_t i = 0; i < n; ++i) {
+        standardize(data.row(i), z);
+        std::copy(z.begin(), z.end(),
+                  trainRows_.begin()
+                      + static_cast<std::ptrdiff_t>(i * numFeatures_));
+    }
+}
+
+void
+KNearestNeighbors::standardize(const float *x, std::vector<float> &out) const
+{
+    out.resize(numFeatures_);
+    for (std::size_t f = 0; f < numFeatures_; ++f)
+        out[f] = (x[f] - means_[f]) * invStd_[f];
+}
+
+double
+KNearestNeighbors::predictRow(const float *x) const
+{
+    GCM_ASSERT(!trainLabels_.empty(), "kNN: predict before train");
+    std::vector<float> z;
+    standardize(x, z);
+
+    const std::size_t n = trainLabels_.size();
+    const std::size_t k = std::min(params_.k, n);
+    // Max-heap of the current k best (distance, label) pairs.
+    std::vector<std::pair<double, double>> heap;
+    heap.reserve(k + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *r = trainRows_.data() + i * numFeatures_;
+        double d = 0.0;
+        for (std::size_t f = 0; f < numFeatures_; ++f) {
+            const double diff = z[f] - r[f];
+            d += diff * diff;
+        }
+        if (heap.size() < k) {
+            heap.emplace_back(d, trainLabels_[i]);
+            std::push_heap(heap.begin(), heap.end());
+        } else if (d < heap.front().first) {
+            std::pop_heap(heap.begin(), heap.end());
+            heap.back() = {d, trainLabels_[i]};
+            std::push_heap(heap.begin(), heap.end());
+        }
+    }
+    double sum = 0.0;
+    for (const auto &[d, y] : heap)
+        sum += y;
+    return sum / static_cast<double>(heap.size());
+}
+
+std::vector<double>
+KNearestNeighbors::predict(const Dataset &data) const
+{
+    std::vector<double> out(data.numRows());
+    for (std::size_t i = 0; i < data.numRows(); ++i)
+        out[i] = predictRow(data.row(i));
+    return out;
+}
+
+} // namespace gcm::ml

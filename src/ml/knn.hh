@@ -1,0 +1,52 @@
+/**
+ * @file
+ * k-nearest-neighbours regressor (baseline from Section III-C).
+ * Features are standardized with the training moments; prediction is
+ * the mean label of the k nearest rows under Euclidean distance.
+ */
+
+#ifndef GCM_ML_KNN_HH
+#define GCM_ML_KNN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace gcm::ml
+{
+
+/** kNN hyperparameters. */
+struct KnnParams
+{
+    std::size_t k = 5;
+};
+
+/** Brute-force kNN regressor. */
+class KNearestNeighbors
+{
+  public:
+    explicit KNearestNeighbors(KnnParams params = {});
+
+    void train(const Dataset &data);
+
+    double predictRow(const float *x) const;
+    std::vector<double> predict(const Dataset &data) const;
+
+    const KnnParams &params() const { return params_; }
+
+  private:
+    /** Standardize a raw row into scratch (z-scores). */
+    void standardize(const float *x, std::vector<float> &out) const;
+
+    KnnParams params_;
+    std::size_t numFeatures_ = 0;
+    std::vector<float> trainRows_; // standardized, row-major
+    std::vector<double> trainLabels_;
+    std::vector<float> means_;
+    std::vector<float> invStd_;
+};
+
+} // namespace gcm::ml
+
+#endif // GCM_ML_KNN_HH

@@ -1,0 +1,140 @@
+#include "ml/linear.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gcm::ml
+{
+
+RidgeRegression::RidgeRegression(RidgeParams params) : params_(params)
+{
+    GCM_ASSERT(params_.alpha >= 0.0, "Ridge: negative alpha");
+}
+
+void
+RidgeRegression::train(const Dataset &data)
+{
+    GCM_ASSERT(data.numRows() > 0, "Ridge: empty training set");
+    const std::size_t n = data.numRows();
+    numFeatures_ = data.numFeatures();
+
+    means_.assign(numFeatures_, 0.0);
+    invStd_.assign(numFeatures_, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *r = data.row(i);
+        for (std::size_t f = 0; f < numFeatures_; ++f)
+            means_[f] += r[f];
+    }
+    for (auto &m : means_)
+        m /= static_cast<double>(n);
+    std::vector<double> var(numFeatures_, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *r = data.row(i);
+        for (std::size_t f = 0; f < numFeatures_; ++f) {
+            const double d = r[f] - means_[f];
+            var[f] += d * d;
+        }
+    }
+    for (std::size_t f = 0; f < numFeatures_; ++f) {
+        var[f] /= static_cast<double>(n);
+        invStd_[f] = var[f] > 1e-12 ? 1.0 / std::sqrt(var[f]) : 0.0;
+    }
+
+    double y_mean = 0.0;
+    for (double y : data.labels())
+        y_mean += y;
+    y_mean /= static_cast<double>(n);
+    intercept_ = y_mean;
+
+    // Z-scored design matrix (materialized once; fits easily for the
+    // dataset sizes in this project).
+    std::vector<double> xz(n * numFeatures_);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *r = data.row(i);
+        for (std::size_t f = 0; f < numFeatures_; ++f)
+            xz[i * numFeatures_ + f] = (r[f] - means_[f]) * invStd_[f];
+    }
+
+    // b = X^T (y - y_mean)
+    std::vector<double> b(numFeatures_, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double yc = data.label(i) - y_mean;
+        const double *row = xz.data() + i * numFeatures_;
+        for (std::size_t f = 0; f < numFeatures_; ++f)
+            b[f] += row[f] * yc;
+    }
+
+    // Conjugate gradients on A w = b with A = X^T X + alpha I applied
+    // implicitly: A v = X^T (X v) + alpha v.
+    auto apply_a = [&](const std::vector<double> &v,
+                       std::vector<double> &out) {
+        std::vector<double> xv(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double *row = xz.data() + i * numFeatures_;
+            double s = 0.0;
+            for (std::size_t f = 0; f < numFeatures_; ++f)
+                s += row[f] * v[f];
+            xv[i] = s;
+        }
+        std::fill(out.begin(), out.end(), 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double *row = xz.data() + i * numFeatures_;
+            for (std::size_t f = 0; f < numFeatures_; ++f)
+                out[f] += row[f] * xv[i];
+        }
+        for (std::size_t f = 0; f < numFeatures_; ++f)
+            out[f] += params_.alpha * v[f];
+    };
+
+    weights_.assign(numFeatures_, 0.0);
+    std::vector<double> r = b, p = b, ap(numFeatures_);
+    double rs_old = 0.0;
+    for (double x : r)
+        rs_old += x * x;
+    const double b_norm = std::max(std::sqrt(rs_old), 1e-30);
+    for (std::size_t it = 0;
+         it < params_.max_cg_iterations
+         && std::sqrt(rs_old) / b_norm > params_.cg_tolerance;
+         ++it) {
+        apply_a(p, ap);
+        double p_ap = 0.0;
+        for (std::size_t f = 0; f < numFeatures_; ++f)
+            p_ap += p[f] * ap[f];
+        if (p_ap <= 0.0)
+            break;
+        const double alpha_step = rs_old / p_ap;
+        double rs_new = 0.0;
+        for (std::size_t f = 0; f < numFeatures_; ++f) {
+            weights_[f] += alpha_step * p[f];
+            r[f] -= alpha_step * ap[f];
+            rs_new += r[f] * r[f];
+        }
+        const double beta = rs_new / rs_old;
+        for (std::size_t f = 0; f < numFeatures_; ++f)
+            p[f] = r[f] + beta * p[f];
+        rs_old = rs_new;
+    }
+    trained_ = true;
+}
+
+double
+RidgeRegression::predictRow(const float *x) const
+{
+    GCM_ASSERT(trained_, "Ridge: predict before train");
+    double v = intercept_;
+    for (std::size_t f = 0; f < numFeatures_; ++f)
+        v += weights_[f] * (x[f] - means_[f]) * invStd_[f];
+    return v;
+}
+
+std::vector<double>
+RidgeRegression::predict(const Dataset &data) const
+{
+    std::vector<double> out(data.numRows());
+    for (std::size_t i = 0; i < data.numRows(); ++i)
+        out[i] = predictRow(data.row(i));
+    return out;
+}
+
+} // namespace gcm::ml

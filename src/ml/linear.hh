@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ridge linear regression solved by conjugate gradients on the normal
+ * equations. Serves as the simplest baseline cost model.
+ */
+
+#ifndef GCM_ML_LINEAR_HH
+#define GCM_ML_LINEAR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace gcm::ml
+{
+
+/** Ridge hyperparameters. */
+struct RidgeParams
+{
+    double alpha = 1.0;
+    std::size_t max_cg_iterations = 200;
+    double cg_tolerance = 1e-8;
+};
+
+/**
+ * Standardized ridge regression: features are z-scored, the target is
+ * centered, and (X^T X + alpha I) w = X^T y is solved with CG without
+ * ever materializing X^T X.
+ */
+class RidgeRegression
+{
+  public:
+    explicit RidgeRegression(RidgeParams params = {});
+
+    void train(const Dataset &data);
+
+    double predictRow(const float *x) const;
+    std::vector<double> predict(const Dataset &data) const;
+
+    const std::vector<double> &weights() const { return weights_; }
+
+  private:
+    RidgeParams params_;
+    std::size_t numFeatures_ = 0;
+    std::vector<double> weights_;
+    std::vector<double> means_;
+    std::vector<double> invStd_;
+    double intercept_ = 0.0;
+    bool trained_ = false;
+};
+
+} // namespace gcm::ml
+
+#endif // GCM_ML_LINEAR_HH

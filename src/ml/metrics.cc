@@ -1,0 +1,69 @@
+#include "ml/metrics.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gcm::ml
+{
+
+double
+r2Score(const std::vector<double> &y_true,
+        const std::vector<double> &y_pred)
+{
+    GCM_ASSERT(y_true.size() == y_pred.size(), "r2Score: size mismatch");
+    GCM_ASSERT(!y_true.empty(), "r2Score: empty input");
+    double mean = 0.0;
+    for (double y : y_true)
+        mean += y;
+    mean /= static_cast<double>(y_true.size());
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (std::size_t i = 0; i < y_true.size(); ++i) {
+        ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+        ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+    }
+    if (ss_tot <= 0.0)
+        return 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+double
+rmse(const std::vector<double> &y_true, const std::vector<double> &y_pred)
+{
+    GCM_ASSERT(y_true.size() == y_pred.size(), "rmse: size mismatch");
+    GCM_ASSERT(!y_true.empty(), "rmse: empty input");
+    double ss = 0.0;
+    for (std::size_t i = 0; i < y_true.size(); ++i)
+        ss += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    return std::sqrt(ss / static_cast<double>(y_true.size()));
+}
+
+double
+mae(const std::vector<double> &y_true, const std::vector<double> &y_pred)
+{
+    GCM_ASSERT(y_true.size() == y_pred.size(), "mae: size mismatch");
+    GCM_ASSERT(!y_true.empty(), "mae: empty input");
+    double s = 0.0;
+    for (std::size_t i = 0; i < y_true.size(); ++i)
+        s += std::abs(y_true[i] - y_pred[i]);
+    return s / static_cast<double>(y_true.size());
+}
+
+double
+mape(const std::vector<double> &y_true, const std::vector<double> &y_pred)
+{
+    GCM_ASSERT(y_true.size() == y_pred.size(), "mape: size mismatch");
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < y_true.size(); ++i) {
+        if (y_true[i] == 0.0)
+            continue;
+        s += std::abs((y_true[i] - y_pred[i]) / y_true[i]);
+        ++n;
+    }
+    if (n == 0)
+        return 0.0;
+    return 100.0 * s / static_cast<double>(n);
+}
+
+} // namespace gcm::ml

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Regression quality metrics. The paper reports the coefficient of
+ * determination (R^2) and optimizes RMSE.
+ */
+
+#ifndef GCM_ML_METRICS_HH
+#define GCM_ML_METRICS_HH
+
+#include <vector>
+
+namespace gcm::ml
+{
+
+/**
+ * Coefficient of determination R^2 = 1 - SS_res / SS_tot.
+ * Returns 0 when the targets have zero variance.
+ */
+double r2Score(const std::vector<double> &y_true,
+               const std::vector<double> &y_pred);
+
+/** Root mean squared error. */
+double rmse(const std::vector<double> &y_true,
+            const std::vector<double> &y_pred);
+
+/** Mean absolute error. */
+double mae(const std::vector<double> &y_true,
+           const std::vector<double> &y_pred);
+
+/** Mean absolute percentage error (%), skipping zero targets. */
+double mape(const std::vector<double> &y_true,
+            const std::vector<double> &y_pred);
+
+} // namespace gcm::ml
+
+#endif // GCM_ML_METRICS_HH

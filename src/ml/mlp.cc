@@ -1,0 +1,227 @@
+#include "ml/mlp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hh"
+
+namespace gcm::ml
+{
+
+Mlp::Mlp(MlpParams params) : params_(std::move(params))
+{
+    GCM_ASSERT(params_.epochs > 0, "Mlp: epochs must be > 0");
+    GCM_ASSERT(params_.batch_size > 0, "Mlp: batch_size must be > 0");
+}
+
+void
+Mlp::forward(const std::vector<double> &x,
+             std::vector<std::vector<double>> &acts) const
+{
+    acts.resize(layers_.size() + 1);
+    acts[0] = x;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        acts[l + 1].assign(layer.out, 0.0);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            double s = layer.b[o];
+            const double *wrow = layer.w.data() + o * layer.in;
+            for (std::size_t i = 0; i < layer.in; ++i)
+                s += wrow[i] * acts[l][i];
+            // ReLU on hidden layers; identity on the output layer.
+            if (l + 1 < layers_.size())
+                s = std::max(s, 0.0);
+            acts[l + 1][o] = s;
+        }
+    }
+}
+
+void
+Mlp::train(const Dataset &data)
+{
+    GCM_ASSERT(data.numRows() > 0, "Mlp: empty training set");
+    const std::size_t n = data.numRows();
+    numFeatures_ = data.numFeatures();
+
+    // Standardize features and target with the training moments.
+    featMean_.assign(numFeatures_, 0.0);
+    featInvStd_.assign(numFeatures_, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *r = data.row(i);
+        for (std::size_t f = 0; f < numFeatures_; ++f)
+            featMean_[f] += r[f];
+    }
+    for (auto &m : featMean_)
+        m /= static_cast<double>(n);
+    std::vector<double> var(numFeatures_, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *r = data.row(i);
+        for (std::size_t f = 0; f < numFeatures_; ++f) {
+            const double d = r[f] - featMean_[f];
+            var[f] += d * d;
+        }
+    }
+    for (std::size_t f = 0; f < numFeatures_; ++f) {
+        var[f] /= static_cast<double>(n);
+        featInvStd_[f] = var[f] > 1e-12 ? 1.0 / std::sqrt(var[f]) : 0.0;
+    }
+    targetMean_ = std::accumulate(data.labels().begin(),
+                                  data.labels().end(), 0.0)
+        / static_cast<double>(n);
+    double t_var = 0.0;
+    for (double y : data.labels())
+        t_var += (y - targetMean_) * (y - targetMean_);
+    targetStd_ = std::sqrt(std::max(t_var / static_cast<double>(n), 1e-12));
+
+    // Build layers.
+    Rng rng(params_.seed);
+    layers_.clear();
+    std::vector<std::size_t> widths;
+    widths.push_back(numFeatures_);
+    for (std::size_t h : params_.hidden)
+        widths.push_back(h);
+    widths.push_back(1);
+    for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+        Layer layer;
+        layer.in = widths[l];
+        layer.out = widths[l + 1];
+        layer.w.resize(layer.in * layer.out);
+        const double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+        for (auto &w : layer.w)
+            w = rng.normal(0.0, scale);
+        layer.b.assign(layer.out, 0.0);
+        layer.mw.assign(layer.w.size(), 0.0);
+        layer.vw.assign(layer.w.size(), 0.0);
+        layer.mb.assign(layer.out, 0.0);
+        layer.vb.assign(layer.out, 0.0);
+        layers_.push_back(std::move(layer));
+    }
+
+    // Pre-standardize the training matrix.
+    std::vector<double> xz(n * numFeatures_);
+    std::vector<double> yz(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *r = data.row(i);
+        for (std::size_t f = 0; f < numFeatures_; ++f) {
+            xz[i * numFeatures_ + f] =
+                (r[f] - featMean_[f]) * featInvStd_[f];
+        }
+        yz[i] = (data.label(i) - targetMean_) / targetStd_;
+    }
+
+    lossHistory_.clear();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::vector<std::vector<double>> acts;
+    std::vector<std::vector<double>> deltas(layers_.size());
+    const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+    std::size_t step = 0;
+
+    for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_se = 0.0;
+        for (std::size_t start = 0; start < n;
+             start += params_.batch_size) {
+            const std::size_t end =
+                std::min(start + params_.batch_size, n);
+            // Accumulate gradients over the batch.
+            std::vector<std::vector<double>> gw(layers_.size());
+            std::vector<std::vector<double>> gb(layers_.size());
+            for (std::size_t l = 0; l < layers_.size(); ++l) {
+                gw[l].assign(layers_[l].w.size(), 0.0);
+                gb[l].assign(layers_[l].out, 0.0);
+            }
+            for (std::size_t bi = start; bi < end; ++bi) {
+                const std::size_t i = order[bi];
+                std::vector<double> x(
+                    xz.begin()
+                        + static_cast<std::ptrdiff_t>(i * numFeatures_),
+                    xz.begin()
+                        + static_cast<std::ptrdiff_t>(
+                            (i + 1) * numFeatures_));
+                forward(x, acts);
+                const double err = acts.back()[0] - yz[i];
+                epoch_se += err * err;
+                // Backprop.
+                deltas.back().assign(1, err);
+                for (std::size_t l = layers_.size(); l-- > 0;) {
+                    const Layer &layer = layers_[l];
+                    const auto &delta = deltas[l];
+                    for (std::size_t o = 0; o < layer.out; ++o) {
+                        gb[l][o] += delta[o];
+                        double *gwrow = gw[l].data() + o * layer.in;
+                        for (std::size_t ii = 0; ii < layer.in; ++ii)
+                            gwrow[ii] += delta[o] * acts[l][ii];
+                    }
+                    if (l == 0)
+                        break;
+                    // Delta for the previous (hidden, ReLU) layer.
+                    std::vector<double> prev(layer.in, 0.0);
+                    for (std::size_t ii = 0; ii < layer.in; ++ii) {
+                        if (acts[l][ii] <= 0.0)
+                            continue; // ReLU gradient
+                        double s = 0.0;
+                        for (std::size_t o = 0; o < layer.out; ++o)
+                            s += layer.w[o * layer.in + ii] * delta[o];
+                        prev[ii] = s;
+                    }
+                    deltas[l - 1] = std::move(prev);
+                }
+            }
+            // Adam update.
+            ++step;
+            const double batch_n = static_cast<double>(end - start);
+            const double bc1 =
+                1.0 - std::pow(b1, static_cast<double>(step));
+            const double bc2 =
+                1.0 - std::pow(b2, static_cast<double>(step));
+            for (std::size_t l = 0; l < layers_.size(); ++l) {
+                Layer &layer = layers_[l];
+                for (std::size_t wi = 0; wi < layer.w.size(); ++wi) {
+                    double g = gw[l][wi] / batch_n
+                        + params_.weight_decay * layer.w[wi];
+                    layer.mw[wi] = b1 * layer.mw[wi] + (1 - b1) * g;
+                    layer.vw[wi] = b2 * layer.vw[wi] + (1 - b2) * g * g;
+                    layer.w[wi] -= params_.learning_rate
+                        * (layer.mw[wi] / bc1)
+                        / (std::sqrt(layer.vw[wi] / bc2) + eps);
+                }
+                for (std::size_t o = 0; o < layer.out; ++o) {
+                    const double g = gb[l][o] / batch_n;
+                    layer.mb[o] = b1 * layer.mb[o] + (1 - b1) * g;
+                    layer.vb[o] = b2 * layer.vb[o] + (1 - b2) * g * g;
+                    layer.b[o] -= params_.learning_rate
+                        * (layer.mb[o] / bc1)
+                        / (std::sqrt(layer.vb[o] / bc2) + eps);
+                }
+            }
+        }
+        lossHistory_.push_back(
+            std::sqrt(epoch_se / static_cast<double>(n)) * targetStd_);
+    }
+    trained_ = true;
+}
+
+double
+Mlp::predictRow(const float *x) const
+{
+    GCM_ASSERT(trained_, "Mlp: predict before train");
+    std::vector<double> z(numFeatures_);
+    for (std::size_t f = 0; f < numFeatures_; ++f)
+        z[f] = (x[f] - featMean_[f]) * featInvStd_[f];
+    std::vector<std::vector<double>> acts;
+    forward(z, acts);
+    return acts.back()[0] * targetStd_ + targetMean_;
+}
+
+std::vector<double>
+Mlp::predict(const Dataset &data) const
+{
+    std::vector<double> out(data.numRows());
+    for (std::size_t i = 0; i < data.numRows(); ++i)
+        out[i] = predictRow(data.row(i));
+    return out;
+}
+
+} // namespace gcm::ml

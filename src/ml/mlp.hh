@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small fully-connected network trained with Adam — stand-in for the
+ * paper's neural baseline (they tried an LSTM encoder followed by
+ * fully-connected layers and found XGBoost superior).
+ */
+
+#ifndef GCM_ML_MLP_HH
+#define GCM_ML_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "util/rng.hh"
+
+namespace gcm::ml
+{
+
+/** MLP hyperparameters. */
+struct MlpParams
+{
+    std::vector<std::size_t> hidden = {64, 32};
+    std::size_t epochs = 30;
+    std::size_t batch_size = 32;
+    double learning_rate = 1e-3;
+    double weight_decay = 1e-5;
+    std::uint64_t seed = 17;
+};
+
+/** ReLU MLP regressor with standardized inputs and target. */
+class Mlp
+{
+  public:
+    explicit Mlp(MlpParams params = {});
+
+    void train(const Dataset &data);
+
+    double predictRow(const float *x) const;
+    std::vector<double> predict(const Dataset &data) const;
+
+    /** Training RMSE (target units) at the end of each epoch. */
+    const std::vector<double> &lossHistory() const { return lossHistory_; }
+
+  private:
+    struct Layer
+    {
+        std::size_t in = 0;
+        std::size_t out = 0;
+        std::vector<double> w; // out x in
+        std::vector<double> b; // out
+        // Adam moments.
+        std::vector<double> mw, vw, mb, vb;
+    };
+
+    void forward(const std::vector<double> &x,
+                 std::vector<std::vector<double>> &acts) const;
+
+    MlpParams params_;
+    std::vector<Layer> layers_;
+    std::size_t numFeatures_ = 0;
+    std::vector<double> featMean_, featInvStd_;
+    double targetMean_ = 0.0, targetStd_ = 1.0;
+    std::vector<double> lossHistory_;
+    bool trained_ = false;
+};
+
+} // namespace gcm::ml
+
+#endif // GCM_ML_MLP_HH

@@ -1,0 +1,75 @@
+#include "ml/random_forest.hh"
+
+#include <numeric>
+
+#include "util/error.hh"
+
+namespace gcm::ml
+{
+
+RandomForest::RandomForest(RandomForestParams params) : params_(params)
+{
+    GCM_ASSERT(params_.n_trees > 0, "RandomForest: n_trees must be > 0");
+    GCM_ASSERT(params_.feature_fraction > 0.0
+                   && params_.feature_fraction <= 1.0,
+               "RandomForest: feature_fraction out of (0, 1]");
+}
+
+void
+RandomForest::train(const Dataset &data)
+{
+    GCM_ASSERT(data.numRows() > 0, "RandomForest: empty training set");
+    trees_.clear();
+    const std::size_t n = data.numRows();
+
+    BinnedMatrix binned(data, params_.max_bins);
+
+    // Variance-reduction mode: with prediction fixed at 0, the squared
+    // error gradient is g = -y and the leaf weight -G/N is the mean.
+    std::vector<float> grad(n);
+    for (std::size_t i = 0; i < n; ++i)
+        grad[i] = static_cast<float>(-data.label(i));
+
+    TreeTrainConfig cfg;
+    cfg.max_depth = params_.max_depth;
+    cfg.lambda = 0.0;
+    cfg.gamma = 0.0;
+    cfg.min_child_weight = params_.min_child_weight;
+    cfg.feature_fraction = params_.feature_fraction;
+
+    Rng rng(params_.seed);
+    for (std::size_t t = 0; t < params_.n_trees; ++t) {
+        Rng tree_rng = rng.fork(t);
+        std::vector<std::uint32_t> rows(n);
+        if (params_.bootstrap) {
+            for (auto &r : rows) {
+                r = static_cast<std::uint32_t>(tree_rng.uniformInt(
+                    0, static_cast<std::int64_t>(n) - 1));
+            }
+        } else {
+            std::iota(rows.begin(), rows.end(), std::uint32_t{0});
+        }
+        trees_.push_back(trainTree(binned, rows, grad, cfg, &tree_rng));
+    }
+}
+
+double
+RandomForest::predictRow(const float *x) const
+{
+    GCM_ASSERT(!trees_.empty(), "RandomForest: predict before train");
+    double sum = 0.0;
+    for (const auto &tree : trees_)
+        sum += tree.predictRow(x);
+    return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double>
+RandomForest::predict(const Dataset &data) const
+{
+    std::vector<double> out(data.numRows());
+    for (std::size_t i = 0; i < data.numRows(); ++i)
+        out[i] = predictRow(data.row(i));
+    return out;
+}
+
+} // namespace gcm::ml

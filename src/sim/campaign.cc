@@ -1,0 +1,109 @@
+#include "sim/campaign.hh"
+
+#include "dnn/quantize.hh"
+#include "util/error.hh"
+
+namespace gcm::sim
+{
+
+CharacterizationCampaign::CharacterizationCampaign(
+    const DeviceDatabase &fleet, LatencyModel model, CampaignConfig config)
+    : fleet_(fleet), model_(std::move(model)), config_(config)
+{
+    GCM_ASSERT(config_.runs_per_network > 0,
+               "CampaignConfig: zero runs per network");
+}
+
+GpuDelegateStatus
+CharacterizationCampaign::delegateStatus(const DeviceSpec &device) const
+{
+    DeviceRuntime probe(
+        device, fleet_.chipsetOf(device), model_,
+        config_.noise_seed
+            ^ (0x9e3779b97f4a7c15ULL
+               * static_cast<std::uint64_t>(device.id + 1)),
+        config_.noise);
+    return probe.gpuDelegateStatus();
+}
+
+std::vector<std::size_t>
+CharacterizationCampaign::measurableDevices() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+        const DeviceSpec &device = fleet_.device(i);
+        if (config_.target == ExecutionTarget::GpuDelegate
+            && config_.skip_unreliable_gpu_devices
+            && delegateStatus(device) != GpuDelegateStatus::Reliable) {
+            continue;
+        }
+        out.push_back(i);
+    }
+    return out;
+}
+
+MeasurementRepository
+CharacterizationCampaign::run(const std::vector<dnn::Graph> &suite) const
+{
+    GCM_ASSERT(!suite.empty(), "campaign: empty network suite");
+    // Quantize once, up front (the paper ships int8 models in the app).
+    std::vector<dnn::Graph> deployed;
+    deployed.reserve(suite.size());
+    for (const auto &g : suite) {
+        deployed.push_back(g.precision() == dnn::Precision::Int8
+                               ? g
+                               : dnn::quantize(g));
+    }
+
+    MeasurementRepository repo;
+    for (std::size_t idx : measurableDevices()) {
+        const DeviceSpec &device = fleet_.device(idx);
+        const Chipset &chipset = fleet_.chipsetOf(device);
+        DeviceRuntime runtime(
+            device, chipset, model_,
+            config_.noise_seed
+                ^ (0x9e3779b97f4a7c15ULL
+                   * static_cast<std::uint64_t>(device.id + 1)),
+            config_.noise);
+        for (const auto &g : deployed) {
+            const MeasurementResult res = runtime.measure(
+                g, config_.runs_per_network, config_.target);
+            MeasurementRecord rec;
+            rec.device_id = device.id;
+            rec.device_name = device.model_name;
+            rec.network = g.name();
+            rec.mean_ms = res.mean_ms;
+            rec.stddev_ms = res.stddev_ms;
+            rec.runs = static_cast<std::int32_t>(res.runs_ms.size());
+            repo.add(std::move(rec));
+        }
+    }
+    return repo;
+}
+
+void
+CharacterizationCampaign::measureOnDevice(const dnn::Graph &int8_network,
+                                          const DeviceSpec &device,
+                                          MeasurementRepository &repo) const
+{
+    const Chipset &chipset = fleet_.chipsetOf(device);
+    DeviceRuntime runtime(
+        device, chipset, model_,
+        config_.noise_seed
+            ^ (0x9e3779b97f4a7c15ULL
+               * static_cast<std::uint64_t>(device.id + 1))
+            ^ 0x5bf03635ULL,
+        config_.noise);
+    const MeasurementResult res =
+        runtime.measure(int8_network, config_.runs_per_network);
+    MeasurementRecord rec;
+    rec.device_id = device.id;
+    rec.device_name = device.model_name;
+    rec.network = int8_network.name();
+    rec.mean_ms = res.mean_ms;
+    rec.stddev_ms = res.stddev_ms;
+    rec.runs = static_cast<std::int32_t>(res.runs_ms.size());
+    repo.add(std::move(rec));
+}
+
+} // namespace gcm::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Characterization campaign: orchestrates the full crowd-sourcing
+ * pipeline of the paper's Fig. 1 — quantize every network, deploy to
+ * every device in the fleet, run 30 repetitions each, and upload the
+ * averaged results to the central repository. 118 networks x 105
+ * devices yields the 12,390-point dataset.
+ */
+
+#ifndef GCM_SIM_CAMPAIGN_HH
+#define GCM_SIM_CAMPAIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/graph.hh"
+#include "sim/device.hh"
+#include "sim/latency_model.hh"
+#include "sim/measurement.hh"
+#include "sim/repository.hh"
+
+namespace gcm::sim
+{
+
+/** Campaign configuration. */
+struct CampaignConfig
+{
+    std::size_t runs_per_network = 30;
+    std::uint64_t noise_seed = 404;
+    NoiseParams noise;
+    /** Execution target for all measurements. */
+    ExecutionTarget target = ExecutionTarget::BigCore;
+    /**
+     * For the GPU target: skip devices whose delegate is unsupported
+     * or flaky instead of polluting the repository — exactly the
+     * filtering the paper had to do manually.
+     */
+    bool skip_unreliable_gpu_devices = true;
+};
+
+/** Runs a measurement campaign over a device fleet. */
+class CharacterizationCampaign
+{
+  public:
+    CharacterizationCampaign(const DeviceDatabase &fleet,
+                             LatencyModel model, CampaignConfig config = {});
+
+    /**
+     * Measure every network on every device.
+     *
+     * @param suite Networks in deployment (fp32 or already-int8) form;
+     *        fp32 graphs are quantized on the fly, mirroring the
+     *        pipeline in the paper's Fig. 1.
+     */
+    MeasurementRepository run(const std::vector<dnn::Graph> &suite) const;
+
+    /**
+     * Measure a subset: one device, a list of networks. Used by the
+     * collaborative simulation where each device contributes only a
+     * few measurements.
+     */
+    void measureOnDevice(const dnn::Graph &int8_network,
+                         const DeviceSpec &device,
+                         MeasurementRepository &repo) const;
+
+    /**
+     * Devices the campaign will actually measure: all of them for the
+     * CPU target; those with a Reliable delegate for the GPU target
+     * (when skip_unreliable_gpu_devices is set).
+     */
+    std::vector<std::size_t> measurableDevices() const;
+
+    /**
+     * GPU-delegate reliability of one fleet device, as this campaign
+     * (with its noise seed) would observe it.
+     */
+    GpuDelegateStatus delegateStatus(const DeviceSpec &device) const;
+
+    const DeviceDatabase &fleet() const { return fleet_; }
+    const LatencyModel &model() const { return model_; }
+    const CampaignConfig &config() const { return config_; }
+
+  private:
+    const DeviceDatabase &fleet_;
+    LatencyModel model_;
+    CampaignConfig config_;
+};
+
+} // namespace gcm::sim
+
+#endif // GCM_SIM_CAMPAIGN_HH

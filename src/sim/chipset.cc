@@ -1,0 +1,224 @@
+#include "sim/chipset.hh"
+
+#include "util/error.hh"
+
+namespace gcm::sim
+{
+
+double
+dramBandwidthGBs(DramKind kind)
+{
+    // Effective single-threaded streaming bandwidth, not the bus peak.
+    switch (kind) {
+      case DramKind::Lpddr3: return 3.5;
+      case DramKind::Lpddr4: return 6.0;
+      case DramKind::Lpddr4x: return 8.5;
+      case DramKind::Lpddr5: return 12.0;
+    }
+    GCM_ASSERT(false, "dramBandwidthGBs: invalid kind");
+    return 0.0;
+}
+
+const char *
+dramKindName(DramKind kind)
+{
+    switch (kind) {
+      case DramKind::Lpddr3: return "LPDDR3";
+      case DramKind::Lpddr4: return "LPDDR4";
+      case DramKind::Lpddr4x: return "LPDDR4X";
+      case DramKind::Lpddr5: return "LPDDR5";
+    }
+    GCM_ASSERT(false, "dramKindName: invalid kind");
+    return "?";
+}
+
+namespace
+{
+
+Chipset
+make(const char *name, const char *vendor, const char *core, double freq,
+     DramKind dram, std::vector<double> ram, double popularity)
+{
+    Chipset c;
+    c.name = name;
+    c.vendor = vendor;
+    c.big_core = coreFamilyIdByName(core);
+    c.max_freq_ghz = freq;
+    c.dram = dram;
+    c.ram_options_gb = std::move(ram);
+    c.popularity = popularity;
+    return c;
+}
+
+void applyGpuSpecs(std::vector<Chipset> &table);
+
+} // namespace
+
+const std::vector<Chipset> &
+chipsetTable()
+{
+    using DK = DramKind;
+    static const std::vector<Chipset> table = {
+        // Qualcomm entry / mid-range
+        make("Snapdragon-400", "Qualcomm", "Cortex-A7", 1.2, DK::Lpddr3,
+             {1, 2}, 1.0),
+        make("Snapdragon-425", "Qualcomm", "Cortex-A53", 1.4, DK::Lpddr3,
+             {2, 3}, 3.0),
+        make("Snapdragon-810", "Qualcomm", "Cortex-A57", 2.0, DK::Lpddr4,
+             {3, 4}, 1.0),
+        make("Snapdragon-450", "Qualcomm", "Cortex-A53", 1.8, DK::Lpddr3,
+             {2, 3, 4}, 3.5),
+        make("Snapdragon-625", "Qualcomm", "Cortex-A53", 2.0, DK::Lpddr3,
+             {3, 4}, 4.0),
+        make("Exynos-850", "Samsung", "Cortex-A55", 2.0, DK::Lpddr4x,
+             {2, 3}, 1.0),
+        make("Snapdragon-636", "Qualcomm", "Kryo-260-Gold", 1.8,
+             DK::Lpddr4, {3, 4, 6}, 2.5),
+        make("Snapdragon-660", "Qualcomm", "Kryo-260-Gold", 2.2,
+             DK::Lpddr4, {4, 6}, 2.5),
+        make("Snapdragon-665", "Qualcomm", "Kryo-260-Gold", 2.0,
+             DK::Lpddr4, {3, 4, 6}, 2.5),
+        make("Snapdragon-675", "Qualcomm", "Kryo-460-Gold", 2.0,
+             DK::Lpddr4x, {4, 6}, 1.5),
+        make("Snapdragon-710", "Qualcomm", "Kryo-360-Gold", 2.2,
+             DK::Lpddr4x, {4, 6}, 1.5),
+        make("Snapdragon-730", "Qualcomm", "Kryo-460-Gold", 2.2,
+             DK::Lpddr4x, {6, 8}, 1.5),
+        make("Snapdragon-765G", "Qualcomm", "Kryo-460-Gold", 2.4,
+             DK::Lpddr4x, {6, 8}, 1.0),
+        make("Snapdragon-820", "Qualcomm", "Kryo", 2.15, DK::Lpddr4,
+             {3, 4}, 1.5),
+        make("Snapdragon-835", "Qualcomm", "Kryo-280", 2.45, DK::Lpddr4x,
+             {4, 6}, 1.5),
+        make("Snapdragon-845", "Qualcomm", "Kryo-385-Gold", 2.8,
+             DK::Lpddr4x, {6, 8}, 1.5),
+        make("Snapdragon-855", "Qualcomm", "Kryo-485-Gold", 2.84,
+             DK::Lpddr4x, {6, 8}, 1.5),
+        make("Snapdragon-865", "Qualcomm", "Kryo-585", 2.84, DK::Lpddr5,
+             {8, 12}, 1.0),
+        // MediaTek
+        make("MT6737", "MediaTek", "Cortex-A53", 1.3, DK::Lpddr3, {1, 2},
+             1.5),
+        make("Helio-P22", "MediaTek", "Cortex-A53", 2.0, DK::Lpddr3,
+             {2, 3}, 3.0),
+        make("Helio-P35", "MediaTek", "Cortex-A53", 2.3, DK::Lpddr4x,
+             {3, 4}, 2.0),
+        make("Helio-P60", "MediaTek", "Cortex-A73", 2.0, DK::Lpddr4,
+             {4, 6}, 2.0),
+        make("Helio-P70", "MediaTek", "Cortex-A73", 2.1, DK::Lpddr4,
+             {4, 6}, 1.5),
+        make("Helio-P90", "MediaTek", "Cortex-A75", 2.2, DK::Lpddr4x,
+             {4, 6}, 1.0),
+        make("Helio-G90T", "MediaTek", "Cortex-A76", 2.05, DK::Lpddr4x,
+             {4, 6, 8}, 1.5),
+        make("Helio-X20", "MediaTek", "Cortex-A72", 2.3, DK::Lpddr3,
+             {3, 4}, 1.0),
+        // Samsung
+        make("Exynos-7870", "Samsung", "Cortex-A53", 1.6, DK::Lpddr3,
+             {2, 3}, 3.0),
+        make("Exynos-7885", "Samsung", "Cortex-A73", 2.2, DK::Lpddr4,
+             {4, 6}, 1.5),
+        make("Exynos-8890", "Samsung", "Exynos-M1", 2.3, DK::Lpddr4,
+             {4}, 1.0),
+        make("Exynos-8895", "Samsung", "Exynos-M1", 2.3, DK::Lpddr4x,
+             {4, 6}, 1.0),
+        make("Exynos-9610", "Samsung", "Cortex-A73", 2.3, DK::Lpddr4x,
+             {4, 6}, 1.5),
+        make("Exynos-9810", "Samsung", "Exynos-M3", 2.7, DK::Lpddr4x,
+             {4, 6}, 1.0),
+        make("Exynos-9820", "Samsung", "Exynos-M4", 2.73, DK::Lpddr4x,
+             {6, 8}, 1.0),
+        // HiSilicon
+        make("Kirin-659", "HiSilicon", "Cortex-A53", 2.36, DK::Lpddr3,
+             {3, 4}, 3.0),
+        make("Kirin-710", "HiSilicon", "Cortex-A73", 2.2, DK::Lpddr4,
+             {4, 6}, 1.5),
+        make("Kirin-970", "HiSilicon", "Cortex-A73", 2.36, DK::Lpddr4x,
+             {4, 6}, 1.5),
+        make("Kirin-980", "HiSilicon", "Cortex-A76", 2.6, DK::Lpddr4x,
+             {6, 8}, 1.5),
+        make("Kirin-990", "HiSilicon", "Cortex-A76", 2.86, DK::Lpddr4x,
+             {8}, 1.0),
+    };
+    GCM_ASSERT(table.size() == 38, "chipsetTable: expected 38 entries");
+    static const std::vector<Chipset> with_gpus = [] {
+        std::vector<Chipset> t = table;
+        applyGpuSpecs(t);
+        return t;
+    }();
+    return with_gpus;
+}
+
+namespace
+{
+
+/** GPU table keyed by chipset name; missing entries = no delegate. */
+struct GpuRow
+{
+    const char *chipset;
+    const char *gpu;
+    double freq_ghz;
+    double macs_per_cycle;
+    double flakiness;
+};
+
+const GpuRow kGpuRows[] = {
+    {"Snapdragon-625", "Adreno-506", 0.65, 96, 0.35},
+    {"Snapdragon-450", "Adreno-506", 0.6, 96, 0.4},
+    {"Snapdragon-636", "Adreno-509", 0.72, 128, 0.3},
+    {"Snapdragon-660", "Adreno-512", 0.85, 160, 0.25},
+    {"Snapdragon-665", "Adreno-610", 0.95, 160, 0.2},
+    {"Snapdragon-675", "Adreno-612", 0.85, 192, 0.2},
+    {"Snapdragon-710", "Adreno-616", 0.75, 256, 0.2},
+    {"Snapdragon-730", "Adreno-618", 0.8, 288, 0.15},
+    {"Snapdragon-765G", "Adreno-620", 0.75, 384, 0.12},
+    {"Snapdragon-820", "Adreno-530", 0.65, 256, 0.35},
+    {"Snapdragon-835", "Adreno-540", 0.71, 288, 0.25},
+    {"Snapdragon-845", "Adreno-630", 0.71, 512, 0.15},
+    {"Snapdragon-855", "Adreno-640", 0.6, 768, 0.1},
+    {"Snapdragon-865", "Adreno-650", 0.59, 1024, 0.08},
+    {"Helio-P60", "Mali-G72MP3", 0.8, 96, 0.35},
+    {"Helio-P70", "Mali-G72MP3", 0.9, 96, 0.35},
+    {"Helio-P90", "PowerVR-GM9446", 0.97, 192, 0.3},
+    {"Helio-G90T", "Mali-G76MP4", 0.8, 256, 0.2},
+    {"Exynos-7885", "Mali-G71MP2", 0.77, 64, 0.4},
+    {"Exynos-8890", "Mali-T880MP12", 0.65, 192, 0.45},
+    {"Exynos-8895", "Mali-G71MP20", 0.55, 448, 0.3},
+    {"Exynos-9610", "Mali-G72MP3", 0.85, 96, 0.3},
+    {"Exynos-9810", "Mali-G72MP18", 0.57, 448, 0.25},
+    {"Exynos-9820", "Mali-G76MP12", 0.7, 640, 0.15},
+    {"Kirin-710", "Mali-G51MP4", 1.0, 96, 0.35},
+    {"Kirin-970", "Mali-G72MP12", 0.75, 320, 0.25},
+    {"Kirin-980", "Mali-G76MP10", 0.72, 512, 0.15},
+    {"Kirin-990", "Mali-G76MP16", 0.7, 768, 0.12},
+};
+
+void
+applyGpuSpecs(std::vector<Chipset> &table)
+{
+    for (const auto &row : kGpuRows) {
+        for (auto &c : table) {
+            if (c.name != row.chipset)
+                continue;
+            c.gpu.name = row.gpu;
+            c.gpu.freq_ghz = row.freq_ghz;
+            c.gpu.int8_macs_per_cycle = row.macs_per_cycle;
+            c.gpu.delegate_flakiness = row.flakiness;
+        }
+    }
+}
+
+} // namespace
+
+std::size_t
+chipsetIndexByName(const std::string &name)
+{
+    const auto &table = chipsetTable();
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table[i].name == name)
+            return i;
+    }
+    fatal("unknown chipset: ", name);
+}
+
+} // namespace gcm::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Mobile SoC (chipset) database: 38 chipsets across Qualcomm,
+ * MediaTek, Samsung and HiSilicon, matching the paper's "38 unique
+ * chipset types". Each entry pins the big-core family, peak big-core
+ * frequency and memory technology.
+ */
+
+#ifndef GCM_SIM_CHIPSET_HH
+#define GCM_SIM_CHIPSET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/uarch.hh"
+
+namespace gcm::sim
+{
+
+/** DRAM technology generation of a chipset's memory controller. */
+enum class DramKind : std::uint8_t
+{
+    Lpddr3,
+    Lpddr4,
+    Lpddr4x,
+    Lpddr5,
+};
+
+/** Effective single-core streaming bandwidth of a DRAM kind (GB/s). */
+double dramBandwidthGBs(DramKind kind);
+
+/** Display name of a DRAM kind. */
+const char *dramKindName(DramKind kind);
+
+/**
+ * Integrated GPU description for the GPU-delegate execution target
+ * (the extension the paper names but does not evaluate: "the
+ * methodology presented ... would also apply to execution on GPUs and
+ * NPUs").
+ */
+struct GpuSpec
+{
+    std::string name = "none";
+    double freq_ghz = 0.0;
+    /** Effective int8 MACs per cycle across the whole GPU. */
+    double int8_macs_per_cycle = 0.0;
+    /**
+     * Probability that this chipset's GPU delegate misbehaves on a
+     * random device (crashes or pathological latency) — the paper's
+     * stated reason for restricting its study to CPUs.
+     */
+    double delegate_flakiness = 0.1;
+
+    bool supported() const { return int8_macs_per_cycle > 0.0; }
+};
+
+/** One SoC model. */
+struct Chipset
+{
+    std::string name;
+    std::string vendor;
+    CoreFamilyId big_core = 0;
+    /** Peak big-core frequency in GHz. */
+    double max_freq_ghz = 2.0;
+    DramKind dram = DramKind::Lpddr4;
+    /** RAM capacities (GB) this chipset ships with. */
+    std::vector<double> ram_options_gb;
+    /** Crowd-sourcing popularity weight for device synthesis. */
+    double popularity = 1.0;
+    /** Integrated GPU (may be unsupported for the delegate). */
+    GpuSpec gpu;
+};
+
+/** The 38-entry chipset table (order is stable). */
+const std::vector<Chipset> &chipsetTable();
+
+/** Index of a chipset by name. Throws GcmError when unknown. */
+std::size_t chipsetIndexByName(const std::string &name);
+
+} // namespace gcm::sim
+
+#endif // GCM_SIM_CHIPSET_HH

@@ -1,0 +1,180 @@
+#include "sim/device.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace gcm::sim
+{
+
+namespace
+{
+
+/** Popular named phones pinned to their actual chipsets. */
+struct NamedPhone
+{
+    const char *model;
+    const char *chipset;
+};
+
+const NamedPhone kNamedPhones[] = {
+    {"Redmi-Note-5-Pro", "Snapdragon-636"},
+    {"Redmi-Note-7", "Snapdragon-660"},
+    {"Redmi-Note-8", "Snapdragon-665"},
+    {"Redmi-6A", "MT6737"},
+    {"Redmi-7A", "Snapdragon-450"},
+    {"Mi-A1", "Snapdragon-625"},
+    {"Mi-A3", "Snapdragon-665"},
+    {"Mi-9", "Snapdragon-855"},
+    {"Poco-F1", "Snapdragon-845"},
+    {"Poco-X2", "Snapdragon-730"},
+    {"Galaxy-J7", "Exynos-7870"},
+    {"Galaxy-A50", "Exynos-9610"},
+    {"Galaxy-A7", "Exynos-7885"},
+    {"Galaxy-S7", "Exynos-8890"},
+    {"Galaxy-S8", "Exynos-8895"},
+    {"Galaxy-S9", "Exynos-9810"},
+    {"Galaxy-S10", "Exynos-9820"},
+    {"Pixel-2", "Snapdragon-835"},
+    {"Pixel-3", "Snapdragon-845"},
+    {"Pixel-4", "Snapdragon-855"},
+    {"OnePlus-6T", "Snapdragon-845"},
+    {"OnePlus-7", "Snapdragon-855"},
+    {"OnePlus-8", "Snapdragon-865"},
+    {"Honor-8X", "Kirin-710"},
+    {"Honor-9-Lite", "Kirin-659"},
+    {"Mate-20", "Kirin-980"},
+    {"P30-Pro", "Kirin-980"},
+    {"Mate-30-Pro", "Kirin-990"},
+    {"Realme-5", "Snapdragon-665"},
+    {"Realme-X2", "Snapdragon-730"},
+    {"Moto-G5", "Snapdragon-425"},
+    {"Moto-G7", "Snapdragon-625"},
+    {"Nokia-5.1", "Helio-P18"},
+};
+
+HiddenFactors
+drawHiddenFactors(Rng &rng)
+{
+    HiddenFactors h;
+    h.thermal_sustain = rng.uniform(0.35, 1.0);
+    h.mem_efficiency = rng.uniform(0.45, 1.05);
+    h.os_overhead = rng.uniform(1.0, 2.0);
+    h.silicon_bin = rng.uniform(0.88, 1.06);
+    h.gpu_driver_quality = rng.uniform(0.6, 1.05);
+    h.dw_kernel_quality = rng.uniform(0.55, 1.45);
+    return h;
+}
+
+double
+pickRam(Rng &rng, const Chipset &chipset)
+{
+    const auto &opts = chipset.ram_options_gb;
+    GCM_ASSERT(!opts.empty(), "chipset without RAM options");
+    return opts[static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(opts.size()) - 1))];
+}
+
+} // namespace
+
+DeviceDatabase
+DeviceDatabase::standard(std::uint64_t seed, std::size_t count)
+{
+    const auto &chipsets = chipsetTable();
+    DeviceDatabase db;
+    Rng rng(seed);
+
+    // Named phones first (skipping any whose chipset we do not model).
+    for (const auto &phone : kNamedPhones) {
+        if (db.devices_.size() >= count)
+            break;
+        std::size_t ci = 0;
+        bool found = false;
+        for (std::size_t i = 0; i < chipsets.size(); ++i) {
+            if (chipsets[i].name == phone.chipset) {
+                ci = i;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            continue;
+        Rng dev_rng = rng.fork(db.devices_.size());
+        DeviceSpec d;
+        d.id = static_cast<std::int32_t>(db.devices_.size());
+        d.model_name = phone.model;
+        d.chipset_index = ci;
+        d.freq_ghz = chipsets[ci].max_freq_ghz
+            * dev_rng.uniform(0.95, 1.0);
+        d.ram_gb = pickRam(dev_rng, chipsets[ci]);
+        d.hidden = drawHiddenFactors(dev_rng);
+        db.devices_.push_back(std::move(d));
+    }
+
+    // Guarantee every chipset is represented at least once (the
+    // paper's fleet covers 38 unique chipset types), then fill the
+    // remainder with popularity-weighted synthetic devices.
+    std::vector<double> weights;
+    weights.reserve(chipsets.size());
+    for (const auto &c : chipsets)
+        weights.push_back(c.popularity);
+    std::vector<std::size_t> per_chipset_count(chipsets.size(), 0);
+    std::vector<bool> seen(chipsets.size(), false);
+    for (const auto &d : db.devices_)
+        seen[d.chipset_index] = true;
+    std::size_t next_unseen = 0;
+    while (db.devices_.size() < count) {
+        Rng dev_rng = rng.fork(db.devices_.size());
+        while (next_unseen < chipsets.size() && seen[next_unseen])
+            ++next_unseen;
+        const std::size_t ci = next_unseen < chipsets.size()
+            ? next_unseen
+            : dev_rng.weightedIndex(weights);
+        seen[ci] = true;
+        DeviceSpec d;
+        d.id = static_cast<std::int32_t>(db.devices_.size());
+        d.model_name = "Phone-" + chipsets[ci].name + "-"
+            + std::to_string(++per_chipset_count[ci]);
+        d.chipset_index = ci;
+        d.freq_ghz = chipsets[ci].max_freq_ghz
+            * dev_rng.uniform(0.93, 1.0);
+        d.ram_gb = pickRam(dev_rng, chipsets[ci]);
+        d.hidden = drawHiddenFactors(dev_rng);
+        db.devices_.push_back(std::move(d));
+    }
+    return db;
+}
+
+const DeviceSpec &
+DeviceDatabase::device(std::size_t i) const
+{
+    GCM_ASSERT(i < devices_.size(), "DeviceDatabase: index out of range");
+    return devices_[i];
+}
+
+const DeviceSpec &
+DeviceDatabase::byName(const std::string &model_name) const
+{
+    for (const auto &d : devices_) {
+        if (d.model_name == model_name)
+            return d;
+    }
+    fatal("unknown device model: ", model_name);
+}
+
+const Chipset &
+DeviceDatabase::chipsetOf(const DeviceSpec &d) const
+{
+    const auto &table = chipsetTable();
+    GCM_ASSERT(d.chipset_index < table.size(),
+               "device references invalid chipset");
+    return table[d.chipset_index];
+}
+
+const CoreFamily &
+DeviceDatabase::coreOf(const DeviceSpec &d) const
+{
+    return coreFamily(chipsetOf(d).big_core);
+}
+
+} // namespace gcm::sim

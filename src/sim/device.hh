@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Device population: 105 phone configurations referencing the chipset
+ * table, mirroring the crowd-sourced fleet of the paper.
+ *
+ * The critical modeling decision is the set of per-device *hidden*
+ * factors — thermal sustain under load, memory-vendor efficiency,
+ * OS/firmware overhead and silicon binning. They are properties of a
+ * phone, not of its chipset, and are NOT exposed as static features.
+ * They are what makes two phones with identical CPU + frequency +
+ * DRAM differ by >2x in measured latency (paper Fig. 5), and hence
+ * what makes spec-based cost models fail (paper Fig. 8).
+ */
+
+#ifndef GCM_SIM_DEVICE_HH
+#define GCM_SIM_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/chipset.hh"
+#include "util/rng.hh"
+
+namespace gcm::sim
+{
+
+/** Per-device latent performance factors (never exposed as specs). */
+struct HiddenFactors
+{
+    /** Sustained/peak frequency ratio under continuous inference. */
+    double thermal_sustain = 1.0;
+    /** Memory subsystem efficiency (DRAM vendor, timings). */
+    double mem_efficiency = 1.0;
+    /** Multiplier on runtime/OS per-op overheads (>= 1). */
+    double os_overhead = 1.0;
+    /** Silicon lottery: small multiplier on effective compute. */
+    double silicon_bin = 1.0;
+    /** GPU driver/delegate maturity (GPU execution target only). */
+    double gpu_driver_quality = 1.0;
+    /**
+     * Quality of the depthwise-convolution kernels shipped on the
+     * device (TFLite/NNAPI build differences): multiplies the
+     * depthwise efficiency. Varies the SHAPE of a device's latency
+     * vector, not just its scale — the reason the paper's clusters
+     * overlap and the same CPU appears in several of them.
+     */
+    double dw_kernel_quality = 1.0;
+};
+
+/** One concrete phone. */
+struct DeviceSpec
+{
+    std::int32_t id = -1;
+    std::string model_name;
+    std::size_t chipset_index = 0;
+    /** Shipped big-core frequency (GHz); may be below chipset max. */
+    double freq_ghz = 2.0;
+    double ram_gb = 4.0;
+    HiddenFactors hidden;
+};
+
+/** The synthesized device fleet. */
+class DeviceDatabase
+{
+  public:
+    /**
+     * Build the standard 105-device fleet: ~30 named popular phones
+     * pinned to their real chipsets plus popularity-weighted synthetic
+     * devices, with per-device hidden factors drawn from a seeded rng.
+     */
+    static DeviceDatabase standard(std::uint64_t seed = 2020,
+                                   std::size_t count = 105);
+
+    std::size_t size() const { return devices_.size(); }
+    const DeviceSpec &device(std::size_t i) const;
+    const std::vector<DeviceSpec> &devices() const { return devices_; }
+
+    /** Find a device by model name. Throws GcmError when unknown. */
+    const DeviceSpec &byName(const std::string &model_name) const;
+
+    const Chipset &chipsetOf(const DeviceSpec &d) const;
+    const CoreFamily &coreOf(const DeviceSpec &d) const;
+
+  private:
+    std::vector<DeviceSpec> devices_;
+};
+
+} // namespace gcm::sim
+
+#endif // GCM_SIM_DEVICE_HH

@@ -1,0 +1,181 @@
+#include "sim/latency_model.hh"
+
+#include <algorithm>
+
+#include "dnn/analysis.hh"
+#include "util/error.hh"
+
+namespace gcm::sim
+{
+
+LatencyModel::LatencyModel(LatencyModelParams params) : params_(params) {}
+
+const char *
+executionTargetName(ExecutionTarget target)
+{
+    switch (target) {
+      case ExecutionTarget::BigCore: return "big-core CPU";
+      case ExecutionTarget::GpuDelegate: return "GPU delegate";
+    }
+    GCM_ASSERT(false, "executionTargetName: invalid target");
+    return "?";
+}
+
+const char *
+LayerBreakdown::boundName() const
+{
+    if (compute_s >= memory_s && compute_s >= dispatch_s)
+        return "compute";
+    if (memory_s >= dispatch_s)
+        return "memory";
+    return "dispatch";
+}
+
+LayerBreakdown
+LatencyModel::gpuLayerBreakdown(const dnn::Graph &graph,
+                                const dnn::Node &node,
+                                const DeviceSpec &device,
+                                const Chipset &chipset) const
+{
+    using dnn::OpKind;
+    if (node.kind == OpKind::Input)
+        return {};
+    const GpuSpec &gpu = chipset.gpu;
+    GCM_ASSERT(gpu.supported(), "gpuLayerBreakdown: no GPU delegate");
+    const dnn::NodeCost cost = dnn::nodeCost(graph, node);
+    const double freq_hz = gpu.freq_ghz * 1e9;
+    const HiddenFactors &h = device.hidden;
+
+    double compute_s = 0.0;
+    if (cost.macs > 0) {
+        double efficiency;
+        if (node.kind == OpKind::DepthwiseConv2d)
+            efficiency = params_.gpu_dw_efficiency;
+        else if (node.kind == OpKind::FullyConnected)
+            efficiency = params_.gpu_fc_efficiency;
+        else
+            efficiency = params_.gpu_conv_efficiency;
+        // GPUs suffer even more from small launch grids.
+        if (node.shape.h * node.shape.w <= 49)
+            efficiency *= 0.4;
+        const double peak =
+            freq_hz * gpu.int8_macs_per_cycle * h.gpu_driver_quality;
+        compute_s = static_cast<double>(cost.macs)
+            / (peak * efficiency * h.thermal_sustain);
+    }
+    if (cost.simple_ops > 0) {
+        const double rate = freq_hz * params_.gpu_simple_ops_per_cycle
+            * h.thermal_sustain;
+        compute_s += static_cast<double>(cost.simple_ops) / rate;
+    }
+
+    // The delegate streams weights and activations through DRAM; the
+    // GPU commands more bandwidth than one CPU core.
+    const double bw = dramBandwidthGBs(chipset.dram) * 1e9
+        * h.mem_efficiency * params_.gpu_bandwidth_scale;
+    const double memory_s = static_cast<double>(
+        cost.weight_bytes + cost.input_bytes + cost.output_bytes) / bw;
+
+    const double overhead_s = params_.gpu_per_layer_overhead_us * 1e-6
+        * h.os_overhead / h.gpu_driver_quality;
+    return LayerBreakdown{compute_s, memory_s, overhead_s};
+}
+
+LayerBreakdown
+LatencyModel::layerBreakdown(const dnn::Graph &graph,
+                             const dnn::Node &node,
+                             const DeviceSpec &device,
+                             const Chipset &chipset,
+                             ExecutionTarget target) const
+{
+    using dnn::OpKind;
+    if (target == ExecutionTarget::GpuDelegate)
+        return gpuLayerBreakdown(graph, node, device, chipset);
+    if (node.kind == OpKind::Input)
+        return {};
+
+    const CoreFamily &core = coreFamily(chipset.big_core);
+    const dnn::NodeCost cost = dnn::nodeCost(graph, node);
+    const double freq_hz = device.freq_ghz * 1e9;
+    const HiddenFactors &h = device.hidden;
+
+    // --- Compute term -------------------------------------------------
+    double compute_s = 0.0;
+    if (cost.macs > 0) {
+        double efficiency;
+        if (node.kind == OpKind::DepthwiseConv2d) {
+            efficiency =
+                params_.depthwise_efficiency * h.dw_kernel_quality;
+        } else if (node.kind == OpKind::FullyConnected) {
+            efficiency = params_.fc_efficiency;
+        } else if (node.params.kernel <= 1) {
+            efficiency = params_.conv1x1_efficiency;
+        } else {
+            efficiency = params_.conv_spatial_efficiency;
+        }
+        // Small output maps keep the SIMD kernels in prologue/epilogue.
+        if (node.shape.h * node.shape.w <= 49)
+            efficiency *= params_.small_map_penalty;
+        const double peak_macs_per_s = freq_hz * core.macsPerCycleInt8();
+        compute_s = static_cast<double>(cost.macs)
+            / (peak_macs_per_s * efficiency * h.thermal_sustain
+               * h.silicon_bin);
+    }
+    if (cost.simple_ops > 0) {
+        const double rate = freq_hz * core.scalar_ipc
+            * params_.simple_ops_per_cycle * h.thermal_sustain;
+        compute_s += static_cast<double>(cost.simple_ops) / rate;
+    }
+
+    // --- Memory term --------------------------------------------------
+    const double dram_bw =
+        dramBandwidthGBs(chipset.dram) * 1e9 * h.mem_efficiency;
+    double memory_s =
+        static_cast<double>(cost.weight_bytes) / dram_bw;
+    const double act_bytes =
+        static_cast<double>(cost.input_bytes + cost.output_bytes);
+    const double on_chip_bytes =
+        static_cast<double>(core.l2_kb + core.l3_kb) * 1024.0;
+    if (act_bytes <= on_chip_bytes) {
+        const double cache_bw = freq_hz * params_.cache_bytes_per_cycle
+            * h.thermal_sustain;
+        memory_s += act_bytes / cache_bw;
+    } else {
+        memory_s += act_bytes / dram_bw;
+    }
+
+    // --- Dispatch -----------------------------------------------------
+    const double overhead_s =
+        params_.per_layer_overhead_us * 1e-6 * h.os_overhead;
+
+    return LayerBreakdown{compute_s, memory_s, overhead_s};
+}
+
+double
+LatencyModel::layerLatencyMs(const dnn::Graph &graph,
+                             const dnn::Node &node,
+                             const DeviceSpec &device,
+                             const Chipset &chipset,
+                             ExecutionTarget target) const
+{
+    return layerBreakdown(graph, node, device, chipset, target)
+        .totalMs();
+}
+
+double
+LatencyModel::graphLatencyMs(const dnn::Graph &graph,
+                             const DeviceSpec &device,
+                             const Chipset &chipset,
+                             ExecutionTarget target) const
+{
+    const double fixed_us = target == ExecutionTarget::GpuDelegate
+        ? params_.gpu_graph_overhead_us
+        : params_.graph_overhead_us;
+    double total_ms =
+        fixed_us * 1e-6 * device.hidden.os_overhead * 1e3;
+    for (const auto &node : graph.nodes())
+        total_ms += layerLatencyMs(graph, node, device, chipset, target);
+    return total_ms;
+}
+
+} // namespace gcm::sim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Analytical per-layer latency model for int8 inference on a mobile
+ * big core — the simulator standing in for the paper's physical
+ * measurement substrate.
+ *
+ * Per fused layer the model takes
+ *   t = max(compute, memory) + dispatch
+ * where compute = MACs / (peak int8 MAC rate x op-utilization x
+ * thermal x bin), memory covers weight streaming from DRAM plus
+ * activation traffic (cache-resident when it fits in L2+L3), and
+ * dispatch models the TFLite interpreter's per-op overhead. Depthwise
+ * convolutions get a much lower utilization, reproducing their
+ * memory-bound behaviour on mobile CPUs.
+ */
+
+#ifndef GCM_SIM_LATENCY_MODEL_HH
+#define GCM_SIM_LATENCY_MODEL_HH
+
+#include "dnn/graph.hh"
+#include "sim/device.hh"
+
+namespace gcm::sim
+{
+
+/** Where a network is scheduled (paper: big CPU core only). */
+enum class ExecutionTarget
+{
+    BigCore,
+    GpuDelegate,
+};
+
+/** Display name of an execution target. */
+const char *executionTargetName(ExecutionTarget target);
+
+/** Tunable coefficients of the latency model. */
+struct LatencyModelParams
+{
+    /** Fraction of peak int8 MAC rate achieved by 1x1 convolutions. */
+    double conv1x1_efficiency = 0.55;
+    /** Fraction for spatial (k >= 3) convolutions (better reuse). */
+    double conv_spatial_efficiency = 0.70;
+    /** Fraction for depthwise convolutions (poor SIMD utilization). */
+    double depthwise_efficiency = 0.18;
+    /** Fraction for fully-connected layers (GEMV, streaming). */
+    double fc_efficiency = 0.40;
+    /** Extra penalty when the output map is small (short loops). */
+    double small_map_penalty = 0.65;
+    /** Simple (non-MAC) ops retired per cycle per unit scalar IPC. */
+    double simple_ops_per_cycle = 2.0;
+    /** On-chip cache bandwidth in bytes per cycle. */
+    double cache_bytes_per_cycle = 8.0;
+    /** TFLite-style per-op dispatch overhead (microseconds). */
+    double per_layer_overhead_us = 6.0;
+    /** Fixed per-inference overhead (microseconds). */
+    double graph_overhead_us = 200.0;
+
+    // --- GPU-delegate coefficients (extension target) ---------------
+    /** Fraction of GPU peak achieved by dense convolutions. */
+    double gpu_conv_efficiency = 0.45;
+    /** Fraction for depthwise convolutions (also poor on GPUs). */
+    double gpu_dw_efficiency = 0.12;
+    /** Fraction for fully-connected layers. */
+    double gpu_fc_efficiency = 0.30;
+    /** Simple ops retired per GPU cycle. */
+    double gpu_simple_ops_per_cycle = 64.0;
+    /** GPU share of DRAM bandwidth relative to one CPU core. */
+    double gpu_bandwidth_scale = 1.5;
+    /** Kernel-launch overhead per layer (microseconds). */
+    double gpu_per_layer_overhead_us = 35.0;
+    /** Delegate setup/teardown per inference (microseconds). */
+    double gpu_graph_overhead_us = 1500.0;
+};
+
+/** Per-layer time decomposition (seconds). */
+struct LayerBreakdown
+{
+    double compute_s = 0.0;
+    double memory_s = 0.0;
+    double dispatch_s = 0.0;
+
+    /** max(compute, memory) + dispatch, in milliseconds. */
+    double
+    totalMs() const
+    {
+        return (compute_s > memory_s ? compute_s : memory_s)
+            * 1e3 + dispatch_s * 1e3;
+    }
+
+    /** The dominant term ("compute" / "memory" / "dispatch"). */
+    const char *boundName() const;
+};
+
+/** Deterministic device latency estimator (noise lives elsewhere). */
+class LatencyModel
+{
+  public:
+    explicit LatencyModel(LatencyModelParams params = {});
+
+    /**
+     * Time decomposition of one node: SIMD compute, memory traffic
+     * and interpreter dispatch.
+     * @param graph Quantized (int8) graph containing the node.
+     * @param node The node to cost.
+     * @param device The phone configuration.
+     * @param chipset The device's chipset entry.
+     */
+    LayerBreakdown layerBreakdown(const dnn::Graph &graph,
+                                  const dnn::Node &node,
+                                  const DeviceSpec &device,
+                                  const Chipset &chipset,
+                                  ExecutionTarget target
+                                  = ExecutionTarget::BigCore) const;
+
+    /** Latency of one node in milliseconds. */
+    double layerLatencyMs(const dnn::Graph &graph, const dnn::Node &node,
+                          const DeviceSpec &device,
+                          const Chipset &chipset,
+                          ExecutionTarget target
+                          = ExecutionTarget::BigCore) const;
+
+    /**
+     * End-to-end inference latency (ms, batch 1): single-threaded on
+     * the big core, or through the GPU delegate.
+     * @pre target != GpuDelegate or chipset.gpu.supported()
+     */
+    double graphLatencyMs(const dnn::Graph &graph,
+                          const DeviceSpec &device,
+                          const Chipset &chipset,
+                          ExecutionTarget target
+                          = ExecutionTarget::BigCore) const;
+
+    const LatencyModelParams &params() const { return params_; }
+
+  private:
+    LayerBreakdown gpuLayerBreakdown(const dnn::Graph &graph,
+                                     const dnn::Node &node,
+                                     const DeviceSpec &device,
+                                     const Chipset &chipset) const;
+
+    LatencyModelParams params_;
+};
+
+} // namespace gcm::sim
+
+#endif // GCM_SIM_LATENCY_MODEL_HH

@@ -1,0 +1,84 @@
+#include "sim/measurement.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gcm::sim
+{
+
+DeviceRuntime::DeviceRuntime(const DeviceSpec &device,
+                             const Chipset &chipset, LatencyModel model,
+                             std::uint64_t seed, NoiseParams noise)
+    : device_(device), chipset_(chipset), model_(model), noise_(noise),
+      rng_(seed)
+{}
+
+GpuDelegateStatus
+DeviceRuntime::gpuDelegateStatus() const
+{
+    if (!chipset_.gpu.supported())
+        return GpuDelegateStatus::Unsupported;
+    // Deterministic per device: same phone, same delegate behaviour.
+    Rng probe = rng_.fork(0xD3137A7EULL);
+    return probe.bernoulli(chipset_.gpu.delegate_flakiness)
+        ? GpuDelegateStatus::Flaky
+        : GpuDelegateStatus::Reliable;
+}
+
+MeasurementResult
+DeviceRuntime::measure(const dnn::Graph &graph, std::size_t runs,
+                       ExecutionTarget target)
+{
+    GCM_ASSERT(runs > 0, "measure: zero runs");
+    if (graph.precision() != dnn::Precision::Int8) {
+        fatal("DeviceRuntime::measure: network '", graph.name(),
+              "' must be quantized to int8 before deployment");
+    }
+    double pathological = 1.0;
+    if (target == ExecutionTarget::GpuDelegate) {
+        const GpuDelegateStatus status = gpuDelegateStatus();
+        if (status == GpuDelegateStatus::Unsupported) {
+            fatal("GPU delegate unavailable on ", device_.model_name,
+                  " (", chipset_.name, ")");
+        }
+        if (status == GpuDelegateStatus::Flaky) {
+            Rng flake = rng_.fork(0xF1A4EULL + nextStream_);
+            pathological = flake.uniform(3.0, 12.0);
+        }
+    }
+    Rng rng = rng_.fork(nextStream_++);
+    const double base_ms =
+        model_.graphLatencyMs(graph, device_, chipset_, target)
+        * pathological
+        * rng.lognormalFactor(noise_.session_jitter_sigma);
+    MeasurementResult res;
+    res.runs_ms.reserve(runs);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < runs; ++r) {
+        double factor = rng.lognormalFactor(noise_.run_jitter_sigma);
+        // Warm-up: the SoC heats over the first runs and the governor
+        // settles to a slightly lower sustained frequency.
+        const double ramp = std::min(
+            1.0,
+            static_cast<double>(r)
+                / static_cast<double>(noise_.thermal_ramp_runs));
+        factor *= 1.0 + noise_.thermal_ramp_max * ramp;
+        if (rng.bernoulli(noise_.outlier_probability))
+            factor *= rng.uniform(noise_.outlier_min, noise_.outlier_max);
+        const double t = base_ms * factor;
+        res.runs_ms.push_back(t);
+        sum += t;
+    }
+    res.mean_ms = sum / static_cast<double>(runs);
+    double ss = 0.0;
+    for (double t : res.runs_ms)
+        ss += (t - res.mean_ms) * (t - res.mean_ms);
+    res.stddev_ms = runs > 1
+        ? std::sqrt(ss / static_cast<double>(runs - 1))
+        : 0.0;
+    return res;
+}
+
+} // namespace gcm::sim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-device measurement runtime — the simulator counterpart of the
+ * paper's Android benchmarking app. A measurement schedules the
+ * quantized network on the device's big core, runs it `runs` times
+ * (30 in the paper), applies run-to-run noise (DVFS jitter, a thermal
+ * warm-up ramp, occasional background interference) and reports the
+ * mean, exactly like the app's averaged uploads.
+ */
+
+#ifndef GCM_SIM_MEASUREMENT_HH
+#define GCM_SIM_MEASUREMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hh"
+#include "sim/device.hh"
+#include "sim/latency_model.hh"
+
+namespace gcm::sim
+{
+
+/** Noise characteristics of repeated on-device runs. */
+struct NoiseParams
+{
+    /**
+     * Sigma of the per-session lognormal jitter. A session is one
+     * measure() call: on a crowd-sourced phone, different networks
+     * run at different times, temperatures and background loads, so
+     * each network's 30-run block carries its own offset that does
+     * not average out.
+     */
+    double session_jitter_sigma = 0.08;
+    /** Sigma of the per-run lognormal jitter. */
+    double run_jitter_sigma = 0.035;
+    /** Maximum warm-up slowdown reached over the first runs. */
+    double thermal_ramp_max = 0.10;
+    /** Runs over which the warm-up ramp saturates. */
+    std::size_t thermal_ramp_runs = 12;
+    /** Probability of an interference outlier on any run. */
+    double outlier_probability = 0.02;
+    /** Outlier slowdown range (multiplier). */
+    double outlier_min = 1.3;
+    double outlier_max = 2.2;
+};
+
+/** Result of one measurement session (N runs of one network). */
+struct MeasurementResult
+{
+    double mean_ms = 0.0;
+    double stddev_ms = 0.0;
+    std::vector<double> runs_ms;
+};
+
+/**
+ * Reliability of a device's GPU delegate, mirroring the paper's field
+ * observation that "the GPU and NPU Android API delegates were either
+ * limited to a certain class of mobile phones or were prone to
+ * unexpected outcomes (very high latency) or crashes".
+ */
+enum class GpuDelegateStatus
+{
+    Unsupported, ///< chipset has no usable delegate
+    Flaky,       ///< runs, but with pathological latency
+    Reliable,
+};
+
+/** Executes measurements on one device. */
+class DeviceRuntime
+{
+  public:
+    /**
+     * @param device The phone.
+     * @param chipset Its chipset entry.
+     * @param model Deterministic latency model (copied; cheap).
+     * @param seed Per-device noise seed.
+     * @param noise Noise configuration.
+     */
+    DeviceRuntime(const DeviceSpec &device, const Chipset &chipset,
+                  LatencyModel model, std::uint64_t seed,
+                  NoiseParams noise = {});
+
+    /**
+     * Measure a network. @pre graph is int8 (deployment form).
+     * @param runs Number of repetitions (paper: 30).
+     * @param target Execution target; GpuDelegate throws GcmError on
+     *        devices whose delegate is Unsupported, and produces
+     *        pathological latencies on Flaky devices.
+     */
+    MeasurementResult measure(const dnn::Graph &graph,
+                              std::size_t runs = 30,
+                              ExecutionTarget target
+                              = ExecutionTarget::BigCore);
+
+    /** Deterministic per-device delegate reliability. */
+    GpuDelegateStatus gpuDelegateStatus() const;
+
+    const DeviceSpec &device() const { return device_; }
+
+  private:
+    const DeviceSpec &device_;
+    const Chipset &chipset_;
+    LatencyModel model_;
+    NoiseParams noise_;
+    Rng rng_;
+    std::uint64_t nextStream_ = 0;
+};
+
+} // namespace gcm::sim
+
+#endif // GCM_SIM_MEASUREMENT_HH

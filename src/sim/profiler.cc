@@ -1,0 +1,106 @@
+#include "sim/profiler.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "dnn/analysis.hh"
+#include "util/error.hh"
+#include "util/table.hh"
+
+namespace gcm::sim
+{
+
+GraphProfile
+profileGraph(const LatencyModel &model, const dnn::Graph &graph,
+             const DeviceSpec &device, const Chipset &chipset)
+{
+    if (graph.precision() != dnn::Precision::Int8) {
+        fatal("profileGraph: network '", graph.name(),
+              "' must be quantized to int8 before profiling");
+    }
+    GraphProfile profile;
+    profile.graph_overhead_ms = model.params().graph_overhead_us * 1e-6
+        * device.hidden.os_overhead * 1e3;
+    profile.total_ms = profile.graph_overhead_ms;
+
+    std::map<dnn::OpKind, OpKindProfile> by_kind;
+    for (const auto &node : graph.nodes()) {
+        if (node.kind == dnn::OpKind::Input)
+            continue;
+        LayerProfile lp;
+        lp.node = node.id;
+        lp.kind = node.kind;
+        lp.breakdown =
+            model.layerBreakdown(graph, node, device, chipset);
+        lp.ms = lp.breakdown.totalMs();
+        lp.macs = dnn::nodeCost(graph, node).macs;
+        profile.total_ms += lp.ms;
+        profile.layers.push_back(lp);
+
+        OpKindProfile &agg = by_kind[node.kind];
+        agg.kind = node.kind;
+        ++agg.count;
+        agg.ms += lp.ms;
+    }
+    for (auto &lp : profile.layers)
+        lp.percent = 100.0 * lp.ms / profile.total_ms;
+    for (auto &[kind, agg] : by_kind) {
+        agg.percent = 100.0 * agg.ms / profile.total_ms;
+        profile.by_kind.push_back(agg);
+    }
+    std::sort(profile.by_kind.begin(), profile.by_kind.end(),
+              [](const OpKindProfile &a, const OpKindProfile &b) {
+                  return a.ms > b.ms;
+              });
+    return profile;
+}
+
+std::string
+renderProfile(const GraphProfile &profile, const dnn::Graph &graph,
+              std::size_t top_layers)
+{
+    std::ostringstream oss;
+    oss << "profile of " << graph.name() << ": "
+        << formatDouble(profile.total_ms, 2) << " ms total ("
+        << formatDouble(profile.graph_overhead_ms, 2)
+        << " ms fixed overhead)\n\n";
+
+    TextTable kinds({"operator", "count", "ms", "% of total"});
+    for (const auto &agg : profile.by_kind) {
+        kinds.addRow({dnn::opKindName(agg.kind),
+                      std::to_string(agg.count),
+                      formatDouble(agg.ms, 2),
+                      formatDouble(agg.percent, 1)});
+    }
+    oss << kinds.render() << '\n';
+
+    // Hottest individual layers.
+    std::vector<const LayerProfile *> hottest;
+    hottest.reserve(profile.layers.size());
+    for (const auto &lp : profile.layers)
+        hottest.push_back(&lp);
+    std::sort(hottest.begin(), hottest.end(),
+              [](const LayerProfile *a, const LayerProfile *b) {
+                  return a->ms > b->ms;
+              });
+    if (hottest.size() > top_layers)
+        hottest.resize(top_layers);
+
+    TextTable layers({"node", "operator", "output", "MMACs", "ms", "%",
+                      "bound"});
+    for (const LayerProfile *lp : hottest) {
+        const auto &node = graph.node(lp->node);
+        layers.addRow({"%" + std::to_string(lp->node),
+                       dnn::opKindName(lp->kind), node.shape.str(),
+                       formatDouble(
+                           static_cast<double>(lp->macs) / 1e6, 1),
+                       formatDouble(lp->ms, 3),
+                       formatDouble(lp->percent, 1),
+                       lp->breakdown.boundName()});
+    }
+    oss << "hottest layers:\n" << layers.render();
+    return oss.str();
+}
+
+} // namespace gcm::sim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-layer latency profiler — the simulator's analogue of the TFLite
+ * benchmark profiler the paper's app builds on. Breaks an inference
+ * down into per-operator latency, identifies the bottleneck resource
+ * of each layer, and aggregates per operator kind.
+ */
+
+#ifndef GCM_SIM_PROFILER_HH
+#define GCM_SIM_PROFILER_HH
+
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hh"
+#include "sim/latency_model.hh"
+
+namespace gcm::sim
+{
+
+/** Profile entry for one graph node. */
+struct LayerProfile
+{
+    dnn::NodeId node = -1;
+    dnn::OpKind kind = dnn::OpKind::Input;
+    double ms = 0.0;
+    /** Share of end-to-end latency, in percent. */
+    double percent = 0.0;
+    std::int64_t macs = 0;
+    LayerBreakdown breakdown;
+};
+
+/** Aggregate over all nodes of one operator kind. */
+struct OpKindProfile
+{
+    dnn::OpKind kind = dnn::OpKind::Input;
+    std::size_t count = 0;
+    double ms = 0.0;
+    double percent = 0.0;
+};
+
+/** Full inference profile. */
+struct GraphProfile
+{
+    double total_ms = 0.0;
+    /** Fixed per-inference overhead outside any layer. */
+    double graph_overhead_ms = 0.0;
+    std::vector<LayerProfile> layers;
+    /** Per-kind aggregation, sorted by descending time. */
+    std::vector<OpKindProfile> by_kind;
+};
+
+/**
+ * Profile one network on one device (deterministic; no run noise).
+ * @pre graph is int8 (deployment form).
+ */
+GraphProfile profileGraph(const LatencyModel &model,
+                          const dnn::Graph &graph,
+                          const DeviceSpec &device,
+                          const Chipset &chipset);
+
+/** Render a profile as an aligned text report. */
+std::string renderProfile(const GraphProfile &profile,
+                          const dnn::Graph &graph,
+                          std::size_t top_layers = 12);
+
+} // namespace gcm::sim
+
+#endif // GCM_SIM_PROFILER_HH

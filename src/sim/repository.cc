@@ -1,0 +1,94 @@
+#include "sim/repository.hh"
+
+#include "util/csv.hh"
+#include "util/error.hh"
+
+namespace gcm::sim
+{
+
+void
+MeasurementRepository::add(MeasurementRecord record)
+{
+    const auto key = std::make_pair(record.device_id, record.network);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        records_[it->second] = std::move(record);
+        return;
+    }
+    index_.emplace(key, records_.size());
+    records_.push_back(std::move(record));
+}
+
+bool
+MeasurementRepository::has(std::int32_t device_id,
+                           const std::string &network) const
+{
+    return index_.count(std::make_pair(device_id, network)) > 0;
+}
+
+double
+MeasurementRepository::latencyMs(std::int32_t device_id,
+                                 const std::string &network) const
+{
+    const auto it = index_.find(std::make_pair(device_id, network));
+    if (it == index_.end()) {
+        fatal("repository: no measurement for device ", device_id,
+              " network '", network, "'");
+    }
+    return records_[it->second].mean_ms;
+}
+
+std::vector<std::vector<double>>
+MeasurementRepository::latencyMatrix(
+    const std::vector<std::int32_t> &device_ids,
+    const std::vector<std::string> &networks) const
+{
+    std::vector<std::vector<double>> m(
+        networks.size(), std::vector<double>(device_ids.size(), 0.0));
+    for (std::size_t n = 0; n < networks.size(); ++n) {
+        for (std::size_t d = 0; d < device_ids.size(); ++d)
+            m[n][d] = latencyMs(device_ids[d], networks[n]);
+    }
+    return m;
+}
+
+std::string
+MeasurementRepository::toCsv() const
+{
+    CsvDocument doc;
+    doc.header = {"device_id", "device", "network", "mean_ms",
+                  "stddev_ms", "runs"};
+    for (const auto &r : records_) {
+        doc.rows.push_back({std::to_string(r.device_id), r.device_name,
+                            r.network, std::to_string(r.mean_ms),
+                            std::to_string(r.stddev_ms),
+                            std::to_string(r.runs)});
+    }
+    return gcm::toCsv(doc);
+}
+
+MeasurementRepository
+MeasurementRepository::fromCsv(const std::string &text)
+{
+    const CsvDocument doc = parseCsv(text);
+    const std::size_t c_id = doc.columnIndex("device_id");
+    const std::size_t c_dev = doc.columnIndex("device");
+    const std::size_t c_net = doc.columnIndex("network");
+    const std::size_t c_mean = doc.columnIndex("mean_ms");
+    const std::size_t c_std = doc.columnIndex("stddev_ms");
+    const std::size_t c_runs = doc.columnIndex("runs");
+    MeasurementRepository repo;
+    for (const auto &row : doc.rows) {
+        MeasurementRecord r;
+        r.device_id = std::stoi(row[c_id]);
+        r.device_name = row[c_dev];
+        r.network = row[c_net];
+        r.mean_ms = std::stod(row[c_mean]);
+        r.stddev_ms = std::stod(row[c_std]);
+        r.runs = std::stoi(row[c_runs]);
+        repo.add(std::move(r));
+    }
+    return repo;
+}
+
+} // namespace gcm::sim

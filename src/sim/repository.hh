@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Central measurement repository — the simulator counterpart of the
+ * paper's HTTP-fed database of crowd-sourced measurements, and the
+ * shared store the collaborative characterization of Section V builds
+ * on.
+ */
+
+#ifndef GCM_SIM_REPOSITORY_HH
+#define GCM_SIM_REPOSITORY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gcm::sim
+{
+
+/** One uploaded measurement (a mean of N runs). */
+struct MeasurementRecord
+{
+    std::int32_t device_id = -1;
+    std::string device_name;
+    std::string network;
+    double mean_ms = 0.0;
+    double stddev_ms = 0.0;
+    std::int32_t runs = 0;
+};
+
+/** In-memory measurement database keyed by (device, network). */
+class MeasurementRepository
+{
+  public:
+    /** Insert or overwrite a record. */
+    void add(MeasurementRecord record);
+
+    bool has(std::int32_t device_id, const std::string &network) const;
+
+    /** Mean latency of a (device, network) pair. Throws when absent. */
+    double latencyMs(std::int32_t device_id,
+                     const std::string &network) const;
+
+    std::size_t size() const { return records_.size(); }
+    const std::vector<MeasurementRecord> &records() const
+    {
+        return records_;
+    }
+
+    /**
+     * Dense latency matrix: result[n][d] = latency of network n on
+     * device d. Throws GcmError if any pair is missing.
+     */
+    std::vector<std::vector<double>>
+    latencyMatrix(const std::vector<std::int32_t> &device_ids,
+                  const std::vector<std::string> &networks) const;
+
+    /** Serialize to CSV text (device_id,device,network,mean,std,runs). */
+    std::string toCsv() const;
+
+    /** Parse a repository back from toCsv() output. */
+    static MeasurementRepository fromCsv(const std::string &text);
+
+  private:
+    std::vector<MeasurementRecord> records_;
+    /** (device_id, network) -> index into records_. */
+    std::map<std::pair<std::int32_t, std::string>, std::size_t> index_;
+};
+
+} // namespace gcm::sim
+
+#endif // GCM_SIM_REPOSITORY_HH

@@ -1,0 +1,71 @@
+#include "sim/uarch.hh"
+
+#include "util/error.hh"
+
+namespace gcm::sim
+{
+
+const std::vector<CoreFamily> &
+coreFamilyTable()
+{
+    // name, year, ooo, simd_bits, pipes, dotprod, int8 MACs/cycle,
+    // scalar_ipc, L1, L2, L3
+    static const std::vector<CoreFamily> table = {
+        {"Cortex-A7", 2011, false, 64, 1, false, 3.5, 0.8, 32, 256, 0},
+        {"Cortex-A35", 2015, false, 64, 1, false, 5.0, 0.9, 32, 512, 0},
+        {"Cortex-A53", 2012, false, 64, 1, false, 6.0, 1.0, 32, 512, 0},
+        {"Cortex-A55", 2017, false, 128, 1, true, 10.0, 1.1, 32, 512, 0},
+        {"Cortex-A57", 2012, true, 128, 1, false, 8.0, 1.5, 32, 1024, 0},
+        {"Cortex-A72", 2015, true, 128, 1, false, 9.0, 1.7, 32, 1024, 0},
+        {"Cortex-A73", 2016, true, 128, 2, false, 10.0, 1.8, 64, 1024, 0},
+        {"Cortex-A75", 2017, true, 128, 2, true, 14.0, 2.0, 64, 512,
+         2048},
+        {"Cortex-A76", 2018, true, 128, 2, true, 23.0, 2.3, 64, 512,
+         2048},
+        {"Cortex-A77", 2019, true, 128, 2, true, 26.0, 2.5, 64, 512,
+         4096},
+        {"Cortex-A78", 2020, true, 128, 2, true, 28.0, 2.7, 64, 512,
+         4096},
+        {"Kryo", 2015, true, 128, 2, false, 10.0, 1.7, 32, 1024, 0},
+        {"Kryo-260-Gold", 2017, true, 128, 2, false, 10.0, 1.8, 64, 1024,
+         0},
+        {"Kryo-280", 2017, true, 128, 2, false, 10.5, 1.8, 64, 2048, 0},
+        {"Kryo-360-Gold", 2018, true, 128, 2, true, 14.0, 2.0, 64, 256,
+         1024},
+        {"Kryo-385-Gold", 2018, true, 128, 2, true, 14.5, 2.0, 64, 256,
+         2048},
+        {"Kryo-460-Gold", 2019, true, 128, 2, true, 22.0, 2.3, 64, 256,
+         2048},
+        {"Kryo-485-Gold", 2019, true, 128, 2, true, 23.0, 2.3, 64, 512,
+         2048},
+        {"Kryo-585", 2020, true, 128, 2, true, 26.0, 2.5, 64, 512, 4096},
+        {"Exynos-M1", 2016, true, 128, 2, false, 9.0, 1.6, 32, 2048, 0},
+        {"Exynos-M3", 2018, true, 128, 3, false, 13.0, 2.2, 64, 512,
+         4096},
+        {"Exynos-M4", 2019, true, 128, 3, true, 24.0, 2.4, 64, 512,
+         4096},
+    };
+    return table;
+}
+
+CoreFamilyId
+coreFamilyIdByName(const std::string &name)
+{
+    const auto &table = coreFamilyTable();
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table[i].name == name)
+            return static_cast<CoreFamilyId>(i);
+    }
+    fatal("unknown core family: ", name);
+}
+
+const CoreFamily &
+coreFamily(CoreFamilyId id)
+{
+    const auto &table = coreFamilyTable();
+    GCM_ASSERT(id >= 0 && static_cast<std::size_t>(id) < table.size(),
+               "coreFamily: id out of range");
+    return table[static_cast<std::size_t>(id)];
+}
+
+} // namespace gcm::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Mobile CPU core-family microarchitecture table.
+ *
+ * The 22 families cover the CPUs in the paper's Fig. 3, from the
+ * in-order Cortex-A7/A53 era to Kryo 585 (Cortex-A77 derivative).
+ * Parameters are coarse public-knowledge values: SIMD datapath width
+ * and pipe count, int8 dot-product support (SDOT/UDOT, ARMv8.2),
+ * cache sizes and a scalar-IPC figure for non-SIMD glue code.
+ */
+
+#ifndef GCM_SIM_UARCH_HH
+#define GCM_SIM_UARCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcm::sim
+{
+
+/** Identifier into the core-family table. */
+using CoreFamilyId = std::int32_t;
+
+/** Static microarchitectural description of a big-core family. */
+struct CoreFamily
+{
+    std::string name;
+    /** Approximate introduction year (diversity axis in Fig. 3). */
+    std::int32_t year = 2014;
+    bool out_of_order = false;
+    /** NEON datapath width in bits (64 for A7/A53-class). */
+    std::int32_t simd_width_bits = 128;
+    /** Number of SIMD issue pipes. */
+    std::int32_t simd_pipes = 1;
+    /** ARMv8.2 int8 dot-product (SDOT) support. */
+    bool has_dotprod = false;
+    /**
+     * Modeled peak int8 MACs per cycle for well-blocked GEMM kernels.
+     * This is calibrated against published TFLite int8 throughput
+     * rather than derived from raw SIMD width: SDOT cores retire
+     * ~16 MACs/cycle/pipe in theory but sustain far less, and legacy
+     * cores do better than the naive widening-multiply bound.
+     */
+    double int8_macs_per_cycle = 8.0;
+    /** Sustained scalar IPC for interpreter/pooling style code. */
+    double scalar_ipc = 1.0;
+    std::int32_t l1_kb = 32;
+    std::int32_t l2_kb = 512;
+    std::int32_t l3_kb = 0;
+
+    /** Peak int8 multiply-accumulates per cycle. */
+    double macsPerCycleInt8() const { return int8_macs_per_cycle; }
+};
+
+/** The 22-entry core-family table (order is stable). */
+const std::vector<CoreFamily> &coreFamilyTable();
+
+/** Index of a family by name. Throws GcmError when unknown. */
+CoreFamilyId coreFamilyIdByName(const std::string &name);
+
+/** Access a family by id. */
+const CoreFamily &coreFamily(CoreFamilyId id);
+
+} // namespace gcm::sim
+
+#endif // GCM_SIM_UARCH_HH

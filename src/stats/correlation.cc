@@ -1,0 +1,91 @@
+#include "stats/correlation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hh"
+
+namespace gcm::stats
+{
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    GCM_ASSERT(x.size() == y.size(), "pearson: size mismatch");
+    GCM_ASSERT(!x.empty(), "pearson: empty input");
+    const double n = static_cast<double>(x.size());
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= n;
+    my /= n;
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+ranks(const std::vector<double> &v)
+{
+    const std::size_t n = v.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&v](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+    std::vector<double> r(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && v[order[j + 1]] == v[order[i]])
+            ++j;
+        // Average rank over the tie group [i, j].
+        const double avg =
+            (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            r[order[k]] = avg;
+        i = j + 1;
+    }
+    return r;
+}
+
+double
+spearman(const std::vector<double> &x, const std::vector<double> &y)
+{
+    GCM_ASSERT(x.size() == y.size(), "spearman: size mismatch");
+    return pearson(ranks(x), ranks(y));
+}
+
+std::vector<std::vector<double>>
+spearmanMatrix(const std::vector<std::vector<double>> &variables)
+{
+    const std::size_t n = variables.size();
+    // Pre-rank each variable once: Spearman is Pearson on ranks.
+    std::vector<std::vector<double>> ranked(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        GCM_ASSERT(variables[i].size() == variables[0].size(),
+                   "spearmanMatrix: unequal sample sizes");
+        ranked[i] = ranks(variables[i]);
+    }
+    std::vector<std::vector<double>> rho(n, std::vector<double>(n, 1.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double c = pearson(ranked[i], ranked[j]);
+            rho[i][j] = c;
+            rho[j][i] = c;
+        }
+    }
+    return rho;
+}
+
+} // namespace gcm::stats

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Pearson and Spearman correlation, including the pairwise Spearman
+ * matrix that drives the SCCS signature-set selection (Algorithm 2).
+ */
+
+#ifndef GCM_STATS_CORRELATION_HH
+#define GCM_STATS_CORRELATION_HH
+
+#include <vector>
+
+namespace gcm::stats
+{
+
+/**
+ * Pearson correlation coefficient of two equal-length samples.
+ * Returns 0 when either sample has zero variance.
+ */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/**
+ * Fractional ranks with average tie handling (rank starts at 1), the
+ * convention used when defining the Spearman coefficient.
+ */
+std::vector<double> ranks(const std::vector<double> &v);
+
+/** Spearman rank correlation: Pearson on the ranks. */
+double spearman(const std::vector<double> &x, const std::vector<double> &y);
+
+/**
+ * Pairwise Spearman matrix between variables.
+ *
+ * @param variables One sample vector per variable; all equal length.
+ * @return Symmetric matrix rho with rho[i][j] = spearman(var_i, var_j).
+ */
+std::vector<std::vector<double>>
+spearmanMatrix(const std::vector<std::vector<double>> &variables);
+
+} // namespace gcm::stats
+
+#endif // GCM_STATS_CORRELATION_HH

@@ -1,0 +1,74 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gcm::stats
+{
+
+double
+mean(const std::vector<double> &v)
+{
+    GCM_ASSERT(!v.empty(), "mean of empty vector");
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    return sum / static_cast<double>(v.size());
+}
+
+double
+variance(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean(v);
+    double ss = 0.0;
+    for (double x : v)
+        ss += (x - m) * (x - m);
+    return ss / static_cast<double>(v.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    return std::sqrt(variance(v));
+}
+
+double
+quantile(std::vector<double> v, double q)
+{
+    GCM_ASSERT(!v.empty(), "quantile of empty vector");
+    GCM_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+    std::sort(v.begin(), v.end());
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double
+median(const std::vector<double> &v)
+{
+    return quantile(v, 0.5);
+}
+
+Summary
+summarize(const std::vector<double> &v)
+{
+    GCM_ASSERT(!v.empty(), "summarize of empty vector");
+    Summary s;
+    s.min = *std::min_element(v.begin(), v.end());
+    s.max = *std::max_element(v.begin(), v.end());
+    s.q1 = quantile(v, 0.25);
+    s.median = quantile(v, 0.5);
+    s.q3 = quantile(v, 0.75);
+    s.mean = mean(v);
+    s.stddev = stddev(v);
+    s.count = v.size();
+    return s;
+}
+
+} // namespace gcm::stats

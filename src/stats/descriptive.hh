@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Descriptive statistics used throughout exploratory data analysis
+ * (Section II of the paper) and result reporting.
+ */
+
+#ifndef GCM_STATS_DESCRIPTIVE_HH
+#define GCM_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace gcm::stats
+{
+
+/** Arithmetic mean. @pre !v.empty() */
+double mean(const std::vector<double> &v);
+
+/** Unbiased sample variance (n-1 denominator); 0 when n < 2. */
+double variance(const std::vector<double> &v);
+
+/** Sample standard deviation. */
+double stddev(const std::vector<double> &v);
+
+/**
+ * Linear-interpolation quantile (type-7, the numpy default).
+ *
+ * @param v Values (need not be sorted).
+ * @param q Quantile in [0, 1].
+ */
+double quantile(std::vector<double> v, double q);
+
+/** Median, i.e. quantile(v, 0.5). */
+double median(const std::vector<double> &v);
+
+/** Five-number summary plus mean/stddev, as shown in violin plots. */
+struct Summary
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    std::size_t count = 0;
+};
+
+/** Compute a Summary. @pre !v.empty() */
+Summary summarize(const std::vector<double> &v);
+
+} // namespace gcm::stats
+
+#endif // GCM_STATS_DESCRIPTIVE_HH

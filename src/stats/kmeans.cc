@@ -1,0 +1,155 @@
+#include "stats/kmeans.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hh"
+
+namespace gcm::stats
+{
+
+namespace
+{
+
+double
+squaredDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    return d;
+}
+
+/** k-means++ seeding: spread initial centroids proportionally to D^2. */
+std::vector<std::vector<double>>
+kmeansPlusPlusInit(const std::vector<std::vector<double>> &points,
+                   std::size_t k, Rng &rng)
+{
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(k);
+    const std::size_t n = points.size();
+    centroids.push_back(
+        points[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(n) - 1))]);
+    std::vector<double> d2(n, std::numeric_limits<double>::max());
+    while (centroids.size() < k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            d2[i] = std::min(d2[i],
+                             squaredDistance(points[i], centroids.back()));
+        }
+        double total = 0.0;
+        for (double d : d2)
+            total += d;
+        if (total <= 0.0) {
+            // All remaining points coincide with a centroid; pick any.
+            centroids.push_back(points[static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(n) - 1))]);
+            continue;
+        }
+        double r = rng.uniform() * total;
+        std::size_t chosen = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            r -= d2[i];
+            if (r < 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+    return centroids;
+}
+
+KMeansResult
+runLloyd(const std::vector<std::vector<double>> &points,
+         const KMeansConfig &cfg, Rng &rng)
+{
+    const std::size_t n = points.size();
+    const std::size_t dim = points[0].size();
+    KMeansResult res;
+    res.centroids = kmeansPlusPlusInit(points, cfg.k, rng);
+    res.assignments.assign(n, 0);
+
+    for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
+        bool changed = false;
+        // Assignment step.
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            std::size_t best_k = 0;
+            for (std::size_t c = 0; c < cfg.k; ++c) {
+                const double d = squaredDistance(points[i],
+                                                 res.centroids[c]);
+                if (d < best) {
+                    best = d;
+                    best_k = c;
+                }
+            }
+            if (res.assignments[i] != best_k) {
+                res.assignments[i] = best_k;
+                changed = true;
+            }
+        }
+        res.iterations = iter + 1;
+        // Update step.
+        std::vector<std::vector<double>> sums(
+            cfg.k, std::vector<double>(dim, 0.0));
+        std::vector<std::size_t> counts(cfg.k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t d = 0; d < dim; ++d)
+                sums[res.assignments[i]][d] += points[i][d];
+            ++counts[res.assignments[i]];
+        }
+        for (std::size_t c = 0; c < cfg.k; ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster on a random point.
+                res.centroids[c] = points[static_cast<std::size_t>(
+                    rng.uniformInt(0, static_cast<std::int64_t>(n) - 1))];
+                changed = true;
+                continue;
+            }
+            for (std::size_t d = 0; d < dim; ++d) {
+                res.centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    res.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        res.inertia +=
+            squaredDistance(points[i], res.centroids[res.assignments[i]]);
+    }
+    return res;
+}
+
+} // namespace
+
+KMeansResult
+kMeans(const std::vector<std::vector<double>> &points,
+       const KMeansConfig &cfg)
+{
+    GCM_ASSERT(cfg.k > 0, "kMeans: k must be positive");
+    GCM_ASSERT(points.size() >= cfg.k, "kMeans: fewer points than k");
+    GCM_ASSERT(cfg.num_restarts > 0, "kMeans: need >= 1 restart");
+    for (const auto &p : points) {
+        GCM_ASSERT(p.size() == points[0].size(),
+                   "kMeans: inconsistent point dimensionality");
+    }
+
+    Rng rng(cfg.seed);
+    KMeansResult best;
+    best.inertia = std::numeric_limits<double>::max();
+    for (std::size_t r = 0; r < cfg.num_restarts; ++r) {
+        Rng restart_rng = rng.fork(r);
+        KMeansResult res = runLloyd(points, cfg, restart_rng);
+        if (res.inertia < best.inertia)
+            best = std::move(res);
+    }
+    return best;
+}
+
+} // namespace gcm::stats

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lloyd's k-means with k-means++ initialization.
+ *
+ * Used for the paper's exploratory analysis: clustering the 105
+ * devices (each a 118-dim latency vector) into fast/medium/slow, and
+ * the 118 networks (each a 105-dim vector) into small/large/giant.
+ */
+
+#ifndef GCM_STATS_KMEANS_HH
+#define GCM_STATS_KMEANS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace gcm::stats
+{
+
+/** Result of a k-means run. */
+struct KMeansResult
+{
+    /** Cluster index per input point. */
+    std::vector<std::size_t> assignments;
+    /** Cluster centroids, centroids[k] has the point dimensionality. */
+    std::vector<std::vector<double>> centroids;
+    /** Sum of squared distances of points to their centroid. */
+    double inertia = 0.0;
+    /** Lloyd iterations of the best restart until convergence. */
+    std::size_t iterations = 0;
+};
+
+/** Configuration for kMeans(). */
+struct KMeansConfig
+{
+    std::size_t k = 3;
+    std::size_t max_iterations = 100;
+    /** Independent restarts; the lowest-inertia run is kept. */
+    std::size_t num_restarts = 8;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Cluster points with k-means.
+ *
+ * @param points Row per point; all rows equal length.
+ * @param cfg Algorithm configuration. @pre cfg.k <= points.size()
+ */
+KMeansResult kMeans(const std::vector<std::vector<double>> &points,
+                    const KMeansConfig &cfg);
+
+} // namespace gcm::stats
+
+#endif // GCM_STATS_KMEANS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal CSV reading/writing for dataset export and bench output.
+ *
+ * The dialect is deliberately simple: comma separator, optional
+ * double-quote quoting with "" escaping, no embedded newlines.
+ */
+
+#ifndef GCM_UTIL_CSV_HH
+#define GCM_UTIL_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace gcm
+{
+
+/** A parsed CSV document: header row plus data rows of strings. */
+struct CsvDocument
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /** Index of a header column. Throws GcmError when absent. */
+    std::size_t columnIndex(const std::string &name) const;
+};
+
+/** Split one CSV line into fields, honoring quotes. */
+std::vector<std::string> parseCsvLine(const std::string &line);
+
+/** Quote a field if it contains separator/quote characters. */
+std::string escapeCsvField(const std::string &field);
+
+/** Parse a whole document from text. First line is the header. */
+CsvDocument parseCsv(const std::string &text);
+
+/** Read and parse a CSV file. Throws GcmError on I/O failure. */
+CsvDocument readCsvFile(const std::string &path);
+
+/** Serialize a document to CSV text. */
+std::string toCsv(const CsvDocument &doc);
+
+/** Write a document to a file. Throws GcmError on I/O failure. */
+void writeCsvFile(const std::string &path, const CsvDocument &doc);
+
+} // namespace gcm
+
+#endif // GCM_UTIL_CSV_HH

@@ -1,0 +1,18 @@
+#include "util/error.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace gcm::detail
+{
+
+void
+panicImpl(const char *cond, const char *file, int line,
+          const std::string &msg)
+{
+    std::cerr << "panic: assertion `" << cond << "` failed at " << file
+              << ":" << line << ": " << msg << std::endl;
+    std::abort();
+}
+
+} // namespace gcm::detail

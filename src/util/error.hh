@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Error handling primitives shared across the gcm libraries.
+ *
+ * Following the gem5 convention, user-facing errors (bad configuration,
+ * invalid arguments) raise GcmError via fatal(), while internal
+ * invariant violations abort via panic() / GCM_ASSERT.
+ */
+
+#ifndef GCM_UTIL_ERROR_HH
+#define GCM_UTIL_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gcm
+{
+
+/**
+ * Exception thrown for user-level errors: invalid model configuration,
+ * malformed networks, out-of-range parameters, bad file contents.
+ */
+class GcmError : public std::runtime_error
+{
+  public:
+    explicit GcmError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Raise a GcmError composed from a stream of message fragments.
+ *
+ * @param parts Message fragments; anything streamable to std::ostream.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...parts)
+{
+    std::ostringstream oss;
+    (oss << ... << parts);
+    throw GcmError(oss.str());
+}
+
+namespace detail
+{
+
+/** Abort with a diagnostic; used by GCM_ASSERT on invariant failure. */
+[[noreturn]] void panicImpl(const char *cond, const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+} // namespace gcm
+
+/**
+ * Internal invariant check. Active in all build types: the library is a
+ * research artifact where silent corruption is worse than an abort.
+ */
+#define GCM_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::gcm::detail::panicImpl(#cond, __FILE__, __LINE__, (msg));     \
+        }                                                                   \
+    } while (0)
+
+#endif // GCM_UTIL_ERROR_HH

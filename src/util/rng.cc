@@ -1,0 +1,166 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+namespace gcm
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+    // Avoid the (astronomically unlikely) all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    GCM_ASSERT(lo <= hi, "uniform(): lo > hi");
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    GCM_ASSERT(lo <= hi, "uniformInt(): lo > hi");
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    std::uint64_t r;
+    do {
+        r = next();
+    } while (r >= limit);
+    return lo + static_cast<std::int64_t>(r % range);
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spareNormal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spareNormal_ = mag * std::sin(2.0 * M_PI * u2);
+    hasSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormalFactor(double sigma)
+{
+    return std::exp(normal(0.0, sigma));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    GCM_ASSERT(!weights.empty(), "weightedIndex(): empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+        GCM_ASSERT(w >= 0.0, "weightedIndex(): negative weight");
+        total += w;
+    }
+    GCM_ASSERT(total > 0.0, "weightedIndex(): all-zero weights");
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<std::size_t>
+Rng::sampleWithoutReplacement(std::size_t n, std::size_t k)
+{
+    GCM_ASSERT(k <= n, "sampleWithoutReplacement(): k > n");
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = i;
+    // Partial Fisher-Yates: only the first k slots need finalizing.
+    for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j = static_cast<std::size_t>(
+            uniformInt(static_cast<std::int64_t>(i),
+                       static_cast<std::int64_t>(n) - 1));
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id) const
+{
+    // Mix the parent seed with the stream id through SplitMix64 so that
+    // child streams are decorrelated from each other and the parent.
+    std::uint64_t mix = seed_ ^ (0x632be59bd9b4e019ULL * (stream_id + 1));
+    std::uint64_t expanded = splitmix64(mix);
+    return Rng(expanded ^ stream_id);
+}
+
+} // namespace gcm

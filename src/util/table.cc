@@ -1,0 +1,170 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace gcm
+{
+
+std::string
+formatDouble(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    GCM_ASSERT(!header_.empty(), "TextTable: empty header");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    GCM_ASSERT(row.size() == header_.size(),
+               "TextTable: row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRow(const std::string &label, const std::vector<double> &vals,
+                  int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(vals.size() + 1);
+    row.push_back(label);
+    for (double v : vals)
+        row.push_back(formatDouble(v, precision));
+    addRow(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        widths[i] = header_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    std::ostringstream oss;
+    auto rule = [&]() {
+        oss << '+';
+        for (std::size_t w : widths)
+            oss << std::string(w + 2, '-') << '+';
+        oss << '\n';
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        oss << '|';
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            oss << ' ' << row[i]
+                << std::string(widths[i] - row[i].size() + 1, ' ') << '|';
+        }
+        oss << '\n';
+    };
+    rule();
+    emit(header_);
+    rule();
+    for (const auto &row : rows_)
+        emit(row);
+    rule();
+    return oss.str();
+}
+
+std::string
+renderHistogram(const std::vector<double> &values, std::size_t num_bins,
+                const std::string &title, const std::string &unit)
+{
+    GCM_ASSERT(num_bins > 0, "renderHistogram: zero bins");
+    std::ostringstream oss;
+    oss << title << '\n';
+    if (values.empty()) {
+        oss << "  (no data)\n";
+        return oss.str();
+    }
+    double lo = *std::min_element(values.begin(), values.end());
+    double hi = *std::max_element(values.begin(), values.end());
+    if (hi <= lo)
+        hi = lo + 1.0;
+    std::vector<std::size_t> counts(num_bins, 0);
+    for (double v : values) {
+        auto b = static_cast<std::size_t>((v - lo) / (hi - lo) * num_bins);
+        if (b >= num_bins)
+            b = num_bins - 1;
+        ++counts[b];
+    }
+    std::size_t max_count = *std::max_element(counts.begin(), counts.end());
+    const std::size_t max_width = 50;
+    // Enough digits that adjacent bin edges are distinguishable.
+    int precision = 1;
+    double bin_width = (hi - lo) / static_cast<double>(num_bins);
+    while (precision < 6 && bin_width < 2.0 * std::pow(10.0, -precision))
+        ++precision;
+    for (std::size_t b = 0; b < num_bins; ++b) {
+        double bin_lo = lo + (hi - lo) * static_cast<double>(b) / num_bins;
+        double bin_hi =
+            lo + (hi - lo) * static_cast<double>(b + 1) / num_bins;
+        std::size_t width = max_count
+            ? counts[b] * max_width / max_count
+            : 0;
+        oss << "  [" << std::setw(9) << formatDouble(bin_lo, precision)
+            << ", " << std::setw(9) << formatDouble(bin_hi, precision)
+            << ") " << unit << " |" << std::string(width, '#') << ' '
+            << counts[b] << '\n';
+    }
+    return oss.str();
+}
+
+std::string
+renderBars(const std::vector<std::string> &labels,
+           const std::vector<double> &counts, const std::string &title)
+{
+    GCM_ASSERT(labels.size() == counts.size(),
+               "renderBars: label/count size mismatch");
+    std::ostringstream oss;
+    oss << title << '\n';
+    if (labels.empty()) {
+        oss << "  (no data)\n";
+        return oss.str();
+    }
+    std::size_t label_w = 0;
+    double max_count = 0.0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        label_w = std::max(label_w, labels[i].size());
+        max_count = std::max(max_count, counts[i]);
+    }
+    const std::size_t max_width = 50;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        std::size_t width = max_count > 0
+            ? static_cast<std::size_t>(
+                  std::lround(counts[i] * max_width / max_count))
+            : 0;
+        oss << "  " << labels[i]
+            << std::string(label_w - labels[i].size(), ' ') << " |"
+            << std::string(width, '#') << ' ' << counts[i] << '\n';
+    }
+    return oss.str();
+}
+
+std::string
+renderSeries(const std::string &title, const std::string &x_name,
+             const std::string &y_name, const std::vector<double> &xs,
+             const std::vector<double> &ys, int precision)
+{
+    GCM_ASSERT(xs.size() == ys.size(), "renderSeries: size mismatch");
+    TextTable t({x_name, y_name});
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        t.addRow({formatDouble(xs[i], 2), formatDouble(ys[i], precision)});
+    }
+    return title + "\n" + t.render();
+}
+
+} // namespace gcm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ASCII rendering helpers used by the bench harnesses to print the
+ * paper's tables, histograms, and series in a terminal.
+ */
+
+#ifndef GCM_UTIL_TABLE_HH
+#define GCM_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace gcm
+{
+
+/** Column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row. @pre row.size() == header.size() */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with fixed precision. */
+    void addRow(const std::string &label, const std::vector<double> &vals,
+                int precision = 4);
+
+    /** Render with box-drawing separators. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Horizontal ASCII bar histogram. Builds equal-width bins over
+ * [min, max] of the values and renders one bar per bin.
+ */
+std::string renderHistogram(const std::vector<double> &values,
+                            std::size_t num_bins, const std::string &title,
+                            const std::string &unit);
+
+/**
+ * Render labelled bars (e.g. a categorical histogram) scaled to a
+ * maximum width of 50 characters.
+ */
+std::string renderBars(const std::vector<std::string> &labels,
+                       const std::vector<double> &counts,
+                       const std::string &title);
+
+/**
+ * Render an (x, y) series as aligned text rows, the closest terminal
+ * analogue of the paper's line plots.
+ */
+std::string renderSeries(const std::string &title,
+                         const std::string &x_name,
+                         const std::string &y_name,
+                         const std::vector<double> &xs,
+                         const std::vector<double> &ys,
+                         int precision = 4);
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double v, int precision = 4);
+
+} // namespace gcm
+
+#endif // GCM_UTIL_TABLE_HH

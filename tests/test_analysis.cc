@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for static graph cost analysis (MACs, params, bytes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/analysis.hh"
+#include "dnn/quantize.hh"
+
+using namespace gcm::dnn;
+
+TEST(Analysis, ConvMacsHandComputed)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 4});
+    b.conv2d(b.input(), 16, 3, 1, 1);
+    const Graph g = b.build();
+    // out 8x8x16, each output = 3*3*4 MACs.
+    EXPECT_EQ(totalMacs(g), 8LL * 8 * 16 * 3 * 3 * 4);
+}
+
+TEST(Analysis, GroupedConvDividesMacs)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 8});
+    b.conv2d(b.input(), 16, 3, 1, 1, /*groups=*/2);
+    const Graph g = b.build();
+    EXPECT_EQ(totalMacs(g), 8LL * 8 * 16 * 3 * 3 * 4);
+}
+
+TEST(Analysis, DepthwiseMacs)
+{
+    GraphBuilder b("t", TensorShape{1, 10, 10, 32});
+    b.depthwiseConv2d(b.input(), 3, 1, 1);
+    const Graph g = b.build();
+    EXPECT_EQ(totalMacs(g), 10LL * 10 * 32 * 3 * 3);
+}
+
+TEST(Analysis, FullyConnectedMacs)
+{
+    GraphBuilder b("t", TensorShape{1, 1, 1, 256});
+    b.fullyConnected(b.input(), 10);
+    const Graph g = b.build();
+    EXPECT_EQ(totalMacs(g), 2560);
+}
+
+TEST(Analysis, FullyConnectedFlattensSpatialInput)
+{
+    GraphBuilder b("t", TensorShape{1, 7, 7, 64});
+    b.fullyConnected(b.input(), 10);
+    const Graph g = b.build();
+    EXPECT_EQ(totalMacs(g), 7LL * 7 * 64 * 10);
+}
+
+TEST(Analysis, ConvParamsIncludeBias)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 4});
+    b.conv2d(b.input(), 16, 3, 1, 1);
+    const Graph g = b.build();
+    EXPECT_EQ(totalParams(g), 3LL * 3 * 4 * 16 + 16);
+}
+
+TEST(Analysis, ActivationHasNoMacs)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 4});
+    b.relu(b.input());
+    const Graph g = b.build();
+    EXPECT_EQ(totalMacs(g), 0);
+    const NodeCost c = nodeCost(g, g.outputNode());
+    EXPECT_EQ(c.simple_ops, 8 * 8 * 4);
+}
+
+TEST(Analysis, PoolSimpleOpsScaleWithWindow)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 4});
+    b.maxPool2d(b.input(), 2, 2);
+    const Graph g = b.build();
+    const NodeCost c = nodeCost(g, g.outputNode());
+    EXPECT_EQ(c.simple_ops, 4LL * 4 * 4 * 2 * 2);
+}
+
+TEST(Analysis, Int8HalvesNothingButShrinksBytes)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 4});
+    b.conv2d(b.input(), 16, 3, 1, 1);
+    const Graph fp32 = b.build();
+    const Graph int8 = quantize(fp32);
+    EXPECT_EQ(totalMacs(fp32), totalMacs(int8));
+    const NodeCost cf = nodeCost(fp32, fp32.outputNode());
+    const NodeCost cq = nodeCost(int8, int8.outputNode());
+    EXPECT_EQ(cf.output_bytes, 4 * cq.output_bytes);
+    EXPECT_LT(cq.weight_bytes, cf.weight_bytes);
+}
+
+TEST(Analysis, MegaMacsUnits)
+{
+    GraphBuilder b("t", TensorShape{1, 100, 100, 10});
+    b.conv2d(b.input(), 10, 1, 1, 0);
+    const Graph g = b.build();
+    EXPECT_DOUBLE_EQ(megaMacs(g), 1.0); // 100*100*10*10 = 1e6
+}
+
+TEST(Analysis, AddCountsElementwiseOps)
+{
+    GraphBuilder b("t", TensorShape{1, 4, 4, 4});
+    const NodeId x = b.conv2d(b.input(), 4, 1, 1, 0);
+    b.add(b.input(), x);
+    const Graph g = b.build();
+    const NodeCost c = nodeCost(g, g.outputNode());
+    EXPECT_EQ(c.simple_ops, 4 * 4 * 4);
+    EXPECT_EQ(c.input_bytes, 2 * 4 * 4 * 4 * 4); // two fp32 inputs
+}

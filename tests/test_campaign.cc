@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the characterization campaign orchestrator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include <set>
+
+#include "sim/campaign.hh"
+
+using namespace gcm::sim;
+using namespace gcm::dnn;
+
+namespace
+{
+
+std::vector<Graph>
+smallSuite()
+{
+    return {buildZooModel("squeezenet_1.1"),
+            buildZooModel("mobilenet_v3_small")};
+}
+
+} // namespace
+
+TEST(Campaign, CoversEveryDeviceNetworkPair)
+{
+    const auto fleet = DeviceDatabase::standard(1, 8);
+    CharacterizationCampaign campaign(fleet, LatencyModel{});
+    const auto repo = campaign.run(smallSuite());
+    EXPECT_EQ(repo.size(), 16u);
+    for (const auto &d : fleet.devices()) {
+        EXPECT_TRUE(repo.has(d.id, "squeezenet_1.1"));
+        EXPECT_TRUE(repo.has(d.id, "mobilenet_v3_small"));
+    }
+}
+
+TEST(Campaign, QuantizesFp32Inputs)
+{
+    // Passing fp32 graphs must work: the campaign quantizes on the
+    // fly, mirroring the paper's pipeline.
+    const auto fleet = DeviceDatabase::standard(1, 2);
+    CharacterizationCampaign campaign(fleet, LatencyModel{});
+    EXPECT_NO_THROW((void)campaign.run(smallSuite()));
+}
+
+TEST(Campaign, DeterministicForSeed)
+{
+    const auto fleet = DeviceDatabase::standard(1, 4);
+    CampaignConfig cfg;
+    cfg.noise_seed = 99;
+    CharacterizationCampaign a(fleet, LatencyModel{}, cfg);
+    CharacterizationCampaign b(fleet, LatencyModel{}, cfg);
+    const auto ra = a.run(smallSuite());
+    const auto rb = b.run(smallSuite());
+    for (const auto &r : ra.records()) {
+        EXPECT_DOUBLE_EQ(r.mean_ms,
+                         rb.latencyMs(r.device_id, r.network));
+    }
+}
+
+TEST(Campaign, DifferentDevicesGetDifferentLatencies)
+{
+    const auto fleet = DeviceDatabase::standard(1, 8);
+    CharacterizationCampaign campaign(fleet, LatencyModel{});
+    const auto repo = campaign.run(smallSuite());
+    std::set<double> values;
+    for (const auto &d : fleet.devices())
+        values.insert(repo.latencyMs(d.id, "squeezenet_1.1"));
+    EXPECT_EQ(values.size(), 8u);
+}
+
+TEST(Campaign, MeasureOnDeviceAddsSingleRecord)
+{
+    const auto fleet = DeviceDatabase::standard(1, 3);
+    CharacterizationCampaign campaign(fleet, LatencyModel{});
+    MeasurementRepository repo;
+    const Graph g = quantize(buildZooModel("squeezenet_1.1"));
+    campaign.measureOnDevice(g, fleet.device(2), repo);
+    EXPECT_EQ(repo.size(), 1u);
+    EXPECT_TRUE(repo.has(fleet.device(2).id, "squeezenet_1.1"));
+}
+
+TEST(Campaign, ConfigurableRunCount)
+{
+    const auto fleet = DeviceDatabase::standard(1, 2);
+    CampaignConfig cfg;
+    cfg.runs_per_network = 5;
+    CharacterizationCampaign campaign(fleet, LatencyModel{}, cfg);
+    const auto repo = campaign.run(smallSuite());
+    for (const auto &r : repo.records())
+        EXPECT_EQ(r.runs, 5);
+}

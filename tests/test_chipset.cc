@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the chipset database.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/chipset.hh"
+#include "util/error.hh"
+
+using namespace gcm::sim;
+using gcm::GcmError;
+
+TEST(Chipset, ThirtyEightChipsets)
+{
+    EXPECT_EQ(chipsetTable().size(), 38u);
+}
+
+TEST(Chipset, LookupByName)
+{
+    const std::size_t i = chipsetIndexByName("Snapdragon-855");
+    EXPECT_EQ(chipsetTable()[i].vendor, "Qualcomm");
+    EXPECT_EQ(coreFamily(chipsetTable()[i].big_core).name,
+              "Kryo-485-Gold");
+}
+
+TEST(Chipset, UnknownNameThrows)
+{
+    EXPECT_THROW(chipsetIndexByName("Snapdragon-9000"), GcmError);
+}
+
+TEST(Chipset, NamesAreUnique)
+{
+    const auto &table = chipsetTable();
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        for (std::size_t j = i + 1; j < table.size(); ++j)
+            EXPECT_NE(table[i].name, table[j].name);
+    }
+}
+
+TEST(Chipset, DramBandwidthOrdering)
+{
+    EXPECT_LT(dramBandwidthGBs(DramKind::Lpddr3),
+              dramBandwidthGBs(DramKind::Lpddr4));
+    EXPECT_LT(dramBandwidthGBs(DramKind::Lpddr4),
+              dramBandwidthGBs(DramKind::Lpddr4x));
+    EXPECT_LT(dramBandwidthGBs(DramKind::Lpddr4x),
+              dramBandwidthGBs(DramKind::Lpddr5));
+}
+
+TEST(Chipset, DramKindNames)
+{
+    EXPECT_STREQ(dramKindName(DramKind::Lpddr3), "LPDDR3");
+    EXPECT_STREQ(dramKindName(DramKind::Lpddr5), "LPDDR5");
+}
+
+TEST(Chipset, AllEntriesSane)
+{
+    for (const auto &c : chipsetTable()) {
+        EXPECT_GT(c.max_freq_ghz, 1.0) << c.name;
+        EXPECT_LT(c.max_freq_ghz, 3.5) << c.name;
+        EXPECT_FALSE(c.ram_options_gb.empty()) << c.name;
+        EXPECT_GT(c.popularity, 0.0) << c.name;
+        EXPECT_NO_THROW((void)coreFamily(c.big_core)) << c.name;
+    }
+}
+
+TEST(Chipset, RedmiNote5ProChipsetUsesKryo260)
+{
+    // The paper's Section V case study device is a Redmi Note 5 Pro
+    // with a Kryo 260 Gold CPU (Snapdragon 636).
+    const std::size_t i = chipsetIndexByName("Snapdragon-636");
+    EXPECT_EQ(coreFamily(chipsetTable()[i].big_core).name,
+              "Kryo-260-Gold");
+}
+
+TEST(Chipset, CoversMultipleVendors)
+{
+    std::size_t qc = 0, mtk = 0, sams = 0, hisi = 0;
+    for (const auto &c : chipsetTable()) {
+        if (c.vendor == "Qualcomm")
+            ++qc;
+        else if (c.vendor == "MediaTek")
+            ++mtk;
+        else if (c.vendor == "Samsung")
+            ++sams;
+        else if (c.vendor == "HiSilicon")
+            ++hisi;
+    }
+    EXPECT_GT(qc, 10u);
+    EXPECT_GT(mtk, 4u);
+    EXPECT_GT(sams, 4u);
+    EXPECT_GT(hisi, 3u);
+}

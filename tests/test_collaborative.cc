@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the collaborative characterization simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/collaborative.hh"
+#include "testing_support.hh"
+
+using namespace gcm;
+using namespace gcm::core;
+
+namespace
+{
+
+CollaborativeConfig
+smallConfig()
+{
+    CollaborativeConfig cfg;
+    cfg.max_devices = 8;
+    cfg.contribution_fraction = 0.2;
+    cfg.gbt = gcmtest::fastGbt();
+    return cfg;
+}
+
+} // namespace
+
+TEST(Collaborative, SignatureChosenUpFront)
+{
+    const auto &ctx = gcmtest::smallContext();
+    CollaborativeSimulation sim(ctx, 6);
+    EXPECT_EQ(sim.signature().size(), 6u);
+}
+
+TEST(Collaborative, RunProducesOneStepPerDevice)
+{
+    const auto &ctx = gcmtest::smallContext();
+    CollaborativeSimulation sim(ctx, 6);
+    const auto steps = sim.run(smallConfig());
+    ASSERT_EQ(steps.size(), 8u);
+    for (std::size_t i = 0; i < steps.size(); ++i)
+        EXPECT_EQ(steps[i].num_devices, i + 1);
+}
+
+TEST(Collaborative, MeasurementAccountingIsExact)
+{
+    const auto &ctx = gcmtest::smallContext();
+    CollaborativeSimulation sim(ctx, 6);
+    const auto cfg = smallConfig();
+    const auto steps = sim.run(cfg);
+    const auto per_device = static_cast<std::size_t>(
+        cfg.contribution_fraction
+        * static_cast<double>(ctx.numNetworks() - 6));
+    EXPECT_EQ(steps.back().total_measurements,
+              steps.size() * (6 + per_device));
+}
+
+TEST(Collaborative, AccuracyReasonableAfterSeveralDevices)
+{
+    const auto &ctx = gcmtest::smallContext();
+    CollaborativeSimulation sim(ctx, 6);
+    const auto steps = sim.run(smallConfig());
+    // The reduced context has far fewer rows than the paper's
+    // 50-device run; only the qualitative behaviour is asserted.
+    EXPECT_GT(steps.back().avg_r2, 0.2);
+    // Later iterations should beat the one-device model.
+    EXPECT_GT(steps.back().avg_r2, steps.front().avg_r2);
+}
+
+TEST(Collaborative, IsolatedCurveShapeAndImprovement)
+{
+    const auto &ctx = gcmtest::smallContext();
+    CollaborativeSimulation sim(ctx, 6);
+    const auto curve =
+        sim.isolatedCurve(0, 3, gcmtest::fastGbt(), /*stride=*/5);
+    ASSERT_FALSE(curve.empty());
+    EXPECT_EQ(curve.front().first, 5u);
+    // More training networks should eventually help.
+    EXPECT_GT(curve.back().second, curve.front().second);
+    // Full-data fit is a training-set fit and should be strong.
+    EXPECT_GT(curve.back().second, 0.8);
+}
+
+TEST(Collaborative, CollaborativeR2ForDeviceIsHigh)
+{
+    const auto &ctx = gcmtest::smallContext();
+    CollaborativeSimulation sim(ctx, 6);
+    CollaborativeConfig cfg = smallConfig();
+    cfg.max_devices = ctx.fleet().size();
+    const double r2 = sim.collaborativeR2ForDevice(0, cfg);
+    EXPECT_GT(r2, 0.4);
+}
+
+TEST(Collaborative, DeterministicForSeed)
+{
+    const auto &ctx = gcmtest::smallContext();
+    CollaborativeSimulation sim(ctx, 6);
+    const auto a = sim.run(smallConfig());
+    const auto b = sim.run(smallConfig());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].avg_r2, b[i].avg_r2);
+}

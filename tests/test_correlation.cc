@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for Pearson/Spearman correlation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/correlation.hh"
+
+using namespace gcm::stats;
+
+TEST(Pearson, PerfectPositive)
+{
+    EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative)
+{
+    EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, KnownValue)
+{
+    // Hand-computed: r of {1,2,3,4,5} vs {2,1,4,3,5} = 0.8.
+    EXPECT_NEAR(pearson({1, 2, 3, 4, 5}, {2, 1, 4, 3, 5}), 0.8, 1e-12);
+}
+
+TEST(Ranks, SimpleOrdering)
+{
+    const auto r = ranks({30, 10, 20});
+    EXPECT_DOUBLE_EQ(r[0], 3.0);
+    EXPECT_DOUBLE_EQ(r[1], 1.0);
+    EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(Ranks, TiesGetAverageRank)
+{
+    const auto r = ranks({5, 5, 1});
+    EXPECT_DOUBLE_EQ(r[0], 2.5);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 1.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne)
+{
+    // Spearman sees through monotone transforms; Pearson does not.
+    const std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y;
+    for (double v : x)
+        y.push_back(std::exp(v));
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+    EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Spearman, ReversedIsMinusOne)
+{
+    EXPECT_NEAR(spearman({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(SpearmanMatrix, SymmetricWithUnitDiagonal)
+{
+    const std::vector<std::vector<double>> vars = {
+        {1, 2, 3, 4}, {2, 1, 4, 3}, {4, 3, 2, 1}};
+    const auto rho = spearmanMatrix(vars);
+    ASSERT_EQ(rho.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(rho[i][i], 1.0);
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(rho[i][j], rho[j][i]);
+    }
+    EXPECT_NEAR(rho[0][2], -1.0, 1e-12);
+}
+
+/** Correlation is invariant to affine transforms with positive scale. */
+class AffineInvariance : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(AffineInvariance, PearsonInvariant)
+{
+    const double scale = GetParam();
+    const std::vector<double> x{1, 5, 2, 8, 3};
+    const std::vector<double> y{2, 3, 7, 1, 9};
+    std::vector<double> y2;
+    for (double v : y)
+        y2.push_back(scale * v + 11.0);
+    EXPECT_NEAR(pearson(x, y), pearson(x, y2), 1e-10);
+    EXPECT_NEAR(spearman(x, y), spearman(x, y2), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, AffineInvariance,
+                         ::testing::Values(0.1, 1.0, 3.5, 1000.0));

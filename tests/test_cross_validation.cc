@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for k-fold cross-validation over devices.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cross_validation.hh"
+#include "testing_support.hh"
+
+using namespace gcm;
+using namespace gcm::core;
+
+TEST(KFold, PartitionCoversAllDevicesOnce)
+{
+    const auto folds = kFoldDevices(23, 5, 1);
+    ASSERT_EQ(folds.size(), 5u);
+    std::set<std::size_t> seen;
+    for (const auto &fold : folds) {
+        // Near-equal fold sizes.
+        EXPECT_GE(fold.size(), 4u);
+        EXPECT_LE(fold.size(), 5u);
+        for (std::size_t d : fold) {
+            EXPECT_TRUE(seen.insert(d).second) << "duplicate " << d;
+            EXPECT_LT(d, 23u);
+        }
+    }
+    EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(KFold, DeterministicPerSeed)
+{
+    EXPECT_EQ(kFoldDevices(20, 4, 7), kFoldDevices(20, 4, 7));
+    EXPECT_NE(kFoldDevices(20, 4, 7), kFoldDevices(20, 4, 8));
+}
+
+TEST(KFold, RejectsDegenerateArguments)
+{
+    EXPECT_DEATH((void)kFoldDevices(10, 1, 1), "folds");
+    EXPECT_DEATH((void)kFoldDevices(3, 5, 1), "folds");
+}
+
+TEST(CrossValidation, MeanMatchesFolds)
+{
+    const auto &ctx = gcmtest::smallContext();
+    EvaluationHarness h(ctx);
+    SignatureConfig cfg;
+    cfg.size = 6;
+    const auto cv = crossValidateSignatureModel(
+        h, ctx.fleet().size(), 3, SignatureMethod::MutualInformation,
+        cfg, gcmtest::fastGbt());
+    ASSERT_EQ(cv.fold_r2.size(), 3u);
+    double sum = 0.0;
+    for (double r : cv.fold_r2)
+        sum += r;
+    EXPECT_NEAR(cv.mean_r2, sum / 3.0, 1e-12);
+    EXPECT_GE(cv.std_r2, 0.0);
+    EXPECT_GT(cv.mean_mape_pct, 0.0);
+}
+
+TEST(CrossValidation, ReasonableAccuracyOnSmallContext)
+{
+    const auto &ctx = gcmtest::smallContext();
+    EvaluationHarness h(ctx);
+    SignatureConfig cfg;
+    cfg.size = 6;
+    const auto cv = crossValidateSignatureModel(
+        h, ctx.fleet().size(), 4, SignatureMethod::RandomSampling, cfg,
+        gcmtest::fastGbt());
+    EXPECT_GT(cv.mean_r2, 0.7);
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for CSV parsing/serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hh"
+#include "util/error.hh"
+
+using namespace gcm;
+
+TEST(Csv, ParseSimpleLine)
+{
+    const auto f = parseCsvLine("a,b,c");
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[0], "a");
+    EXPECT_EQ(f[2], "c");
+}
+
+TEST(Csv, ParseEmptyFields)
+{
+    const auto f = parseCsvLine("a,,c,");
+    ASSERT_EQ(f.size(), 4u);
+    EXPECT_EQ(f[1], "");
+    EXPECT_EQ(f[3], "");
+}
+
+TEST(Csv, ParseQuotedField)
+{
+    const auto f = parseCsvLine("a,\"b,c\",d");
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[1], "b,c");
+}
+
+TEST(Csv, ParseEscapedQuote)
+{
+    const auto f = parseCsvLine("\"say \"\"hi\"\"\",x");
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(Csv, UnterminatedQuoteThrows)
+{
+    EXPECT_THROW(parseCsvLine("\"oops"), GcmError);
+}
+
+TEST(Csv, EscapeRoundtrip)
+{
+    const std::string raw = "a \"quoted\", field";
+    const auto line = escapeCsvField(raw);
+    const auto parsed = parseCsvLine(line);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0], raw);
+}
+
+TEST(Csv, EscapePlainFieldUnchanged)
+{
+    EXPECT_EQ(escapeCsvField("plain"), "plain");
+}
+
+TEST(Csv, ParseDocument)
+{
+    const auto doc = parseCsv("x,y\n1,2\n3,4\n");
+    EXPECT_EQ(doc.header.size(), 2u);
+    ASSERT_EQ(doc.rows.size(), 2u);
+    EXPECT_EQ(doc.rows[1][0], "3");
+}
+
+TEST(Csv, RaggedRowThrows)
+{
+    EXPECT_THROW(parseCsv("a,b\n1\n"), GcmError);
+}
+
+TEST(Csv, ColumnIndexLookup)
+{
+    const auto doc = parseCsv("alpha,beta\n1,2\n");
+    EXPECT_EQ(doc.columnIndex("beta"), 1u);
+    EXPECT_THROW(doc.columnIndex("gamma"), GcmError);
+}
+
+TEST(Csv, DocumentRoundtrip)
+{
+    CsvDocument doc;
+    doc.header = {"name", "value"};
+    doc.rows = {{"net,1", "3.5"}, {"plain", "-2"}};
+    const auto parsed = parseCsv(toCsv(doc));
+    EXPECT_EQ(parsed.header, doc.header);
+    EXPECT_EQ(parsed.rows, doc.rows);
+}
+
+TEST(Csv, FileRoundtrip)
+{
+    CsvDocument doc;
+    doc.header = {"a"};
+    doc.rows = {{"1"}, {"2"}};
+    const std::string path = ::testing::TempDir() + "/gcm_test.csv";
+    writeCsvFile(path, doc);
+    const auto back = readCsvFile(path);
+    EXPECT_EQ(back.rows, doc.rows);
+}
+
+TEST(Csv, MissingFileThrows)
+{
+    EXPECT_THROW(readCsvFile("/nonexistent/gcm.csv"), GcmError);
+}

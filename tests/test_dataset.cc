@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Unit tests for the ml::Dataset container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hh"
+
+using gcm::ml::Dataset;
+
+TEST(Dataset, AddAndAccessRows)
+{
+    Dataset ds(3);
+    ds.addRow({1.0f, 2.0f, 3.0f}, 0.5);
+    ds.addRow({4.0f, 5.0f, 6.0f}, -1.5);
+    EXPECT_EQ(ds.numRows(), 2u);
+    EXPECT_EQ(ds.numFeatures(), 3u);
+    EXPECT_FLOAT_EQ(ds.row(1)[2], 6.0f);
+    EXPECT_FLOAT_EQ(ds.at(0, 1), 2.0f);
+    EXPECT_DOUBLE_EQ(ds.label(1), -1.5);
+}
+
+TEST(Dataset, SubsetPreservesOrderAndLabels)
+{
+    Dataset ds(1);
+    for (int i = 0; i < 5; ++i)
+        ds.addRow({static_cast<float>(i)}, i * 10.0);
+    const Dataset sub = ds.subset({4, 0, 2});
+    ASSERT_EQ(sub.numRows(), 3u);
+    EXPECT_FLOAT_EQ(sub.at(0, 0), 4.0f);
+    EXPECT_DOUBLE_EQ(sub.label(1), 0.0);
+    EXPECT_DOUBLE_EQ(sub.label(2), 20.0);
+}
+
+TEST(Dataset, FeatureNames)
+{
+    Dataset ds(2);
+    ds.setFeatureNames({"a", "b"});
+    EXPECT_EQ(ds.featureNames()[1], "b");
+}
+
+TEST(Dataset, LabelsVector)
+{
+    Dataset ds(1);
+    ds.addRow({0.0f}, 1.0);
+    ds.addRow({0.0f}, 2.0);
+    EXPECT_EQ(ds.labels(), (std::vector<double>{1.0, 2.0}));
+}

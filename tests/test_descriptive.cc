@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for descriptive statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hh"
+
+using namespace gcm::stats;
+
+TEST(Descriptive, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({5}), 5.0);
+}
+
+TEST(Descriptive, VarianceUnbiased)
+{
+    // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+    EXPECT_NEAR(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, VarianceOfSingletonIsZero)
+{
+    EXPECT_DOUBLE_EQ(variance({3.0}), 0.0);
+}
+
+TEST(Descriptive, StddevIsSqrtVariance)
+{
+    const std::vector<double> v{1, 2, 3, 10};
+    EXPECT_DOUBLE_EQ(stddev(v), std::sqrt(variance(v)));
+}
+
+TEST(Descriptive, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Descriptive, QuantileInterpolates)
+{
+    const std::vector<double> v{0, 10};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+}
+
+TEST(Descriptive, QuantileUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(quantile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(Descriptive, SummaryFields)
+{
+    const Summary s = summarize({1, 2, 3, 4, 5});
+    EXPECT_DOUBLE_EQ(s.min, 1);
+    EXPECT_DOUBLE_EQ(s.max, 5);
+    EXPECT_DOUBLE_EQ(s.median, 3);
+    EXPECT_DOUBLE_EQ(s.q1, 2);
+    EXPECT_DOUBLE_EQ(s.q3, 4);
+    EXPECT_DOUBLE_EQ(s.mean, 3);
+    EXPECT_EQ(s.count, 5u);
+}
+
+/** Quantiles are monotone in q for any data. */
+class QuantileMonotone : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(QuantileMonotone, MonotoneInQ)
+{
+    std::vector<double> v;
+    // Deterministic pseudo-data per seed parameter.
+    unsigned x = static_cast<unsigned>(GetParam()) * 2654435761u + 1u;
+    for (int i = 0; i < 50; ++i) {
+        x = x * 1664525u + 1013904223u;
+        v.push_back(static_cast<double>(x % 1000) / 7.0);
+    }
+    double prev = quantile(v, 0.0);
+    for (double q = 0.1; q <= 1.0; q += 0.1) {
+        const double cur = quantile(v, q);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone,
+                         ::testing::Range(1, 8));

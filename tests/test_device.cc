@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the synthesized device fleet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/device.hh"
+#include "util/error.hh"
+
+using namespace gcm::sim;
+using gcm::GcmError;
+
+TEST(DeviceDatabase, StandardFleetHas105Devices)
+{
+    const auto db = DeviceDatabase::standard();
+    EXPECT_EQ(db.size(), 105u);
+}
+
+TEST(DeviceDatabase, IdsAreSequential)
+{
+    const auto db = DeviceDatabase::standard();
+    for (std::size_t i = 0; i < db.size(); ++i)
+        EXPECT_EQ(db.device(i).id, static_cast<std::int32_t>(i));
+}
+
+TEST(DeviceDatabase, DeterministicForSeed)
+{
+    const auto a = DeviceDatabase::standard(2020);
+    const auto b = DeviceDatabase::standard(2020);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.device(i).model_name, b.device(i).model_name);
+        EXPECT_DOUBLE_EQ(a.device(i).freq_ghz, b.device(i).freq_ghz);
+        EXPECT_DOUBLE_EQ(a.device(i).hidden.thermal_sustain,
+                         b.device(i).hidden.thermal_sustain);
+    }
+}
+
+TEST(DeviceDatabase, DifferentSeedsDiffer)
+{
+    const auto a = DeviceDatabase::standard(2020);
+    const auto b = DeviceDatabase::standard(2021);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a.device(i).freq_ghz != b.device(i).freq_ghz)
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(DeviceDatabase, ModelNamesAreUnique)
+{
+    const auto db = DeviceDatabase::standard();
+    std::set<std::string> names;
+    for (const auto &d : db.devices())
+        names.insert(d.model_name);
+    EXPECT_EQ(names.size(), db.size());
+}
+
+TEST(DeviceDatabase, RedmiNote5ProPresentWithKryo260)
+{
+    // The paper's collaborative case study hinges on this device.
+    const auto db = DeviceDatabase::standard();
+    const DeviceSpec &d = db.byName("Redmi-Note-5-Pro");
+    EXPECT_EQ(db.coreOf(d).name, "Kryo-260-Gold");
+    EXPECT_EQ(db.chipsetOf(d).name, "Snapdragon-636");
+}
+
+TEST(DeviceDatabase, UnknownModelThrows)
+{
+    const auto db = DeviceDatabase::standard();
+    EXPECT_THROW(db.byName("iPhone-11"), GcmError);
+}
+
+TEST(DeviceDatabase, HiddenFactorsWithinModeledRanges)
+{
+    const auto db = DeviceDatabase::standard();
+    for (const auto &d : db.devices()) {
+        EXPECT_GE(d.hidden.thermal_sustain, 0.35);
+        EXPECT_LE(d.hidden.thermal_sustain, 1.0);
+        EXPECT_GE(d.hidden.mem_efficiency, 0.45);
+        EXPECT_LE(d.hidden.mem_efficiency, 1.05);
+        EXPECT_GE(d.hidden.os_overhead, 1.0);
+        EXPECT_LE(d.hidden.os_overhead, 2.0);
+        EXPECT_GE(d.hidden.silicon_bin, 0.88);
+        EXPECT_LE(d.hidden.silicon_bin, 1.06);
+    }
+}
+
+TEST(DeviceDatabase, FrequenciesNearChipsetSpec)
+{
+    const auto db = DeviceDatabase::standard();
+    for (const auto &d : db.devices()) {
+        const Chipset &c = db.chipsetOf(d);
+        EXPECT_LE(d.freq_ghz, c.max_freq_ghz + 1e-9);
+        EXPECT_GE(d.freq_ghz, 0.9 * c.max_freq_ghz);
+    }
+}
+
+TEST(DeviceDatabase, RamComesFromChipsetOptions)
+{
+    const auto db = DeviceDatabase::standard();
+    for (const auto &d : db.devices()) {
+        const Chipset &c = db.chipsetOf(d);
+        bool found = false;
+        for (double r : c.ram_options_gb) {
+            if (r == d.ram_gb)
+                found = true;
+        }
+        EXPECT_TRUE(found) << d.model_name;
+    }
+}
+
+TEST(DeviceDatabase, FleetIsDiverse)
+{
+    // The paper's fleet covers many chipsets and core families.
+    const auto db = DeviceDatabase::standard();
+    std::set<std::size_t> chipsets;
+    std::set<std::string> cores;
+    for (const auto &d : db.devices()) {
+        chipsets.insert(d.chipset_index);
+        cores.insert(db.coreOf(d).name);
+    }
+    EXPECT_GE(chipsets.size(), 25u);
+    EXPECT_GE(cores.size(), 12u);
+}
+
+TEST(DeviceDatabase, CustomFleetSize)
+{
+    const auto db = DeviceDatabase::standard(7, 30);
+    EXPECT_EQ(db.size(), 30u);
+}

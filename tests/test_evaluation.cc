@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the evaluation harness (device splits, static vs
+ * signature models).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/evaluation.hh"
+#include "testing_support.hh"
+#include "util/error.hh"
+
+using namespace gcm;
+using namespace gcm::core;
+
+TEST(SplitDevices, PartitionIsExactAndDisjoint)
+{
+    const auto split = splitDevices(100, 0.3, 1);
+    EXPECT_EQ(split.test.size(), 30u);
+    EXPECT_EQ(split.train.size(), 70u);
+    std::set<std::size_t> all(split.train.begin(), split.train.end());
+    all.insert(split.test.begin(), split.test.end());
+    EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitDevices, DeterministicPerSeed)
+{
+    const auto a = splitDevices(50, 0.3, 9);
+    const auto b = splitDevices(50, 0.3, 9);
+    EXPECT_EQ(a.train, b.train);
+    const auto c = splitDevices(50, 0.3, 10);
+    EXPECT_NE(a.train, c.train);
+}
+
+TEST(SplitDevices, DegenerateFractionAborts)
+{
+    EXPECT_DEATH((void)splitDevices(10, 0.001, 1), "degenerate");
+}
+
+TEST(Evaluation, SignatureModelLearnsWell)
+{
+    const auto &ctx = gcmtest::smallContext();
+    EvaluationHarness h(ctx);
+    const auto split = splitDevices(ctx.fleet().size(), 0.3, 42);
+    SignatureConfig cfg;
+    cfg.size = 8;
+    const auto eval = h.evalSignatureModel(
+        split, SignatureMethod::MutualInformation, cfg,
+        gcmtest::fastGbt());
+    EXPECT_GT(eval.r2, 0.7);
+    EXPECT_EQ(eval.signature.size(), 8u);
+    // Test rows: test devices x non-signature networks.
+    EXPECT_EQ(eval.y_true.size(),
+              split.test.size() * (ctx.numNetworks() - 8));
+}
+
+TEST(Evaluation, SignatureBeatsStaticSpecs)
+{
+    // The paper's central claim, on the reduced dataset.
+    const auto &ctx = gcmtest::smallContext();
+    EvaluationHarness h(ctx);
+    const auto split = splitDevices(ctx.fleet().size(), 0.3, 42);
+    const auto stat = h.evalStaticFeatureModel(split, gcmtest::fastGbt());
+    SignatureConfig cfg;
+    cfg.size = 8;
+    const auto sig = h.evalSignatureModel(
+        split, SignatureMethod::MutualInformation, cfg,
+        gcmtest::fastGbt());
+    EXPECT_GT(sig.r2, stat.r2 + 0.05);
+}
+
+TEST(Evaluation, SignatureNetworksExcludedFromRows)
+{
+    const auto &ctx = gcmtest::smallContext();
+    EvaluationHarness h(ctx);
+    const auto split = splitDevices(ctx.fleet().size(), 0.3, 7);
+    // Force a known signature and check the row count shrinks.
+    const std::vector<std::size_t> signature{0, 1, 2};
+    const auto eval =
+        h.evalWithSignature(split, signature, gcmtest::fastGbt());
+    EXPECT_EQ(eval.y_true.size(),
+              split.test.size() * (ctx.numNetworks() - 3));
+}
+
+TEST(Evaluation, SelectionUsesOnlyTrainDevices)
+{
+    // Selecting on the train matrix must not depend on test devices:
+    // swap the test set for a different one and the signature chosen
+    // by a deterministic method stays identical.
+    const auto &ctx = gcmtest::smallContext();
+    const auto full = splitDevices(ctx.fleet().size(), 0.3, 11);
+    DeviceSplit alt = full;
+    alt.test.resize(2); // different test set, same train set
+    const auto train_lat = ctx.latencyMatrix(full.train);
+    SignatureConfig cfg;
+    cfg.size = 5;
+    const auto sig1 =
+        selectSignature(train_lat, SignatureMethod::MutualInformation,
+                        cfg);
+    const auto train_lat2 = ctx.latencyMatrix(alt.train);
+    const auto sig2 =
+        selectSignature(train_lat2, SignatureMethod::MutualInformation,
+                        cfg);
+    EXPECT_EQ(sig1, sig2);
+}
+
+TEST(Evaluation, MetricsConsistent)
+{
+    const auto &ctx = gcmtest::smallContext();
+    EvaluationHarness h(ctx);
+    const auto split = splitDevices(ctx.fleet().size(), 0.3, 13);
+    SignatureConfig cfg;
+    cfg.size = 5;
+    const auto eval = h.evalSignatureModel(
+        split, SignatureMethod::RandomSampling, cfg, gcmtest::fastGbt());
+    EXPECT_GT(eval.rmse_ms, 0.0);
+    EXPECT_GT(eval.mape_pct, 0.0);
+    EXPECT_EQ(eval.y_true.size(), eval.y_pred.size());
+}
+
+TEST(Evaluation, EncodingsCachedForAllNetworks)
+{
+    const auto &ctx = gcmtest::smallContext();
+    EvaluationHarness h(ctx);
+    EXPECT_EQ(h.encodings().size(), ctx.numNetworks());
+    for (const auto &e : h.encodings())
+        EXPECT_EQ(e.size(), ctx.encoder().numFeatures());
+}
+
+TEST(Evaluation, AnchorNormalizationHelpsAdversarialSplits)
+{
+    // Hold out the slowest third of devices: the raw-millisecond
+    // representation cannot extrapolate, the anchor-normalized one
+    // can.
+    const auto &ctx = gcmtest::smallContext();
+    std::vector<std::size_t> by_speed(ctx.fleet().size());
+    for (std::size_t i = 0; i < by_speed.size(); ++i)
+        by_speed[i] = i;
+    const auto vectors = ctx.deviceVectors();
+    std::vector<double> mean(vectors.size(), 0.0);
+    for (std::size_t d = 0; d < vectors.size(); ++d) {
+        for (double v : vectors[d])
+            mean[d] += v;
+    }
+    std::sort(by_speed.begin(), by_speed.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return mean[a] < mean[b];
+              });
+    DeviceSplit adversarial;
+    const std::size_t cut = by_speed.size() * 2 / 3;
+    adversarial.train.assign(by_speed.begin(),
+                             by_speed.begin()
+                                 + static_cast<std::ptrdiff_t>(cut));
+    adversarial.test.assign(
+        by_speed.begin() + static_cast<std::ptrdiff_t>(cut),
+        by_speed.end());
+
+    EvaluationHarness anchored(ctx);
+    HarnessOptions raw_opts;
+    raw_opts.anchor_normalization = false;
+    EvaluationHarness raw(ctx, raw_opts);
+    SignatureConfig cfg;
+    cfg.size = 8;
+    const double r2_anchor =
+        anchored
+            .evalSignatureModel(adversarial,
+                                SignatureMethod::MutualInformation, cfg,
+                                gcmtest::fastGbt())
+            .r2;
+    const double r2_raw =
+        raw.evalSignatureModel(adversarial,
+                               SignatureMethod::MutualInformation, cfg,
+                               gcmtest::fastGbt())
+            .r2;
+    EXPECT_GT(r2_anchor, r2_raw + 0.1);
+    EXPECT_GT(r2_anchor, 0.6);
+}
+
+TEST(Evaluation, AnchorMetricsStayInMilliseconds)
+{
+    // y_true must equal the raw measured latencies whether or not the
+    // internal representation is normalized.
+    const auto &ctx = gcmtest::smallContext();
+    EvaluationHarness h(ctx);
+    const auto split = splitDevices(ctx.fleet().size(), 0.3, 21);
+    const std::vector<std::size_t> signature{0, 1, 2, 3};
+    const auto eval =
+        h.evalWithSignature(split, signature, gcmtest::fastGbt());
+    std::size_t i = 0;
+    for (std::size_t d : split.test) {
+        for (std::size_t n = 0; n < ctx.numNetworks(); ++n) {
+            if (n <= 3)
+                continue;
+            ASSERT_LT(i, eval.y_true.size());
+            EXPECT_NEAR(eval.y_true[i], ctx.latencyMs(d, n), 1e-6);
+            ++i;
+        }
+    }
+}

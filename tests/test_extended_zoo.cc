@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the extended zoo (EfficientNet-B0, ShuffleNetV2,
+ * ResNet-18) and the ChannelShuffle operator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/analysis.hh"
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include "util/error.hh"
+
+using namespace gcm::dnn;
+using gcm::GcmError;
+
+TEST(ChannelShuffle, PreservesShape)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 16});
+    const NodeId x = b.channelShuffle(b.input(), 2);
+    EXPECT_EQ(b.shapeOf(x), (TensorShape{1, 8, 8, 16}));
+}
+
+TEST(ChannelShuffle, RejectsIndivisibleGroups)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 10});
+    EXPECT_THROW((void)b.channelShuffle(b.input(), 4), GcmError);
+}
+
+TEST(ChannelShuffle, IsPureDataMovement)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 16});
+    b.channelShuffle(b.input(), 2);
+    const Graph g = b.build();
+    const NodeCost c = nodeCost(g, g.outputNode());
+    EXPECT_EQ(c.macs, 0);
+    EXPECT_EQ(c.simple_ops, 8 * 8 * 16);
+    EXPECT_EQ(c.params, 0);
+}
+
+TEST(ExtendedZoo, ThreeModels)
+{
+    EXPECT_EQ(extendedZooModelNames().size(), 3u);
+}
+
+TEST(ExtendedZoo, NotPartOfThePaperSuite)
+{
+    // buildZoo() must stay the paper's 18 networks.
+    EXPECT_EQ(buildZoo().size(), 18u);
+    for (const auto &name : extendedZooModelNames()) {
+        for (const auto &g : buildZoo())
+            EXPECT_NE(g.name(), name);
+    }
+}
+
+TEST(ExtendedZoo, AllValidateAndQuantize)
+{
+    for (const auto &name : extendedZooModelNames()) {
+        const Graph g = buildZooModel(name);
+        EXPECT_EQ(g.name(), name);
+        EXPECT_NO_THROW(g.validate());
+        EXPECT_NO_THROW(quantize(g).validate());
+    }
+}
+
+TEST(ExtendedZoo, EfficientNetB0MacsMatchPaper)
+{
+    // Tan & Le report ~390M MAdds for EfficientNet-B0.
+    EXPECT_NEAR(megaMacs(buildZooModel("efficientnet_b0")), 390.0, 40.0);
+}
+
+TEST(ExtendedZoo, ShuffleNetUsesChannelShuffle)
+{
+    const Graph g = buildZooModel("shufflenet_v2_1.0");
+    EXPECT_GT(g.countKind(OpKind::ChannelShuffle), 10u);
+    // ShuffleNetV2 1.0x is ~146M MACs; the split approximation adds
+    // the shortcut 1x1 projections, so allow a generous band.
+    EXPECT_LT(megaMacs(g), 300.0);
+}
+
+TEST(ExtendedZoo, ResNet18MacsMatchPaper)
+{
+    // He et al. report ~1.8 GFLOPs = ~1.8e3 MMACs... (FLOPs = 2*MACs
+    // in their accounting; 1.8G "FLOPs" corresponds to ~1.8G MACs in
+    // common tables).
+    EXPECT_NEAR(megaMacs(buildZooModel("resnet_18")), 1820.0, 120.0);
+}
+
+TEST(ExtendedZoo, EveryModelHasSquareClassifier)
+{
+    for (const auto &name : extendedZooModelNames()) {
+        const Graph g = buildZooModel(name);
+        EXPECT_EQ(g.outputNode().shape.c, 1000) << name;
+    }
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the parameterized random DNN generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dnn/analysis.hh"
+#include "dnn/generator.hh"
+#include "dnn/quantize.hh"
+#include "util/error.hh"
+
+using namespace gcm::dnn;
+using gcm::GcmError;
+
+TEST(RoundChannels, MultiplesOfEight)
+{
+    EXPECT_EQ(roundChannels(16.0), 16);
+    EXPECT_EQ(roundChannels(17.0), 16);
+    EXPECT_EQ(roundChannels(20.0), 24);
+    EXPECT_EQ(roundChannels(1.0), 8); // floor of 8
+}
+
+TEST(Generator, ProducesValidGraphs)
+{
+    RandomNetworkGenerator gen(SearchSpace{}, 7);
+    for (int i = 0; i < 5; ++i) {
+        const Graph g = gen.generate("net" + std::to_string(i));
+        EXPECT_NO_THROW(g.validate());
+        EXPECT_NO_THROW(quantize(g).validate());
+        EXPECT_EQ(g.outputNode().kind, OpKind::Softmax);
+    }
+}
+
+TEST(Generator, RespectsFlopsWindow)
+{
+    SearchSpace space;
+    space.min_mmacs = 200.0;
+    space.max_mmacs = 600.0;
+    RandomNetworkGenerator gen(space, 11);
+    for (int i = 0; i < 5; ++i) {
+        const Graph g = gen.generate("n");
+        const double mm = megaMacs(g);
+        EXPECT_GE(mm, 200.0);
+        EXPECT_LE(mm, 600.0);
+    }
+}
+
+TEST(Generator, DeterministicForSeed)
+{
+    RandomNetworkGenerator a(SearchSpace{}, 13);
+    RandomNetworkGenerator b(SearchSpace{}, 13);
+    const Graph ga = a.generate("x");
+    const Graph gb = b.generate("x");
+    ASSERT_EQ(ga.numNodes(), gb.numNodes());
+    for (std::size_t i = 0; i < ga.numNodes(); ++i) {
+        EXPECT_EQ(ga.nodes()[i].kind, gb.nodes()[i].kind);
+        EXPECT_EQ(ga.nodes()[i].shape, gb.nodes()[i].shape);
+    }
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentNetworks)
+{
+    RandomNetworkGenerator a(SearchSpace{}, 17);
+    RandomNetworkGenerator b(SearchSpace{}, 19);
+    const Graph ga = a.generate("x");
+    const Graph gb = b.generate("x");
+    const bool differ = ga.numNodes() != gb.numNodes()
+        || totalMacs(ga) != totalMacs(gb);
+    EXPECT_TRUE(differ);
+}
+
+TEST(Generator, SuiteNamingAndCount)
+{
+    RandomNetworkGenerator gen(SearchSpace{}, 23);
+    const auto suite = gen.generateSuite(4, "rnd");
+    ASSERT_EQ(suite.size(), 4u);
+    EXPECT_EQ(suite[0].name(), "rnd000");
+    EXPECT_EQ(suite[3].name(), "rnd003");
+}
+
+TEST(Generator, SuiteNetworksAreDiverse)
+{
+    RandomNetworkGenerator gen(SearchSpace{}, 29);
+    const auto suite = gen.generateSuite(10, "d");
+    std::set<std::int64_t> macs;
+    for (const auto &g : suite)
+        macs.insert(totalMacs(g));
+    EXPECT_GE(macs.size(), 9u);
+}
+
+TEST(Generator, ImpossibleWindowThrows)
+{
+    SearchSpace space;
+    space.min_mmacs = 1e9; // unreachable
+    space.max_mmacs = 2e9;
+    space.max_attempts = 5;
+    RandomNetworkGenerator gen(space, 31);
+    EXPECT_THROW(gen.generate("x"), GcmError);
+}
+
+TEST(Generator, ClassifierHeadPresent)
+{
+    RandomNetworkGenerator gen(SearchSpace{}, 37);
+    const Graph g = gen.generate("x");
+    EXPECT_GE(g.countKind(OpKind::FullyConnected), 1u);
+    EXPECT_EQ(g.countKind(OpKind::GlobalAvgPool) >= 1, true);
+    EXPECT_EQ(g.outputNode().shape, (TensorShape{1, 1, 1, 1000}));
+}
+
+/** Seed sweep: every generated network must be structurally valid. */
+class GeneratorSeedTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(GeneratorSeedTest, ValidAcrossSeeds)
+{
+    RandomNetworkGenerator gen(SearchSpace{}, GetParam());
+    const Graph g = gen.generate("seeded");
+    EXPECT_NO_THROW(g.validate());
+    const Graph q = quantize(g);
+    EXPECT_NO_THROW(q.validate());
+    EXPECT_GT(totalMacs(g), 0);
+    EXPECT_EQ(totalMacs(g), totalMacs(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 99u, 1234u,
+                                           77777u));

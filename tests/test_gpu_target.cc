@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the GPU-delegate execution target extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include "sim/campaign.hh"
+#include "util/error.hh"
+
+using namespace gcm;
+using namespace gcm::sim;
+
+namespace
+{
+
+const DeviceDatabase &
+fleet()
+{
+    static const DeviceDatabase db = DeviceDatabase::standard();
+    return db;
+}
+
+dnn::Graph
+net()
+{
+    static const dnn::Graph g =
+        dnn::quantize(dnn::buildZooModel("mobilenet_v2_1.0"));
+    return g;
+}
+
+DeviceRuntime
+runtimeFor(const DeviceSpec &d, std::uint64_t seed = 5)
+{
+    return DeviceRuntime(d, fleet().chipsetOf(d), LatencyModel{}, seed);
+}
+
+} // namespace
+
+TEST(GpuTarget, SomeChipsetsHaveNoDelegate)
+{
+    std::size_t with = 0, without = 0;
+    for (const auto &c : chipsetTable())
+        (c.gpu.supported() ? with : without) += 1;
+    EXPECT_GT(with, 20u);
+    EXPECT_GT(without, 3u); // budget A53 SoCs et al.
+}
+
+TEST(GpuTarget, UnsupportedDelegateThrows)
+{
+    for (const auto &d : fleet().devices()) {
+        auto rt = runtimeFor(d);
+        if (rt.gpuDelegateStatus() != GpuDelegateStatus::Unsupported)
+            continue;
+        EXPECT_THROW(
+            (void)rt.measure(net(), 3, ExecutionTarget::GpuDelegate),
+            GcmError);
+        return;
+    }
+    FAIL() << "no unsupported-delegate device in the fleet";
+}
+
+TEST(GpuTarget, DelegateStatusIsDeterministicPerDevice)
+{
+    for (const auto &d : fleet().devices()) {
+        auto a = runtimeFor(d);
+        auto b = runtimeFor(d);
+        EXPECT_EQ(a.gpuDelegateStatus(), b.gpuDelegateStatus());
+    }
+}
+
+TEST(GpuTarget, FlagshipGpuBeatsItsOwnCpu)
+{
+    // On a big-GPU flagship, the delegate should outrun the single
+    // CPU core for a conv-heavy network.
+    const auto &d = fleet().byName("Mi-9"); // Snapdragon 855
+    const LatencyModel model;
+    const auto &cs = fleet().chipsetOf(d);
+    const double cpu = model.graphLatencyMs(net(), d, cs);
+    const double gpu = model.graphLatencyMs(
+        net(), d, cs, ExecutionTarget::GpuDelegate);
+    EXPECT_LT(gpu, cpu);
+}
+
+TEST(GpuTarget, GpuHasHigherFixedOverhead)
+{
+    // Tiny network: the delegate's launch overheads dominate and the
+    // CPU wins — the classic small-model crossover.
+    dnn::GraphBuilder b("tiny", dnn::TensorShape{1, 32, 32, 3});
+    b.softmax(b.fullyConnected(b.conv2d(b.input(), 8, 3, 1, 1), 10));
+    const dnn::Graph tiny = dnn::quantize(b.build());
+    const auto &d = fleet().byName("Mi-9");
+    const LatencyModel model;
+    const auto &cs = fleet().chipsetOf(d);
+    EXPECT_GT(model.graphLatencyMs(tiny, d, cs,
+                                   ExecutionTarget::GpuDelegate),
+              model.graphLatencyMs(tiny, d, cs));
+}
+
+TEST(GpuTarget, FlakyDevicesProducePathologicalLatency)
+{
+    const LatencyModel model;
+    for (const auto &d : fleet().devices()) {
+        auto rt = runtimeFor(d);
+        if (rt.gpuDelegateStatus() != GpuDelegateStatus::Flaky)
+            continue;
+        const auto &cs = fleet().chipsetOf(d);
+        const double clean = model.graphLatencyMs(
+            net(), d, cs, ExecutionTarget::GpuDelegate);
+        const auto res =
+            rt.measure(net(), 5, ExecutionTarget::GpuDelegate);
+        EXPECT_GT(res.mean_ms, 2.0 * clean);
+        return;
+    }
+    GTEST_SKIP() << "no flaky-delegate device in this fleet seed";
+}
+
+TEST(GpuTarget, CampaignSkipsUnreliableDevices)
+{
+    CampaignConfig cfg;
+    cfg.target = ExecutionTarget::GpuDelegate;
+    cfg.runs_per_network = 2;
+    CharacterizationCampaign campaign(fleet(), LatencyModel{}, cfg);
+    const auto usable = campaign.measurableDevices();
+    EXPECT_LT(usable.size(), fleet().size());
+    EXPECT_GT(usable.size(), fleet().size() / 3);
+    const auto repo =
+        campaign.run({dnn::buildZooModel("squeezenet_1.1")});
+    EXPECT_EQ(repo.size(), usable.size());
+}
+
+TEST(GpuTarget, CpuCampaignUnaffected)
+{
+    CampaignConfig cfg;
+    cfg.runs_per_network = 2;
+    CharacterizationCampaign campaign(fleet(), LatencyModel{}, cfg);
+    EXPECT_EQ(campaign.measurableDevices().size(), fleet().size());
+}
+
+TEST(GpuTarget, TargetNames)
+{
+    EXPECT_STREQ(executionTargetName(ExecutionTarget::BigCore),
+                 "big-core CPU");
+    EXPECT_STREQ(executionTargetName(ExecutionTarget::GpuDelegate),
+                 "GPU delegate");
+}

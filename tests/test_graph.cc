@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the DNN graph IR, builder and shape inference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/graph.hh"
+#include "util/error.hh"
+
+using namespace gcm::dnn;
+using gcm::GcmError;
+
+namespace
+{
+
+GraphBuilder
+makeBuilder(std::int32_t h = 224, std::int32_t c = 3)
+{
+    return GraphBuilder("t", TensorShape{1, h, h, c});
+}
+
+} // namespace
+
+TEST(GraphBuilder, InputShapeStored)
+{
+    auto b = makeBuilder(32, 3);
+    EXPECT_EQ(b.shapeOf(b.input()), (TensorShape{1, 32, 32, 3}));
+}
+
+TEST(GraphBuilder, RejectsBatchedInput)
+{
+    EXPECT_THROW(GraphBuilder("t", TensorShape{2, 8, 8, 3}), GcmError);
+}
+
+TEST(GraphBuilder, ConvStride2SamePadding)
+{
+    auto b = makeBuilder();
+    const NodeId x = b.conv2d(b.input(), 32, 3, 2, 1);
+    EXPECT_EQ(b.shapeOf(x), (TensorShape{1, 112, 112, 32}));
+}
+
+TEST(GraphBuilder, ConvStride1Kernel1)
+{
+    auto b = makeBuilder(56, 64);
+    const NodeId x = b.conv2d(b.input(), 128, 1, 1, 0);
+    EXPECT_EQ(b.shapeOf(x), (TensorShape{1, 56, 56, 128}));
+}
+
+TEST(GraphBuilder, ConvRejectsBadGroups)
+{
+    auto b = makeBuilder(8, 6);
+    EXPECT_THROW(b.conv2d(b.input(), 8, 3, 1, 1, /*groups=*/4),
+                 GcmError);
+}
+
+TEST(GraphBuilder, ConvRejectsOversizedKernel)
+{
+    auto b = makeBuilder(4, 3);
+    EXPECT_THROW(b.conv2d(b.input(), 8, 7, 1, 0), GcmError);
+}
+
+TEST(GraphBuilder, DepthwisePreservesChannels)
+{
+    auto b = makeBuilder(28, 96);
+    const NodeId x = b.depthwiseConv2d(b.input(), 5, 2, 2);
+    EXPECT_EQ(b.shapeOf(x), (TensorShape{1, 14, 14, 96}));
+}
+
+TEST(GraphBuilder, FullyConnectedFlattens)
+{
+    auto b = makeBuilder(7, 160);
+    const NodeId x = b.fullyConnected(b.input(), 1000);
+    EXPECT_EQ(b.shapeOf(x), (TensorShape{1, 1, 1, 1000}));
+}
+
+TEST(GraphBuilder, MaxPoolFloorSemantics)
+{
+    auto b = makeBuilder(112, 64);
+    // (112 - 3) / 2 + 1 = 55 (floor division).
+    const NodeId x = b.maxPool2d(b.input(), 3, 2);
+    EXPECT_EQ(b.shapeOf(x).h, 55);
+}
+
+TEST(GraphBuilder, GlobalAvgPoolCollapsesSpatial)
+{
+    auto b = makeBuilder(7, 320);
+    const NodeId x = b.globalAvgPool(b.input());
+    EXPECT_EQ(b.shapeOf(x), (TensorShape{1, 1, 1, 320}));
+}
+
+TEST(GraphBuilder, AddRequiresMatchingShapes)
+{
+    auto b = makeBuilder(8, 16);
+    const NodeId a = b.conv2d(b.input(), 16, 3, 1, 1);
+    const NodeId c = b.conv2d(b.input(), 32, 3, 1, 1);
+    EXPECT_NO_THROW(b.add(b.input(), a));
+    EXPECT_THROW(b.add(a, c), GcmError);
+}
+
+TEST(GraphBuilder, MulAllowsChannelBroadcast)
+{
+    auto b = makeBuilder(8, 16);
+    const NodeId g = b.globalAvgPool(b.input());
+    const NodeId m = b.mul(b.input(), g);
+    EXPECT_EQ(b.shapeOf(m), (TensorShape{1, 8, 8, 16}));
+}
+
+TEST(GraphBuilder, MulRejectsIncompatible)
+{
+    auto b = makeBuilder(8, 16);
+    const NodeId c = b.conv2d(b.input(), 8, 1, 1, 0);
+    EXPECT_THROW(b.mul(b.input(), c), GcmError);
+}
+
+TEST(GraphBuilder, ConcatSumsChannels)
+{
+    auto b = makeBuilder(14, 16);
+    const NodeId a = b.conv2d(b.input(), 64, 1, 1, 0);
+    const NodeId c = b.conv2d(b.input(), 64, 3, 1, 1);
+    const NodeId cat = b.concat({a, c});
+    EXPECT_EQ(b.shapeOf(cat).c, 128);
+}
+
+TEST(GraphBuilder, ConcatRejectsSpatialMismatch)
+{
+    auto b = makeBuilder(14, 16);
+    const NodeId a = b.conv2d(b.input(), 8, 3, 2, 1);
+    EXPECT_THROW(b.concat({b.input(), a}), GcmError);
+}
+
+TEST(GraphBuilder, SqueezeExciteShapePreserving)
+{
+    auto b = makeBuilder(14, 64);
+    const NodeId se = b.squeezeExcite(b.input());
+    EXPECT_EQ(b.shapeOf(se), (TensorShape{1, 14, 14, 64}));
+}
+
+TEST(GraphBuilder, ActivationsPreserveShape)
+{
+    auto b = makeBuilder(10, 8);
+    EXPECT_EQ(b.shapeOf(b.relu(b.input())), b.shapeOf(b.input()));
+    EXPECT_EQ(b.shapeOf(b.relu6(b.input())), b.shapeOf(b.input()));
+    EXPECT_EQ(b.shapeOf(b.hswish(b.input())), b.shapeOf(b.input()));
+    EXPECT_EQ(b.shapeOf(b.sigmoid(b.input())), b.shapeOf(b.input()));
+}
+
+TEST(Graph, BuildValidates)
+{
+    auto b = makeBuilder(8, 3);
+    b.softmax(b.fullyConnected(b.conv2d(b.input(), 8, 3, 1, 1), 10));
+    const Graph g = b.build();
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(g.outputNode().kind, OpKind::Softmax);
+    EXPECT_EQ(g.precision(), Precision::Float32);
+}
+
+TEST(Graph, CountKind)
+{
+    auto b = makeBuilder(8, 3);
+    b.relu(b.conv2d(b.conv2d(b.input(), 8, 3, 1, 1), 8, 3, 1, 1));
+    const Graph g = b.build();
+    EXPECT_EQ(g.countKind(OpKind::Conv2d), 2u);
+    EXPECT_EQ(g.countKind(OpKind::ReLU), 1u);
+}
+
+TEST(Graph, StrMentionsOps)
+{
+    auto b = makeBuilder(8, 3);
+    b.conv2d(b.input(), 8, 3, 2, 1);
+    const std::string s = b.build().str();
+    EXPECT_NE(s.find("Conv2d"), std::string::npos);
+    EXPECT_NE(s.find("k=3"), std::string::npos);
+}
+
+TEST(Graph, ValidateCatchesBadTopology)
+{
+    std::vector<Node> nodes(2);
+    nodes[0].id = 0;
+    nodes[0].kind = OpKind::Input;
+    nodes[0].shape = {1, 8, 8, 3};
+    nodes[1].id = 1;
+    nodes[1].kind = OpKind::ReLU;
+    nodes[1].inputs = {1}; // self-reference
+    nodes[1].shape = {1, 8, 8, 3};
+    const Graph g("bad", std::move(nodes), Precision::Float32);
+    EXPECT_THROW(g.validate(), GcmError);
+}
+
+TEST(GraphBuilder, BuildTwiceAborts)
+{
+    auto b = makeBuilder(8, 3);
+    b.conv2d(b.input(), 8, 3, 1, 1);
+    (void)b.build();
+    EXPECT_DEATH((void)b.build(), "build");
+}
+
+/** Conv output-size formula sweep across window geometries. */
+struct WindowCase
+{
+    std::int32_t in, k, s, p, expected;
+};
+
+class ConvWindowTest : public ::testing::TestWithParam<WindowCase>
+{};
+
+TEST_P(ConvWindowTest, OutputSizeFormula)
+{
+    const auto c = GetParam();
+    GraphBuilder b("t", TensorShape{1, c.in, c.in, 4});
+    const NodeId x = b.conv2d(b.input(), 8, c.k, c.s, c.p);
+    EXPECT_EQ(b.shapeOf(x).h, c.expected);
+    EXPECT_EQ(b.shapeOf(x).w, c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvWindowTest,
+    ::testing::Values(WindowCase{224, 3, 2, 1, 112},
+                      WindowCase{224, 7, 2, 3, 112},
+                      WindowCase{56, 1, 1, 0, 56},
+                      WindowCase{14, 5, 1, 2, 14},
+                      WindowCase{28, 5, 2, 2, 14},
+                      WindowCase{7, 7, 1, 3, 7},
+                      WindowCase{8, 2, 2, 0, 4}));

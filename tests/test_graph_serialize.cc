@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for DNN graph text serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dnn/analysis.hh"
+#include "dnn/generator.hh"
+#include "dnn/quantize.hh"
+#include "dnn/serialize.hh"
+#include "dnn/zoo.hh"
+#include "util/error.hh"
+
+using namespace gcm::dnn;
+using gcm::GcmError;
+
+namespace
+{
+
+bool
+graphsEqual(const Graph &a, const Graph &b)
+{
+    if (a.name() != b.name() || a.precision() != b.precision()
+        || a.numNodes() != b.numNodes()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.numNodes(); ++i) {
+        const Node &x = a.nodes()[i];
+        const Node &y = b.nodes()[i];
+        if (x.kind != y.kind || !(x.params == y.params)
+            || x.inputs != y.inputs || !(x.shape == y.shape)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(GraphSerialize, RoundTripsZooModel)
+{
+    const Graph g = buildZooModel("mobilenet_v3_large");
+    const Graph back = graphFromText(graphToText(g));
+    EXPECT_TRUE(graphsEqual(g, back));
+    EXPECT_EQ(totalMacs(g), totalMacs(back));
+}
+
+TEST(GraphSerialize, RoundTripsQuantizedGraph)
+{
+    const Graph q = quantize(buildZooModel("mnasnet_a1"));
+    const Graph back = graphFromText(graphToText(q));
+    EXPECT_TRUE(graphsEqual(q, back));
+    EXPECT_EQ(back.precision(), Precision::Int8);
+}
+
+TEST(GraphSerialize, RoundTripsGeneratedNetworks)
+{
+    RandomNetworkGenerator gen(SearchSpace{}, 555);
+    for (int i = 0; i < 3; ++i) {
+        const Graph g = gen.generate("roundtrip");
+        EXPECT_TRUE(graphsEqual(g, graphFromText(graphToText(g))));
+    }
+}
+
+TEST(GraphSerialize, RejectsBadHeader)
+{
+    std::stringstream ss("not-a-graph v1\n");
+    EXPECT_THROW((void)deserializeGraph(ss), GcmError);
+}
+
+TEST(GraphSerialize, RejectsTruncatedStream)
+{
+    std::string text = graphToText(buildZooModel("squeezenet_1.1"));
+    text.resize(text.size() / 2);
+    EXPECT_THROW((void)graphFromText(text), GcmError);
+}
+
+TEST(GraphSerialize, RejectsUnknownOperator)
+{
+    std::string text = graphToText(buildZooModel("squeezenet_1.1"));
+    const auto pos = text.find("Conv2d");
+    text.replace(pos, 6, "Conv9d");
+    EXPECT_THROW((void)graphFromText(text), GcmError);
+}
+
+TEST(GraphSerialize, LoadedGraphValidates)
+{
+    // Corrupt an input reference to point forward: validate() on load
+    // must reject it.
+    const Graph g = buildZooModel("squeezenet_1.1");
+    std::string text = graphToText(g);
+    const auto pos = text.find("in=0 ");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 5, "in=9 ");
+    EXPECT_THROW((void)graphFromText(text), GcmError);
+}

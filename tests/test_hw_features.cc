@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for the static hardware encoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hw_features.hh"
+
+using namespace gcm::core;
+using namespace gcm::sim;
+
+TEST(HwFeatures, WidthIsFamiliesPlusTwo)
+{
+    StaticHardwareEncoder enc;
+    EXPECT_EQ(enc.numFeatures(), coreFamilyTable().size() + 2);
+    EXPECT_EQ(enc.featureNames().size(), enc.numFeatures());
+}
+
+TEST(HwFeatures, OneHotMatchesCoreFamily)
+{
+    StaticHardwareEncoder enc;
+    const auto fleet = DeviceDatabase::standard(1, 20);
+    for (const auto &d : fleet.devices()) {
+        const auto v = enc.encode(d, fleet);
+        float sum = 0.0f;
+        for (std::size_t i = 0; i < coreFamilyTable().size(); ++i)
+            sum += v[i];
+        EXPECT_FLOAT_EQ(sum, 1.0f);
+        const auto family =
+            static_cast<std::size_t>(fleet.chipsetOf(d).big_core);
+        EXPECT_FLOAT_EQ(v[family], 1.0f);
+    }
+}
+
+TEST(HwFeatures, FrequencyAndRamAppended)
+{
+    StaticHardwareEncoder enc;
+    const auto fleet = DeviceDatabase::standard(1, 5);
+    const auto &d = fleet.device(0);
+    const auto v = enc.encode(d, fleet);
+    EXPECT_FLOAT_EQ(v[coreFamilyTable().size()],
+                    static_cast<float>(d.freq_ghz));
+    EXPECT_FLOAT_EQ(v[coreFamilyTable().size() + 1],
+                    static_cast<float>(d.ram_gb));
+}
+
+TEST(HwFeatures, NamesIncludeCpuPrefix)
+{
+    StaticHardwareEncoder enc;
+    const auto names = enc.featureNames();
+    EXPECT_EQ(names[0].rfind("cpu_is_", 0), 0u);
+    EXPECT_EQ(names[names.size() - 2], "freq_ghz");
+    EXPECT_EQ(names.back(), "ram_gb");
+}

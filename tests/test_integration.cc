@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Integration tests across modules: the full pipeline on a reduced
+ * dataset must reproduce the paper's qualitative results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include <set>
+
+#include "core/collaborative.hh"
+#include "core/evaluation.hh"
+#include "dnn/analysis.hh"
+#include "stats/kmeans.hh"
+#include "testing_support.hh"
+
+using namespace gcm;
+using namespace gcm::core;
+
+TEST(Integration, ContextHasFullCartesianProduct)
+{
+    const auto &ctx = gcmtest::smallContext();
+    EXPECT_EQ(ctx.numNetworks(), 30u);
+    EXPECT_EQ(ctx.fleet().size(), 24u);
+    EXPECT_EQ(ctx.repo().size(), 30u * 24u);
+    for (std::size_t d = 0; d < ctx.fleet().size(); ++d) {
+        for (std::size_t n = 0; n < ctx.numNetworks(); ++n)
+            EXPECT_GT(ctx.latencyMs(d, n), 0.0);
+    }
+}
+
+TEST(Integration, ContextIsDeterministic)
+{
+    core::ExperimentConfig cfg;
+    cfg.num_random_networks = 3;
+    cfg.num_devices = 6;
+    cfg.campaign.runs_per_network = 3;
+    const auto a = core::ExperimentContext::build(cfg);
+    const auto b = core::ExperimentContext::build(cfg);
+    for (std::size_t d = 0; d < a.fleet().size(); ++d) {
+        for (std::size_t n = 0; n < a.numNetworks(); ++n)
+            EXPECT_DOUBLE_EQ(a.latencyMs(d, n), b.latencyMs(d, n));
+    }
+}
+
+TEST(Integration, NetworkIndexLookup)
+{
+    const auto &ctx = gcmtest::smallContext();
+    EXPECT_EQ(ctx.networkIndex("mobilenet_v2_1.0"), 3u);
+    EXPECT_THROW((void)ctx.networkIndex("nope"), GcmError);
+}
+
+TEST(Integration, DeviceVectorsMatchLatencyMatrix)
+{
+    const auto &ctx = gcmtest::smallContext();
+    const auto dev_vec = ctx.deviceVectors();
+    ASSERT_EQ(dev_vec.size(), ctx.fleet().size());
+    EXPECT_DOUBLE_EQ(dev_vec[5][2], ctx.latencyMs(5, 2));
+}
+
+TEST(Integration, DeviceClustersSeparateBySpeed)
+{
+    // The Fig. 4 pipeline: k-means on device latency vectors produces
+    // clusters whose mean latencies are clearly ordered.
+    const auto &ctx = gcmtest::smallContext();
+    const auto vectors = ctx.deviceVectors();
+    stats::KMeansConfig cfg;
+    cfg.k = 3;
+    const auto km = stats::kMeans(vectors, cfg);
+    std::vector<double> mean(3, 0.0);
+    std::vector<std::size_t> count(3, 0);
+    for (std::size_t d = 0; d < vectors.size(); ++d) {
+        double m = 0.0;
+        for (double v : vectors[d])
+            m += v;
+        mean[km.assignments[d]] += m / vectors[d].size();
+        ++count[km.assignments[d]];
+    }
+    std::vector<double> centers;
+    for (int c = 0; c < 3; ++c) {
+        if (count[c] > 0)
+            centers.push_back(mean[c] / count[c]);
+    }
+    std::sort(centers.begin(), centers.end());
+    ASSERT_GE(centers.size(), 2u);
+    EXPECT_GT(centers.back(), 1.5 * centers.front());
+}
+
+TEST(Integration, SuiteCoversWideFlopsRange)
+{
+    const auto &ctx = gcmtest::smallContext();
+    double lo = 1e18, hi = 0.0;
+    for (const auto &g : ctx.fp32Suite()) {
+        lo = std::min(lo, dnn::megaMacs(g));
+        hi = std::max(hi, dnn::megaMacs(g));
+    }
+    EXPECT_LT(lo, 120.0);
+    EXPECT_GT(hi, 500.0);
+}
+
+TEST(Integration, EndToEndPaperShapeHolds)
+{
+    // Static specs fail where signature latencies succeed — the
+    // paper's Fig. 8 vs Fig. 9 contrast, end to end on small data.
+    const auto &ctx = gcmtest::smallContext();
+    EvaluationHarness h(ctx);
+    const auto split = splitDevices(ctx.fleet().size(), 0.3, 5);
+    const auto stat = h.evalStaticFeatureModel(split, gcmtest::fastGbt());
+    double best_sig = -1.0;
+    for (auto m : {SignatureMethod::RandomSampling,
+                   SignatureMethod::MutualInformation,
+                   SignatureMethod::SpearmanCorrelation}) {
+        SignatureConfig cfg;
+        cfg.size = 8;
+        const auto ev =
+            h.evalSignatureModel(split, m, cfg, gcmtest::fastGbt());
+        best_sig = std::max(best_sig, ev.r2);
+    }
+    EXPECT_GT(best_sig, 0.75);
+    EXPECT_GT(best_sig, stat.r2);
+}
+
+TEST(Integration, LargerSignatureDoesNotHurtMuch)
+{
+    const auto &ctx = gcmtest::smallContext();
+    EvaluationHarness h(ctx);
+    const auto split = splitDevices(ctx.fleet().size(), 0.3, 17);
+    const auto train_lat = ctx.latencyMatrix(split.train);
+    SignatureConfig cfg;
+    const auto sig12 = selectMisSignature(train_lat, 12, cfg);
+    const std::vector<std::size_t> sig4(sig12.begin(), sig12.begin() + 4);
+    const auto e4 = h.evalWithSignature(split, sig4, gcmtest::fastGbt());
+    const auto e12 =
+        h.evalWithSignature(split, sig12, gcmtest::fastGbt());
+    EXPECT_GT(e12.r2, e4.r2 - 0.1);
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for k-means clustering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/kmeans.hh"
+
+using namespace gcm::stats;
+using gcm::Rng;
+
+namespace
+{
+
+/** Three well-separated 2-D blobs. */
+std::vector<std::vector<double>>
+blobs(std::size_t per_blob, Rng &rng)
+{
+    const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+    std::vector<std::vector<double>> pts;
+    for (int c = 0; c < 3; ++c) {
+        for (std::size_t i = 0; i < per_blob; ++i) {
+            pts.push_back({centers[c][0] + rng.normal(0, 0.5),
+                           centers[c][1] + rng.normal(0, 0.5)});
+        }
+    }
+    return pts;
+}
+
+} // namespace
+
+TEST(KMeans, RecoversSeparatedBlobs)
+{
+    Rng rng(1);
+    const auto pts = blobs(30, rng);
+    KMeansConfig cfg;
+    cfg.k = 3;
+    const auto res = kMeans(pts, cfg);
+    // All points of one blob share an assignment, and the three blobs
+    // get three distinct labels.
+    for (int c = 0; c < 3; ++c) {
+        const std::size_t base = static_cast<std::size_t>(c) * 30;
+        for (std::size_t i = 1; i < 30; ++i)
+            EXPECT_EQ(res.assignments[base], res.assignments[base + i]);
+    }
+    EXPECT_NE(res.assignments[0], res.assignments[30]);
+    EXPECT_NE(res.assignments[30], res.assignments[60]);
+    EXPECT_NE(res.assignments[0], res.assignments[60]);
+}
+
+TEST(KMeans, InertiaSmallForTightBlobs)
+{
+    Rng rng(2);
+    const auto pts = blobs(20, rng);
+    KMeansConfig cfg;
+    cfg.k = 3;
+    const auto res = kMeans(pts, cfg);
+    // Variance 0.25 per axis -> inertia approx n * 0.5.
+    EXPECT_LT(res.inertia, 60.0);
+}
+
+TEST(KMeans, KOneYieldsCentroid)
+{
+    const std::vector<std::vector<double>> pts = {{0}, {2}, {4}};
+    KMeansConfig cfg;
+    cfg.k = 1;
+    const auto res = kMeans(pts, cfg);
+    EXPECT_NEAR(res.centroids[0][0], 2.0, 1e-12);
+}
+
+TEST(KMeans, DeterministicForSeed)
+{
+    Rng rng(3);
+    const auto pts = blobs(10, rng);
+    KMeansConfig cfg;
+    cfg.k = 3;
+    cfg.seed = 99;
+    const auto a = kMeans(pts, cfg);
+    const auto b = kMeans(pts, cfg);
+    EXPECT_EQ(a.assignments, b.assignments);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, KEqualsNPerfectFit)
+{
+    const std::vector<std::vector<double>> pts = {{0, 0}, {5, 5}, {9, 1}};
+    KMeansConfig cfg;
+    cfg.k = 3;
+    const auto res = kMeans(pts, cfg);
+    EXPECT_NEAR(res.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, DuplicatePointsHandled)
+{
+    // More clusters than distinct points exercises the empty-cluster
+    // reseeding path.
+    const std::vector<std::vector<double>> pts = {
+        {1, 1}, {1, 1}, {1, 1}, {2, 2}};
+    KMeansConfig cfg;
+    cfg.k = 3;
+    const auto res = kMeans(pts, cfg);
+    EXPECT_EQ(res.assignments.size(), 4u);
+    EXPECT_LE(res.inertia, 1.0);
+}
+
+/** Inertia never increases with k (on the best of the restarts). */
+TEST(KMeans, InertiaDecreasesWithK)
+{
+    Rng rng(5);
+    const auto pts = blobs(15, rng);
+    double prev = 1e18;
+    for (std::size_t k = 1; k <= 4; ++k) {
+        KMeansConfig cfg;
+        cfg.k = k;
+        cfg.num_restarts = 10;
+        const auto res = kMeans(pts, cfg);
+        EXPECT_LE(res.inertia, prev + 1e-9);
+        prev = res.inertia;
+    }
+}

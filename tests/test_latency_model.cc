@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the analytical latency model: monotonicity and
+ * bottleneck behaviour, not absolute numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include "sim/latency_model.hh"
+
+using namespace gcm::sim;
+using namespace gcm::dnn;
+
+namespace
+{
+
+DeviceSpec
+makeDevice(const std::string &chipset, double freq, double thermal = 1.0)
+{
+    DeviceSpec d;
+    d.id = 0;
+    d.model_name = "test-device";
+    d.chipset_index = chipsetIndexByName(chipset);
+    d.freq_ghz = freq;
+    d.ram_gb = 4;
+    d.hidden.thermal_sustain = thermal;
+    return d;
+}
+
+const Chipset &
+chipsetOf(const DeviceSpec &d)
+{
+    return chipsetTable()[d.chipset_index];
+}
+
+Graph
+v2()
+{
+    static const Graph g = quantize(buildZooModel("mobilenet_v2_1.0"));
+    return g;
+}
+
+} // namespace
+
+TEST(LatencyModel, PositiveLatency)
+{
+    const auto d = makeDevice("Snapdragon-625", 2.0);
+    LatencyModel m;
+    EXPECT_GT(m.graphLatencyMs(v2(), d, chipsetOf(d)), 0.0);
+}
+
+TEST(LatencyModel, HigherFrequencyIsFaster)
+{
+    const auto slow = makeDevice("Snapdragon-625", 1.4);
+    const auto fast = makeDevice("Snapdragon-625", 2.0);
+    LatencyModel m;
+    EXPECT_GT(m.graphLatencyMs(v2(), slow, chipsetOf(slow)),
+              m.graphLatencyMs(v2(), fast, chipsetOf(fast)));
+}
+
+TEST(LatencyModel, BetterCoreIsFaster)
+{
+    // Same frequency: Kryo 485 (A76-class, dotprod) beats A53.
+    const auto a53 = makeDevice("Snapdragon-625", 2.0);
+    const auto a76 = makeDevice("Snapdragon-855", 2.0);
+    LatencyModel m;
+    EXPECT_GT(m.graphLatencyMs(v2(), a53, chipsetOf(a53)),
+              2.0 * m.graphLatencyMs(v2(), a76, chipsetOf(a76)));
+}
+
+TEST(LatencyModel, ThermalThrottlingSlowsDown)
+{
+    const auto cool = makeDevice("Snapdragon-845", 2.8, 1.0);
+    const auto hot = makeDevice("Snapdragon-845", 2.8, 0.5);
+    LatencyModel m;
+    const double t_cool = m.graphLatencyMs(v2(), cool, chipsetOf(cool));
+    const double t_hot = m.graphLatencyMs(v2(), hot, chipsetOf(hot));
+    EXPECT_GT(t_hot, 1.3 * t_cool);
+}
+
+TEST(LatencyModel, BiggerNetworkTakesLonger)
+{
+    const auto d = makeDevice("Snapdragon-636", 1.8);
+    LatencyModel m;
+    const Graph small = quantize(buildZooModel("mobilenet_v3_small"));
+    const Graph big = quantize(buildZooModel("mobilenet_v2_1.4"));
+    EXPECT_GT(m.graphLatencyMs(big, d, chipsetOf(d)),
+              m.graphLatencyMs(small, d, chipsetOf(d)));
+}
+
+TEST(LatencyModel, LayersSumToGraphTotal)
+{
+    const auto d = makeDevice("Snapdragon-636", 1.8);
+    LatencyModel m;
+    const Graph g = v2();
+    double sum = 0.0;
+    for (const auto &node : g.nodes())
+        sum += m.layerLatencyMs(g, node, d, chipsetOf(d));
+    const double total = m.graphLatencyMs(g, d, chipsetOf(d));
+    EXPECT_GT(total, sum); // graph overhead added
+    EXPECT_NEAR(total, sum, 1.0);
+}
+
+TEST(LatencyModel, InputNodeIsFree)
+{
+    const auto d = makeDevice("Snapdragon-636", 1.8);
+    LatencyModel m;
+    const Graph g = v2();
+    EXPECT_DOUBLE_EQ(m.layerLatencyMs(g, g.node(0), d, chipsetOf(d)),
+                     0.0);
+}
+
+TEST(LatencyModel, DepthwiseLessEfficientThanDense)
+{
+    // Same MAC count: depthwise should take longer than a dense conv
+    // thanks to its lower modeled utilization.
+    GraphBuilder bd("dw", TensorShape{1, 56, 56, 256});
+    bd.depthwiseConv2d(bd.input(), 3, 1, 1);
+    const Graph dw = quantize(bd.build());
+
+    GraphBuilder bc("conv", TensorShape{1, 56, 56, 16});
+    bc.conv2d(bc.input(), 16, 4, 1, 1); // 16*16*k4 == 256*k3 MACs? No:
+    // 56x56x16 out, 4x4x16 each = identical 56*56*256*9? Use direct
+    // comparison of per-MAC time instead.
+    const Graph conv = quantize(bc.build());
+
+    const auto d = makeDevice("Snapdragon-845", 2.8);
+    LatencyModel m;
+    const double t_dw = m.graphLatencyMs(dw, d, chipsetOf(d));
+    const double t_conv = m.graphLatencyMs(conv, d, chipsetOf(d));
+    const double dw_macs = 56.0 * 56 * 256 * 9;
+    const double conv_macs = 53.0 * 53 * 16 * 4 * 4 * 16;
+    EXPECT_GT(t_dw / dw_macs, t_conv / conv_macs);
+}
+
+TEST(LatencyModel, WorseMemoryEfficiencyHurtsWeightHeavyLayers)
+{
+    // A fully-connected layer is weight-streaming bound; memory
+    // efficiency should dominate its latency.
+    GraphBuilder b("fc", TensorShape{1, 1, 1, 4096});
+    b.fullyConnected(b.input(), 4096);
+    const Graph g = quantize(b.build());
+    auto fast_mem = makeDevice("Snapdragon-636", 1.8);
+    auto slow_mem = fast_mem;
+    fast_mem.hidden.mem_efficiency = 1.0;
+    slow_mem.hidden.mem_efficiency = 0.5;
+    LatencyModel m;
+    EXPECT_GT(m.graphLatencyMs(g, slow_mem, chipsetOf(slow_mem)),
+              1.5 * m.graphLatencyMs(g, fast_mem, chipsetOf(fast_mem)));
+}
+
+TEST(LatencyModel, OsOverheadScalesDispatch)
+{
+    auto lean = makeDevice("Snapdragon-636", 1.8);
+    auto bloated = lean;
+    lean.hidden.os_overhead = 1.0;
+    bloated.hidden.os_overhead = 1.8;
+    LatencyModel m;
+    EXPECT_GT(m.graphLatencyMs(v2(), bloated, chipsetOf(bloated)),
+              m.graphLatencyMs(v2(), lean, chipsetOf(lean)));
+}
+
+TEST(LatencyModel, DotprodSpeedsUpInt8Conv)
+{
+    // Helio-G90T (A76, dotprod) vs Helio-P60 (A73, no dotprod) at the
+    // same frequency: conv-heavy graphs must be faster on the former.
+    auto a76 = makeDevice("Helio-G90T", 2.0);
+    auto a73 = makeDevice("Helio-P60", 2.0);
+    LatencyModel m;
+    EXPECT_LT(m.graphLatencyMs(v2(), a76, chipsetOf(a76)),
+              m.graphLatencyMs(v2(), a73, chipsetOf(a73)));
+}

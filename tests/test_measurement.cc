@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the 30-run on-device measurement runtime.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include "sim/latency_model.hh"
+#include "sim/measurement.hh"
+#include "util/error.hh"
+
+using namespace gcm::sim;
+using namespace gcm::dnn;
+using gcm::GcmError;
+
+namespace
+{
+
+DeviceSpec
+device()
+{
+    DeviceSpec d;
+    d.id = 3;
+    d.model_name = "test";
+    d.chipset_index = chipsetIndexByName("Snapdragon-660");
+    d.freq_ghz = 2.2;
+    d.ram_gb = 4;
+    return d;
+}
+
+const Chipset &
+chipset()
+{
+    return chipsetTable()[chipsetIndexByName("Snapdragon-660")];
+}
+
+Graph
+net()
+{
+    static const Graph g = quantize(buildZooModel("squeezenet_1.1"));
+    return g;
+}
+
+} // namespace
+
+TEST(Measurement, ThirtyRunsByDefault)
+{
+    const auto d = device();
+    LatencyModel m;
+    DeviceRuntime rt(d, chipset(), m, 1);
+    const auto res = rt.measure(net());
+    EXPECT_EQ(res.runs_ms.size(), 30u);
+}
+
+TEST(Measurement, MeanMatchesRuns)
+{
+    const auto d = device();
+    LatencyModel m;
+    DeviceRuntime rt(d, chipset(), m, 2);
+    const auto res = rt.measure(net(), 10);
+    double sum = 0.0;
+    for (double r : res.runs_ms)
+        sum += r;
+    EXPECT_NEAR(res.mean_ms, sum / 10.0, 1e-9);
+}
+
+TEST(Measurement, RejectsFp32Graphs)
+{
+    const auto d = device();
+    LatencyModel m;
+    DeviceRuntime rt(d, chipset(), m, 3);
+    EXPECT_THROW((void)rt.measure(buildZooModel("squeezenet_1.1")),
+                 GcmError);
+}
+
+TEST(Measurement, NoiseIsModest)
+{
+    const auto d = device();
+    LatencyModel m;
+    DeviceRuntime rt(d, chipset(), m, 4);
+    const auto res = rt.measure(net());
+    EXPECT_GT(res.stddev_ms, 0.0);
+    EXPECT_LT(res.stddev_ms, 0.4 * res.mean_ms);
+}
+
+TEST(Measurement, MeanNearDeterministicBase)
+{
+    const auto d = device();
+    LatencyModel m;
+    const double base = m.graphLatencyMs(net(), d, chipset());
+    DeviceRuntime rt(d, chipset(), m, 5);
+    // Average many sessions: systematic inflation comes only from the
+    // bounded warm-up ramp and rare outliers.
+    double sum = 0.0;
+    const int sessions = 50;
+    for (int i = 0; i < sessions; ++i)
+        sum += rt.measure(net()).mean_ms;
+    const double grand_mean = sum / sessions;
+    EXPECT_GT(grand_mean, base);
+    EXPECT_LT(grand_mean, 1.35 * base);
+}
+
+TEST(Measurement, DeterministicForSeed)
+{
+    const auto d = device();
+    LatencyModel m;
+    DeviceRuntime a(d, chipset(), m, 7);
+    DeviceRuntime b(d, chipset(), m, 7);
+    EXPECT_DOUBLE_EQ(a.measure(net()).mean_ms, b.measure(net()).mean_ms);
+}
+
+TEST(Measurement, SessionsDiffer)
+{
+    // Two measure() calls on the same runtime draw different sessions.
+    const auto d = device();
+    LatencyModel m;
+    DeviceRuntime rt(d, chipset(), m, 8);
+    const double first = rt.measure(net()).mean_ms;
+    const double second = rt.measure(net()).mean_ms;
+    EXPECT_NE(first, second);
+}
+
+TEST(Measurement, WarmupRampRaisesLaterRuns)
+{
+    NoiseParams noise;
+    noise.run_jitter_sigma = 1e-6;
+    noise.outlier_probability = 0.0;
+    noise.session_jitter_sigma = 1e-6;
+    noise.thermal_ramp_max = 0.2;
+    const auto d = device();
+    LatencyModel m;
+    DeviceRuntime rt(d, chipset(), m, 9, noise);
+    const auto res = rt.measure(net());
+    EXPECT_GT(res.runs_ms.back(), res.runs_ms.front() * 1.15);
+}
+
+TEST(Measurement, ZeroRunsAborts)
+{
+    const auto d = device();
+    LatencyModel m;
+    DeviceRuntime rt(d, chipset(), m, 10);
+    EXPECT_DEATH((void)rt.measure(net(), 0), "zero runs");
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for regression metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.hh"
+
+using namespace gcm::ml;
+
+TEST(Metrics, R2PerfectPrediction)
+{
+    EXPECT_DOUBLE_EQ(r2Score({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(Metrics, R2MeanPredictionIsZero)
+{
+    EXPECT_NEAR(r2Score({1, 2, 3}, {2, 2, 2}), 0.0, 1e-12);
+}
+
+TEST(Metrics, R2CanBeNegative)
+{
+    EXPECT_LT(r2Score({1, 2, 3}, {3, 2, 1}), 0.0);
+}
+
+TEST(Metrics, R2KnownValue)
+{
+    // SS_res = 0.25 + 0.25 = 0.5, SS_tot = 2 -> R2 = 0.75.
+    EXPECT_NEAR(r2Score({1, 2, 3}, {1.5, 2.0, 2.5}), 0.75, 1e-12);
+}
+
+TEST(Metrics, R2ZeroVarianceTargets)
+{
+    EXPECT_DOUBLE_EQ(r2Score({5, 5, 5}, {4, 5, 6}), 0.0);
+}
+
+TEST(Metrics, RmseKnownValue)
+{
+    EXPECT_NEAR(rmse({0, 0}, {3, 4}), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Metrics, MaeKnownValue)
+{
+    EXPECT_DOUBLE_EQ(mae({1, 2}, {2, 0}), 1.5);
+}
+
+TEST(Metrics, MapeSkipsZeroTargets)
+{
+    // Only the second point counts: |(10-12)/10| = 20%.
+    EXPECT_NEAR(mape({0, 10}, {5, 12}), 20.0, 1e-12);
+}
+
+TEST(Metrics, MapeAllZeroTargets)
+{
+    EXPECT_DOUBLE_EQ(mape({0, 0}, {1, 2}), 0.0);
+}

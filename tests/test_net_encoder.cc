@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the layer-wise network encoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/net_encoder.hh"
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include "util/error.hh"
+
+using namespace gcm;
+using namespace gcm::core;
+using namespace gcm::dnn;
+
+namespace
+{
+
+Graph
+tinyNet()
+{
+    GraphBuilder b("tiny", TensorShape{1, 8, 8, 3});
+    b.relu(b.conv2d(b.input(), 16, 3, 2, 1));
+    return b.build();
+}
+
+} // namespace
+
+TEST(NetEncoder, WidthIsLayersTimesPerLayer)
+{
+    NetworkEncoder enc(10);
+    EXPECT_EQ(enc.maxLayers(), 10u);
+    EXPECT_EQ(enc.numFeatures(), 10u * enc.featuresPerLayer());
+    EXPECT_EQ(enc.featureNames().size(), enc.numFeatures());
+}
+
+TEST(NetEncoder, FitsDeepestNetworkOfSuite)
+{
+    const std::vector<Graph> suite = {tinyNet(),
+                                      buildZooModel("squeezenet_1.1")};
+    NetworkEncoder enc(suite);
+    // SqueezeNet 1.1 has far more than tiny's 2 encodable nodes.
+    EXPECT_EQ(enc.maxLayers(),
+              buildZooModel("squeezenet_1.1").numNodes() - 1);
+}
+
+TEST(NetEncoder, EncodesOpOneHotAndParams)
+{
+    NetworkEncoder enc(4);
+    const Graph g = tinyNet();
+    const auto v = enc.encode(g);
+    ASSERT_EQ(v.size(), enc.numFeatures());
+    const std::size_t fpl = enc.featuresPerLayer();
+    // Layer 0: Conv2d one-hot at position kind-1 = 0.
+    EXPECT_FLOAT_EQ(v[0], 1.0f);
+    const std::size_t onehot = kNumOpKinds - 1;
+    // Params: in_h=8, in_c=3, out_h=4, out_c=16, k=3, s=2, p=1.
+    EXPECT_FLOAT_EQ(v[onehot + 0], 8.0f);
+    EXPECT_FLOAT_EQ(v[onehot + 1], 3.0f);
+    EXPECT_FLOAT_EQ(v[onehot + 2], 4.0f);
+    EXPECT_FLOAT_EQ(v[onehot + 3], 16.0f);
+    EXPECT_FLOAT_EQ(v[onehot + 4], 3.0f);
+    EXPECT_FLOAT_EQ(v[onehot + 5], 2.0f);
+    EXPECT_FLOAT_EQ(v[onehot + 6], 1.0f);
+    // Layer 1 is the ReLU.
+    const auto relu_pos = static_cast<std::size_t>(OpKind::ReLU) - 1;
+    EXPECT_FLOAT_EQ(v[fpl + relu_pos], 1.0f);
+}
+
+TEST(NetEncoder, PadsWithZeros)
+{
+    NetworkEncoder enc(6);
+    const auto v = enc.encode(tinyNet());
+    const std::size_t fpl = enc.featuresPerLayer();
+    for (std::size_t i = 2 * fpl; i < v.size(); ++i)
+        EXPECT_FLOAT_EQ(v[i], 0.0f);
+}
+
+TEST(NetEncoder, ExactlyOneHotPerEncodedLayer)
+{
+    NetworkEncoder enc(200);
+    const Graph g = quantize(buildZooModel("mobilenet_v2_1.0"));
+    const auto v = enc.encode(g);
+    const std::size_t fpl = enc.featuresPerLayer();
+    const std::size_t onehot = kNumOpKinds - 1;
+    const std::size_t layers = g.numNodes() - 1;
+    for (std::size_t l = 0; l < layers; ++l) {
+        float sum = 0.0f;
+        for (std::size_t k = 0; k < onehot; ++k)
+            sum += v[l * fpl + k];
+        EXPECT_FLOAT_EQ(sum, 1.0f) << "layer " << l;
+    }
+}
+
+TEST(NetEncoder, FusedActivationEncoded)
+{
+    NetworkEncoder enc(10);
+    GraphBuilder b("t", TensorShape{1, 8, 8, 3});
+    b.relu6(b.batchNorm(b.conv2d(b.input(), 8, 3, 1, 1)));
+    const Graph q = quantize(b.build());
+    const auto v = enc.encode(q);
+    const std::size_t onehot = kNumOpKinds - 1;
+    EXPECT_FLOAT_EQ(v[onehot + 8],
+                    static_cast<float>(FusedActivation::ReLU6));
+}
+
+TEST(NetEncoder, TooDeepNetworkThrows)
+{
+    NetworkEncoder enc(1);
+    EXPECT_THROW((void)enc.encode(tinyNet()), GcmError);
+}
+
+TEST(NetEncoder, DifferentNetworksDifferentEncodings)
+{
+    NetworkEncoder enc(200);
+    const auto a = enc.encode(quantize(buildZooModel("mnasnet_a1")));
+    const auto b = enc.encode(quantize(buildZooModel("mnasnet_b1")));
+    EXPECT_NE(a, b);
+}
+
+TEST(NetEncoder, EncodingIsDeterministic)
+{
+    NetworkEncoder enc(200);
+    const Graph g = quantize(buildZooModel("fbnet_a"));
+    EXPECT_EQ(enc.encode(g), enc.encode(g));
+}
+
+TEST(NetEncoder, ZeroMaxLayersAborts)
+{
+    EXPECT_DEATH(NetworkEncoder(0), "zero max_layers");
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the per-layer latency profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include "sim/profiler.hh"
+#include "util/error.hh"
+
+using namespace gcm;
+using namespace gcm::sim;
+
+namespace
+{
+
+const DeviceSpec &
+device()
+{
+    static const DeviceDatabase db = DeviceDatabase::standard(1, 8);
+    return db.device(0);
+}
+
+const Chipset &
+chipset()
+{
+    return chipsetTable()[device().chipset_index];
+}
+
+dnn::Graph
+net()
+{
+    static const dnn::Graph g =
+        dnn::quantize(dnn::buildZooModel("mobilenet_v2_1.0"));
+    return g;
+}
+
+} // namespace
+
+TEST(Profiler, TotalMatchesLatencyModel)
+{
+    const LatencyModel model;
+    const auto profile = profileGraph(model, net(), device(), chipset());
+    EXPECT_NEAR(profile.total_ms,
+                model.graphLatencyMs(net(), device(), chipset()), 1e-9);
+}
+
+TEST(Profiler, OneEntryPerNonInputNode)
+{
+    const LatencyModel model;
+    const auto profile = profileGraph(model, net(), device(), chipset());
+    EXPECT_EQ(profile.layers.size(), net().numNodes() - 1);
+}
+
+TEST(Profiler, PercentagesSumToHundred)
+{
+    const LatencyModel model;
+    const auto profile = profileGraph(model, net(), device(), chipset());
+    double sum = 0.0;
+    for (const auto &lp : profile.layers)
+        sum += lp.percent;
+    const double overhead_pct =
+        100.0 * profile.graph_overhead_ms / profile.total_ms;
+    EXPECT_NEAR(sum + overhead_pct, 100.0, 1e-6);
+}
+
+TEST(Profiler, ByKindAggregationConsistent)
+{
+    const LatencyModel model;
+    const auto profile = profileGraph(model, net(), device(), chipset());
+    double kinds_ms = 0.0;
+    std::size_t kinds_count = 0;
+    for (const auto &agg : profile.by_kind) {
+        kinds_ms += agg.ms;
+        kinds_count += agg.count;
+    }
+    EXPECT_NEAR(kinds_ms + profile.graph_overhead_ms, profile.total_ms,
+                1e-9);
+    EXPECT_EQ(kinds_count, profile.layers.size());
+    // Sorted by descending time.
+    for (std::size_t i = 1; i < profile.by_kind.size(); ++i)
+        EXPECT_GE(profile.by_kind[i - 1].ms, profile.by_kind[i].ms);
+}
+
+TEST(Profiler, ConvolutionsDominateMobileNet)
+{
+    const LatencyModel model;
+    const auto profile = profileGraph(model, net(), device(), chipset());
+    EXPECT_EQ(profile.by_kind.front().kind, dnn::OpKind::Conv2d);
+    EXPECT_GT(profile.by_kind.front().percent, 40.0);
+}
+
+TEST(Profiler, DepthwiseCostsMorePerMacThanDenseConv)
+{
+    // The defining mobile-CPU behaviour the model encodes: depthwise
+    // convolutions achieve far lower effective throughput, so their
+    // time per MAC is well above that of dense convolutions.
+    const LatencyModel model;
+    const auto profile = profileGraph(model, net(), device(), chipset());
+    double conv_ms = 0.0, dw_ms = 0.0;
+    std::int64_t conv_macs = 0, dw_macs = 0;
+    for (const auto &lp : profile.layers) {
+        if (lp.kind == dnn::OpKind::Conv2d) {
+            conv_ms += lp.ms;
+            conv_macs += lp.macs;
+        } else if (lp.kind == dnn::OpKind::DepthwiseConv2d) {
+            dw_ms += lp.ms;
+            dw_macs += lp.macs;
+        }
+    }
+    ASSERT_GT(conv_macs, 0);
+    ASSERT_GT(dw_macs, 0);
+    EXPECT_GT(dw_ms / static_cast<double>(dw_macs),
+              2.0 * conv_ms / static_cast<double>(conv_macs));
+}
+
+TEST(Profiler, RejectsFp32Graph)
+{
+    const LatencyModel model;
+    EXPECT_THROW((void)profileGraph(model,
+                                    dnn::buildZooModel("squeezenet_1.1"),
+                                    device(), chipset()),
+                 GcmError);
+}
+
+TEST(Profiler, RenderMentionsHotOperators)
+{
+    const LatencyModel model;
+    const auto profile = profileGraph(model, net(), device(), chipset());
+    const std::string text = renderProfile(profile, net());
+    EXPECT_NE(text.find("Conv2d"), std::string::npos);
+    EXPECT_NE(text.find("hottest layers"), std::string::npos);
+    EXPECT_NE(text.find(net().name()), std::string::npos);
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the TFLite-style quantization/fusion pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/quantize.hh"
+
+using namespace gcm::dnn;
+
+TEST(Quantize, MarksGraphInt8)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 3});
+    b.conv2d(b.input(), 8, 3, 1, 1);
+    const Graph q = quantize(b.build());
+    EXPECT_EQ(q.precision(), Precision::Int8);
+}
+
+TEST(Quantize, FoldsBatchNorm)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 3});
+    b.batchNorm(b.conv2d(b.input(), 8, 3, 1, 1));
+    const Graph q = quantize(b.build());
+    EXPECT_EQ(q.countKind(OpKind::BatchNorm), 0u);
+    EXPECT_EQ(q.countKind(OpKind::Conv2d), 1u);
+    EXPECT_EQ(q.numNodes(), 2u); // input + conv
+}
+
+TEST(Quantize, FusesReluIntoConv)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 3});
+    b.relu(b.batchNorm(b.conv2d(b.input(), 8, 3, 1, 1)));
+    const Graph q = quantize(b.build());
+    EXPECT_EQ(q.numNodes(), 2u);
+    EXPECT_EQ(q.outputNode().params.fused_activation,
+              FusedActivation::ReLU);
+}
+
+TEST(Quantize, FusesRelu6IntoDepthwise)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 16});
+    b.relu6(b.batchNorm(b.depthwiseConv2d(b.input(), 3, 1, 1)));
+    const Graph q = quantize(b.build());
+    EXPECT_EQ(q.numNodes(), 2u);
+    EXPECT_EQ(q.outputNode().params.fused_activation,
+              FusedActivation::ReLU6);
+}
+
+TEST(Quantize, FusesReluIntoAdd)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 8});
+    const NodeId c = b.conv2d(b.input(), 8, 3, 1, 1);
+    b.relu(b.add(b.input(), c));
+    const Graph q = quantize(b.build());
+    EXPECT_EQ(q.countKind(OpKind::ReLU), 0u);
+    EXPECT_EQ(q.outputNode().kind, OpKind::Add);
+    EXPECT_EQ(q.outputNode().params.fused_activation,
+              FusedActivation::ReLU);
+}
+
+TEST(Quantize, HswishStaysStandalone)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 3});
+    b.hswish(b.conv2d(b.input(), 8, 3, 1, 1));
+    const Graph q = quantize(b.build());
+    EXPECT_EQ(q.countKind(OpKind::HSwish), 1u);
+}
+
+TEST(Quantize, MultiConsumerProducerNotFused)
+{
+    // conv output feeds both a ReLU and an Add: fusing the ReLU would
+    // corrupt the Add input, so it must stay standalone.
+    GraphBuilder b("t", TensorShape{1, 8, 8, 8});
+    const NodeId c = b.conv2d(b.input(), 8, 3, 1, 1);
+    const NodeId r = b.relu(c);
+    b.add(c, r);
+    const Graph q = quantize(b.build());
+    EXPECT_EQ(q.countKind(OpKind::ReLU), 1u);
+    for (const auto &n : q.nodes()) {
+        if (n.kind == OpKind::Conv2d) {
+            EXPECT_EQ(n.params.fused_activation, FusedActivation::None);
+        }
+    }
+}
+
+TEST(Quantize, MultiConsumerBatchNormStillFolds)
+{
+    // BN feeding two consumers folds structurally (it is an identity
+    // once merged), but blocks activation fusion through it.
+    GraphBuilder b("t", TensorShape{1, 8, 8, 8});
+    const NodeId bn = b.batchNorm(b.conv2d(b.input(), 8, 3, 1, 1));
+    const NodeId r = b.relu(bn);
+    b.add(bn, r);
+    const Graph q = quantize(b.build());
+    EXPECT_EQ(q.countKind(OpKind::BatchNorm), 0u);
+    EXPECT_EQ(q.countKind(OpKind::ReLU), 1u);
+    EXPECT_NO_THROW(q.validate());
+}
+
+TEST(Quantize, PreservesTopologyOfResidualBlock)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 8});
+    NodeId x = b.input();
+    NodeId y = b.relu6(b.batchNorm(b.conv2d(x, 48, 1, 1, 0)));
+    y = b.relu6(b.batchNorm(b.depthwiseConv2d(y, 3, 1, 1)));
+    y = b.batchNorm(b.conv2d(y, 8, 1, 1, 0));
+    b.add(x, y);
+    const Graph q = quantize(b.build());
+    // input, conv(+relu6), dw(+relu6), conv, add
+    EXPECT_EQ(q.numNodes(), 5u);
+    EXPECT_EQ(q.outputNode().kind, OpKind::Add);
+    EXPECT_NO_THROW(q.validate());
+}
+
+TEST(Quantize, ChainedFusionOnlyAbsorbsOneActivation)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 3});
+    b.relu6(b.relu(b.conv2d(b.input(), 8, 3, 1, 1)));
+    const Graph q = quantize(b.build());
+    // First ReLU fuses; the second cannot (slot taken) and remains.
+    EXPECT_EQ(q.countKind(OpKind::ReLU6), 1u);
+    EXPECT_NO_THROW(q.validate());
+}
+
+TEST(Quantize, OutputStaysLast)
+{
+    GraphBuilder b("t", TensorShape{1, 8, 8, 3});
+    b.relu(b.batchNorm(b.conv2d(b.input(), 8, 3, 1, 1)));
+    const Graph q = quantize(b.build());
+    EXPECT_EQ(q.outputNode().kind, OpKind::Conv2d);
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the central measurement repository.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/repository.hh"
+#include "util/error.hh"
+
+using namespace gcm::sim;
+using gcm::GcmError;
+
+namespace
+{
+
+MeasurementRecord
+rec(std::int32_t dev, const std::string &net, double ms)
+{
+    MeasurementRecord r;
+    r.device_id = dev;
+    r.device_name = "dev" + std::to_string(dev);
+    r.network = net;
+    r.mean_ms = ms;
+    r.stddev_ms = 0.5;
+    r.runs = 30;
+    return r;
+}
+
+} // namespace
+
+TEST(Repository, AddAndLookup)
+{
+    MeasurementRepository repo;
+    repo.add(rec(0, "a", 10.0));
+    repo.add(rec(1, "a", 20.0));
+    EXPECT_TRUE(repo.has(0, "a"));
+    EXPECT_FALSE(repo.has(0, "b"));
+    EXPECT_DOUBLE_EQ(repo.latencyMs(1, "a"), 20.0);
+    EXPECT_EQ(repo.size(), 2u);
+}
+
+TEST(Repository, MissingLookupThrows)
+{
+    MeasurementRepository repo;
+    EXPECT_THROW((void)repo.latencyMs(0, "x"), GcmError);
+}
+
+TEST(Repository, OverwriteReplaces)
+{
+    MeasurementRepository repo;
+    repo.add(rec(0, "a", 10.0));
+    repo.add(rec(0, "a", 12.0));
+    EXPECT_EQ(repo.size(), 1u);
+    EXPECT_DOUBLE_EQ(repo.latencyMs(0, "a"), 12.0);
+}
+
+TEST(Repository, LatencyMatrixLayout)
+{
+    MeasurementRepository repo;
+    for (int d = 0; d < 2; ++d) {
+        repo.add(rec(d, "a", 10.0 + d));
+        repo.add(rec(d, "b", 20.0 + d));
+    }
+    const auto m = repo.latencyMatrix({0, 1}, {"a", "b"});
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_DOUBLE_EQ(m[0][1], 11.0);
+    EXPECT_DOUBLE_EQ(m[1][0], 20.0);
+}
+
+TEST(Repository, LatencyMatrixMissingEntryThrows)
+{
+    MeasurementRepository repo;
+    repo.add(rec(0, "a", 10.0));
+    EXPECT_THROW((void)repo.latencyMatrix({0}, {"a", "b"}), GcmError);
+}
+
+TEST(Repository, CsvRoundtrip)
+{
+    MeasurementRepository repo;
+    repo.add(rec(0, "net,with,commas", 12.5));
+    repo.add(rec(3, "plain", 42.0));
+    const auto back = MeasurementRepository::fromCsv(repo.toCsv());
+    EXPECT_EQ(back.size(), 2u);
+    EXPECT_DOUBLE_EQ(back.latencyMs(0, "net,with,commas"), 12.5);
+    EXPECT_DOUBLE_EQ(back.latencyMs(3, "plain"), 42.0);
+    EXPECT_EQ(back.records()[1].runs, 30);
+}

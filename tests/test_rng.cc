@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the deterministic random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hh"
+
+using gcm::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively)
+{
+    Rng rng(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.uniformInt(2, 6);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 6);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(9, 9), 9);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams)
+{
+    Rng rng(17);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, LognormalFactorMedianNearOne)
+{
+    Rng rng(19);
+    std::vector<double> v;
+    for (int i = 0; i < 10001; ++i)
+        v.push_back(rng.lognormalFactor(0.2));
+    std::sort(v.begin(), v.end());
+    EXPECT_NEAR(v[5000], 1.0, 0.05);
+    EXPECT_GT(v.front(), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(29);
+    std::vector<double> w{1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weightedIndex(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct)
+{
+    Rng rng(31);
+    const auto idx = rng.sampleWithoutReplacement(100, 30);
+    EXPECT_EQ(idx.size(), 30u);
+    std::set<std::size_t> s(idx.begin(), idx.end());
+    EXPECT_EQ(s.size(), 30u);
+    for (std::size_t i : idx)
+        EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull)
+{
+    Rng rng(37);
+    const auto idx = rng.sampleWithoutReplacement(10, 10);
+    std::set<std::size_t> s(idx.begin(), idx.end());
+    EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementUniform)
+{
+    // Every element should appear with roughly equal frequency.
+    Rng rng(41);
+    std::vector<int> counts(20, 0);
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+        for (std::size_t i : rng.sampleWithoutReplacement(20, 5))
+            ++counts[i];
+    }
+    const double expected = trials * 5.0 / 20.0;
+    for (int c : counts)
+        EXPECT_NEAR(c, expected, expected * 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(43);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+    auto w = v;
+    rng.shuffle(w);
+    std::sort(w.begin(), w.end());
+    EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkStreamsAreIndependent)
+{
+    Rng parent(47);
+    Rng a = parent.fork(0);
+    Rng b = parent.fork(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng p1(51), p2(51);
+    Rng a = p1.fork(9);
+    Rng b = p2.fork(9);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkIndependentOfParentDrawCount)
+{
+    Rng p1(53), p2(53);
+    p2.next();
+    p2.next();
+    // fork() depends only on the seed and stream id.
+    Rng a = p1.fork(4);
+    Rng b = p2.fork(4);
+    EXPECT_EQ(a.next(), b.next());
+}
+
+/** Property sweep: uniformInt stays in bounds over many ranges. */
+class RngRangeTest : public ::testing::TestWithParam<std::int64_t>
+{};
+
+TEST_P(RngRangeTest, UniformIntInBounds)
+{
+    const std::int64_t hi = GetParam();
+    Rng rng(static_cast<std::uint64_t>(hi) * 2654435761u);
+    for (int i = 0; i < 500; ++i) {
+        const std::int64_t v = rng.uniformInt(-hi, hi);
+        EXPECT_GE(v, -hi);
+        EXPECT_LE(v, hi);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngRangeTest,
+                         ::testing::Values(1, 2, 7, 100, 12345,
+                                           1000000007LL));

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for model serialization: regression trees, the GBT
+ * booster and the end-to-end SignatureCostModel round-trip exactly
+ * through their text formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/cost_model.hh"
+#include "ml/gbt.hh"
+#include "testing_support.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+using namespace gcm;
+
+namespace
+{
+
+ml::Dataset
+waveDataset(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    ml::Dataset ds(3);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float a = static_cast<float>(rng.uniform(-2, 2));
+        const float b = static_cast<float>(rng.uniform(-2, 2));
+        const float c = static_cast<float>(rng.uniform(-2, 2));
+        ds.addRow({a, b, c}, std::sin(a) + b * b - 0.5 * c);
+    }
+    return ds;
+}
+
+} // namespace
+
+TEST(Serialization, GbtRoundTripIsExact)
+{
+    const auto train = waveDataset(600, 1);
+    const auto test = waveDataset(100, 2);
+    ml::GradientBoostedTrees model;
+    model.train(train);
+
+    std::stringstream ss;
+    model.serialize(ss);
+    const auto loaded = ml::GradientBoostedTrees::deserialize(ss);
+
+    EXPECT_EQ(loaded.numTrees(), model.numTrees());
+    EXPECT_DOUBLE_EQ(loaded.baseScore(), model.baseScore());
+    EXPECT_EQ(loaded.predict(test), model.predict(test));
+}
+
+TEST(Serialization, GbtRoundTripPreservesParams)
+{
+    ml::GbtParams p;
+    p.n_estimators = 13;
+    p.max_depth = 4;
+    p.learning_rate = 0.25;
+    ml::GradientBoostedTrees model(p);
+    model.train(waveDataset(200, 3));
+    std::stringstream ss;
+    model.serialize(ss);
+    const auto loaded = ml::GradientBoostedTrees::deserialize(ss);
+    EXPECT_EQ(loaded.params().n_estimators, 13u);
+    EXPECT_EQ(loaded.params().max_depth, 4u);
+    EXPECT_DOUBLE_EQ(loaded.params().learning_rate, 0.25);
+}
+
+TEST(Serialization, GbtRejectsGarbage)
+{
+    std::stringstream ss("definitely not a model");
+    EXPECT_THROW((void)ml::GradientBoostedTrees::deserialize(ss),
+                 GcmError);
+}
+
+TEST(Serialization, GbtRejectsTruncatedStream)
+{
+    ml::GradientBoostedTrees model;
+    model.train(waveDataset(100, 4));
+    std::stringstream ss;
+    model.serialize(ss);
+    std::string text = ss.str();
+    text.resize(text.size() / 2);
+    std::stringstream cut(text);
+    EXPECT_THROW((void)ml::GradientBoostedTrees::deserialize(cut),
+                 GcmError);
+}
+
+TEST(Serialization, GbtUntrainedModelAborts)
+{
+    ml::GradientBoostedTrees model;
+    std::stringstream ss;
+    EXPECT_DEATH(model.serialize(ss), "not trained");
+}
+
+TEST(Serialization, CostModelRoundTrip)
+{
+    const auto &ctx = gcmtest::smallContext();
+    std::vector<std::size_t> devices(ctx.fleet().size());
+    for (std::size_t i = 0; i < devices.size(); ++i)
+        devices[i] = i;
+    core::SignatureCostModel::Config cfg;
+    cfg.gbt = gcmtest::fastGbt();
+    const auto model = core::SignatureCostModel::train(
+        ctx.suite(), ctx.latencyMatrix(devices), cfg);
+
+    std::stringstream ss;
+    model.serialize(ss);
+    const auto loaded = core::SignatureCostModel::deserialize(ss);
+
+    EXPECT_EQ(loaded.signature(), model.signature());
+    EXPECT_EQ(loaded.signatureNames(), model.signatureNames());
+    EXPECT_EQ(loaded.encoder().maxLayers(),
+              model.encoder().maxLayers());
+
+    std::vector<double> sig;
+    for (std::size_t s : model.signature())
+        sig.push_back(ctx.latencyMs(0, s));
+    for (std::size_t n = 0; n < ctx.numNetworks(); n += 5) {
+        EXPECT_DOUBLE_EQ(loaded.predictMs(ctx.suite()[n], sig),
+                         model.predictMs(ctx.suite()[n], sig));
+    }
+}
+
+TEST(Serialization, CostModelRejectsBadHeader)
+{
+    std::stringstream ss("gcm-cost-model v9\n");
+    EXPECT_THROW((void)core::SignatureCostModel::deserialize(ss),
+                 GcmError);
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for signature-set selection (RS / MIS / SCCS).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/signature.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+using namespace gcm::core;
+using gcm::GcmError;
+using gcm::Rng;
+
+namespace
+{
+
+bool
+allDistinct(const std::vector<std::size_t> &v)
+{
+    std::set<std::size_t> s(v.begin(), v.end());
+    return s.size() == v.size();
+}
+
+/**
+ * Synthetic latency matrix with redundancy structure: `groups`
+ * clusters of networks; members of a cluster are near-duplicates
+ * (same device response + tiny noise), clusters are independent.
+ */
+std::vector<std::vector<double>>
+clusteredLatencies(std::size_t groups, std::size_t per_group,
+                   std::size_t devices, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> base(groups);
+    for (auto &row : base) {
+        for (std::size_t d = 0; d < devices; ++d)
+            row.push_back(std::exp(rng.uniform(2.0, 6.0)));
+    }
+    std::vector<std::vector<double>> nets;
+    for (std::size_t g = 0; g < groups; ++g) {
+        for (std::size_t m = 0; m < per_group; ++m) {
+            std::vector<double> row = base[g];
+            for (auto &v : row)
+                v *= rng.uniform(0.99, 1.01);
+            nets.push_back(std::move(row));
+        }
+    }
+    return nets;
+}
+
+std::size_t
+groupOf(std::size_t net_idx, std::size_t per_group)
+{
+    return net_idx / per_group;
+}
+
+} // namespace
+
+TEST(SignatureRs, SizeAndDistinctness)
+{
+    const auto sig = selectRandomSignature(118, 10, 42);
+    EXPECT_EQ(sig.size(), 10u);
+    EXPECT_TRUE(allDistinct(sig));
+    for (std::size_t s : sig)
+        EXPECT_LT(s, 118u);
+}
+
+TEST(SignatureRs, DeterministicPerSeed)
+{
+    EXPECT_EQ(selectRandomSignature(50, 5, 7),
+              selectRandomSignature(50, 5, 7));
+    EXPECT_NE(selectRandomSignature(50, 5, 7),
+              selectRandomSignature(50, 5, 8));
+}
+
+TEST(SignatureMis, PicksAcrossRedundancyGroups)
+{
+    // 5 groups of 6 near-identical networks: a 5-network signature
+    // should touch all 5 groups (picking duplicates wastes MI).
+    const auto lat = clusteredLatencies(5, 6, 40, 1);
+    SignatureConfig cfg;
+    const auto sig = selectMisSignature(lat, 5, cfg);
+    EXPECT_TRUE(allDistinct(sig));
+    std::set<std::size_t> groups;
+    for (std::size_t s : sig)
+        groups.insert(groupOf(s, 6));
+    EXPECT_EQ(groups.size(), 5u);
+}
+
+TEST(SignatureMis, HistogramEstimatorAlsoSpreads)
+{
+    const auto lat = clusteredLatencies(4, 5, 60, 2);
+    SignatureConfig cfg;
+    cfg.mi_estimator = MiEstimatorKind::Histogram;
+    const auto sig = selectMisSignature(lat, 4, cfg);
+    std::set<std::size_t> groups;
+    for (std::size_t s : sig)
+        groups.insert(groupOf(s, 5));
+    EXPECT_GE(groups.size(), 3u);
+}
+
+TEST(SignatureMis, PrefixProperty)
+{
+    const auto lat = clusteredLatencies(5, 4, 30, 3);
+    SignatureConfig cfg;
+    const auto big = selectMisSignature(lat, 8, cfg);
+    const auto small = selectMisSignature(lat, 4, cfg);
+    ASSERT_EQ(small.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(small[i], big[i]);
+}
+
+TEST(SignatureSccs, RemovesCorrelatedGroup)
+{
+    const auto lat = clusteredLatencies(5, 6, 40, 4);
+    SignatureConfig cfg;
+    cfg.sccs_gamma = 0.95;
+    const auto sig = selectSccsSignature(lat, 5, cfg);
+    EXPECT_TRUE(allDistinct(sig));
+    std::set<std::size_t> groups;
+    for (std::size_t s : sig)
+        groups.insert(groupOf(s, 6));
+    // Each pick removes its own highly-correlated group, so the five
+    // picks should cover the five groups.
+    EXPECT_EQ(groups.size(), 5u);
+}
+
+TEST(SignatureSccs, GammaRelaxationWhenExhausted)
+{
+    // 2 groups but 6 networks requested: the pool empties after two
+    // picks and the documented gamma-relaxation path must kick in.
+    const auto lat = clusteredLatencies(2, 4, 30, 5);
+    SignatureConfig cfg;
+    cfg.sccs_gamma = 0.9;
+    const auto sig = selectSccsSignature(lat, 6, cfg);
+    EXPECT_EQ(sig.size(), 6u);
+    EXPECT_TRUE(allDistinct(sig));
+}
+
+TEST(Signature, DispatchMatchesDirectCalls)
+{
+    const auto lat = clusteredLatencies(4, 4, 30, 6);
+    SignatureConfig cfg;
+    cfg.size = 4;
+    cfg.seed = 11;
+    EXPECT_EQ(selectSignature(lat, SignatureMethod::RandomSampling, cfg),
+              selectRandomSignature(lat.size(), 4, 11));
+    EXPECT_EQ(
+        selectSignature(lat, SignatureMethod::MutualInformation, cfg),
+        selectMisSignature(lat, 4, cfg));
+    EXPECT_EQ(
+        selectSignature(lat, SignatureMethod::SpearmanCorrelation, cfg),
+        selectSccsSignature(lat, 4, cfg));
+}
+
+TEST(Signature, MethodNames)
+{
+    EXPECT_STREQ(signatureMethodName(SignatureMethod::RandomSampling),
+                 "RS");
+    EXPECT_STREQ(signatureMethodName(SignatureMethod::MutualInformation),
+                 "MIS");
+    EXPECT_STREQ(
+        signatureMethodName(SignatureMethod::SpearmanCorrelation),
+        "SCCS");
+}
+
+TEST(Signature, OversizedRequestAborts)
+{
+    const auto lat = clusteredLatencies(2, 2, 10, 7);
+    EXPECT_DEATH((void)selectRandomSignature(4, 5, 1), "larger");
+    SignatureConfig cfg;
+    EXPECT_DEATH((void)selectMisSignature(lat, 5, cfg), "larger");
+}
+
+TEST(Signature, NonPositiveLatencyAborts)
+{
+    std::vector<std::vector<double>> lat = {{1.0, 2.0}, {0.0, 3.0}};
+    SignatureConfig cfg;
+    EXPECT_DEATH((void)selectMisSignature(lat, 1, cfg), "non-positive");
+}

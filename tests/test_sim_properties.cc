@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Property sweeps over the simulator: invariants that must hold for
+ * every chipset and every zoo network, not just hand-picked cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/analysis.hh"
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include "sim/latency_model.hh"
+
+using namespace gcm;
+using namespace gcm::sim;
+
+namespace
+{
+
+DeviceSpec
+nominalDevice(std::size_t chipset_index)
+{
+    DeviceSpec d;
+    d.id = 1;
+    d.model_name = "nominal";
+    d.chipset_index = chipset_index;
+    d.freq_ghz = chipsetTable()[chipset_index].max_freq_ghz;
+    d.ram_gb = chipsetTable()[chipset_index].ram_options_gb.front();
+    return d;
+}
+
+const dnn::Graph &
+probeNet()
+{
+    static const dnn::Graph g =
+        dnn::quantize(dnn::buildZooModel("mobilenet_v2_1.0"));
+    return g;
+}
+
+} // namespace
+
+/** Every chipset must produce sane, frequency-monotone latencies. */
+class ChipsetPropertyTest : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(ChipsetPropertyTest, LatencyPositiveAndBounded)
+{
+    const auto d = nominalDevice(GetParam());
+    const LatencyModel model;
+    const double ms = model.graphLatencyMs(
+        probeNet(), d, chipsetTable()[GetParam()]);
+    EXPECT_GT(ms, 1.0);
+    EXPECT_LT(ms, 2000.0);
+}
+
+TEST_P(ChipsetPropertyTest, FrequencyMonotone)
+{
+    auto fast = nominalDevice(GetParam());
+    auto slow = fast;
+    slow.freq_ghz *= 0.6;
+    const LatencyModel model;
+    const auto &cs = chipsetTable()[GetParam()];
+    EXPECT_GT(model.graphLatencyMs(probeNet(), slow, cs),
+              model.graphLatencyMs(probeNet(), fast, cs));
+}
+
+TEST_P(ChipsetPropertyTest, GpuPathSaneWhenSupported)
+{
+    const auto &cs = chipsetTable()[GetParam()];
+    if (!cs.gpu.supported())
+        GTEST_SKIP() << cs.name << " has no GPU delegate";
+    const auto d = nominalDevice(GetParam());
+    const LatencyModel model;
+    const double ms = model.graphLatencyMs(
+        probeNet(), d, cs, ExecutionTarget::GpuDelegate);
+    EXPECT_GT(ms, 1.0);
+    EXPECT_LT(ms, 2000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChipsets, ChipsetPropertyTest,
+                         ::testing::Range<std::size_t>(0, 38));
+
+/** Every zoo network must behave consistently under the model. */
+class ZooPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ZooPropertyTest, LatencyDeterministicAndMacAligned)
+{
+    const auto &name =
+        dnn::zooModelNames()[static_cast<std::size_t>(GetParam())];
+    const dnn::Graph g = dnn::quantize(dnn::buildZooModel(name));
+    const auto d = nominalDevice(chipsetIndexByName("Snapdragon-845"));
+    const LatencyModel model;
+    const auto &cs = chipsetTable()[d.chipset_index];
+    const double a = model.graphLatencyMs(g, d, cs);
+    const double b = model.graphLatencyMs(g, d, cs);
+    EXPECT_DOUBLE_EQ(a, b);
+    // A loose physical bound: effective throughput cannot exceed the
+    // core's peak MAC rate.
+    const double peak_macs_per_ms =
+        d.freq_ghz * 1e9 * coreFamily(cs.big_core).macsPerCycleInt8()
+        / 1e3;
+    EXPECT_GT(a, static_cast<double>(dnn::totalMacs(g))
+                     / peak_macs_per_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZooModels, ZooPropertyTest,
+                         ::testing::Range(0, 18));

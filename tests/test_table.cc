@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for ASCII table/histogram rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+using namespace gcm;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow("beta", {2.5}, 1);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"x"});
+    t.addRow({"short"});
+    t.addRow({"much-longer-cell"});
+    const std::string out = t.render();
+    // All rendered lines must be equally wide.
+    std::size_t width = 0;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t nl = out.find('\n', pos);
+        const std::size_t len = nl - pos;
+        if (width == 0)
+            width = len;
+        EXPECT_EQ(len, width);
+        pos = nl + 1;
+    }
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(-1.0, 0), "-1");
+}
+
+TEST(Histogram, CountsSumToInput)
+{
+    std::vector<double> v{1, 2, 2, 3, 9};
+    const std::string out = renderHistogram(v, 4, "title", "ms");
+    EXPECT_NE(out.find("title"), std::string::npos);
+    // The largest value lands in the last bin.
+    EXPECT_NE(out.find("# 1"), std::string::npos);
+}
+
+TEST(Histogram, EmptyInput)
+{
+    const std::string out = renderHistogram({}, 4, "t", "");
+    EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(Bars, RendersLabels)
+{
+    const std::string out =
+        renderBars({"A53", "A76"}, {10, 5}, "CPU histogram");
+    EXPECT_NE(out.find("A53"), std::string::npos);
+    EXPECT_NE(out.find("A76"), std::string::npos);
+}
+
+TEST(Series, PairsRows)
+{
+    const std::string out =
+        renderSeries("curve", "x", "y", {1, 2}, {0.5, 0.9});
+    EXPECT_NE(out.find("0.9"), std::string::npos);
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the histogram regression-tree trainer (the weak
+ * learner shared by GBT and RandomForest).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ml/tree.hh"
+
+using namespace gcm::ml;
+using gcm::Rng;
+
+namespace
+{
+
+/** Dataset with one feature and a step target at x = 0.5. */
+Dataset
+stepData()
+{
+    Dataset ds(1);
+    for (int i = 0; i < 100; ++i) {
+        const float x = static_cast<float>(i) / 100.0f;
+        ds.addRow({x}, x > 0.5f ? 10.0 : -10.0);
+    }
+    return ds;
+}
+
+std::vector<std::uint32_t>
+allRows(std::size_t n)
+{
+    std::vector<std::uint32_t> rows(n);
+    std::iota(rows.begin(), rows.end(), std::uint32_t{0});
+    return rows;
+}
+
+/** Gradients for fitting raw targets from a zero prediction. */
+std::vector<float>
+negLabels(const Dataset &ds)
+{
+    std::vector<float> g(ds.numRows());
+    for (std::size_t i = 0; i < ds.numRows(); ++i)
+        g[i] = static_cast<float>(-ds.label(i));
+    return g;
+}
+
+} // namespace
+
+TEST(TreeTrainer, FindsTheStepSplit)
+{
+    const auto ds = stepData();
+    BinnedMatrix binned(ds, 64);
+    TreeTrainConfig cfg;
+    cfg.max_depth = 1;
+    cfg.lambda = 0.0;
+    const auto tree =
+        trainTree(binned, allRows(ds.numRows()), negLabels(ds), cfg,
+                  nullptr);
+    ASSERT_EQ(tree.numNodes(), 3u);
+    ASSERT_EQ(tree.numLeaves(), 2u);
+    // Split lands near 0.5; leaves predict the two plateau values.
+    const float lo = 0.2f, hi = 0.8f;
+    EXPECT_NEAR(tree.predictRow(&lo), -10.0, 1e-6);
+    EXPECT_NEAR(tree.predictRow(&hi), 10.0, 1e-6);
+    EXPECT_GE(tree.nodes()[0].threshold, 0.4f);
+    EXPECT_LE(tree.nodes()[0].threshold, 0.6f);
+}
+
+TEST(TreeTrainer, LeafValueIsRegularizedMean)
+{
+    // One constant feature -> no split possible -> root leaf.
+    Dataset ds(1);
+    for (int i = 0; i < 4; ++i)
+        ds.addRow({1.0f}, 8.0);
+    BinnedMatrix binned(ds, 8);
+    TreeTrainConfig cfg;
+    cfg.lambda = 4.0; // -G/(N + lambda) = 32/(4+4) = 4
+    const auto tree =
+        trainTree(binned, allRows(4), negLabels(ds), cfg, nullptr);
+    EXPECT_EQ(tree.numLeaves(), 1u);
+    const float x = 1.0f;
+    EXPECT_NEAR(tree.predictRow(&x), 4.0, 1e-6);
+}
+
+TEST(TreeTrainer, MinChildWeightBlocksTinySplits)
+{
+    const auto ds = stepData();
+    BinnedMatrix binned(ds, 64);
+    TreeTrainConfig cfg;
+    cfg.max_depth = 1;
+    cfg.min_child_weight = 60.0; // no 60/40 split exists for the step
+    const auto tree =
+        trainTree(binned, allRows(ds.numRows()), negLabels(ds), cfg,
+                  nullptr);
+    EXPECT_EQ(tree.numLeaves(), 1u);
+}
+
+TEST(TreeTrainer, GammaPrunesLowGainSplits)
+{
+    const auto ds = stepData();
+    BinnedMatrix binned(ds, 64);
+    TreeTrainConfig cfg;
+    cfg.max_depth = 3;
+    cfg.gamma = 1e9;
+    const auto tree =
+        trainTree(binned, allRows(ds.numRows()), negLabels(ds), cfg,
+                  nullptr);
+    EXPECT_EQ(tree.numLeaves(), 1u);
+}
+
+TEST(TreeTrainer, DepthBoundRespected)
+{
+    Rng rng(3);
+    Dataset ds(2);
+    for (int i = 0; i < 500; ++i) {
+        const float a = static_cast<float>(rng.uniform(-1, 1));
+        const float b = static_cast<float>(rng.uniform(-1, 1));
+        ds.addRow({a, b}, a * b);
+    }
+    BinnedMatrix binned(ds, 32);
+    TreeTrainConfig cfg;
+    cfg.max_depth = 4;
+    const auto tree = trainTree(binned, allRows(ds.numRows()),
+                                negLabels(ds), cfg, nullptr);
+    EXPECT_LE(tree.numLeaves(), 16u); // 2^4
+    EXPECT_GT(tree.numLeaves(), 2u);
+}
+
+TEST(TreeTrainer, GainAccountingMatchesInformativeFeature)
+{
+    Rng rng(5);
+    Dataset ds(3);
+    for (int i = 0; i < 400; ++i) {
+        const float x = static_cast<float>(rng.uniform(-1, 1));
+        ds.addRow({static_cast<float>(rng.normal()), x,
+                   static_cast<float>(rng.normal())},
+                  x > 0 ? 5.0 : -5.0);
+    }
+    BinnedMatrix binned(ds, 32);
+    TreeTrainConfig cfg;
+    cfg.max_depth = 2;
+    std::vector<double> gain;
+    (void)trainTree(binned, allRows(ds.numRows()), negLabels(ds), cfg,
+                    nullptr, &gain);
+    ASSERT_EQ(gain.size(), 3u);
+    EXPECT_GT(gain[1], gain[0]);
+    EXPECT_GT(gain[1], gain[2]);
+}
+
+TEST(TreeTrainer, BinnedAndRawPredictionsAgreeOnTrainingRows)
+{
+    Rng rng(7);
+    Dataset ds(4);
+    for (int i = 0; i < 300; ++i) {
+        std::vector<float> row;
+        for (int f = 0; f < 4; ++f)
+            row.push_back(static_cast<float>(rng.uniform(-2, 2)));
+        ds.addRow(row, row[0] + 2.0 * row[2]);
+    }
+    BinnedMatrix binned(ds, 32);
+    TreeTrainConfig cfg;
+    cfg.max_depth = 3;
+    const auto tree = trainTree(binned, allRows(ds.numRows()),
+                                negLabels(ds), cfg, nullptr);
+    for (std::size_t i = 0; i < ds.numRows(); ++i) {
+        EXPECT_DOUBLE_EQ(tree.predictRow(ds.row(i)),
+                         tree.predictBinnedRow(binned, i));
+    }
+}
+
+TEST(TreeTrainer, SubsetRowsOnlyUseThoseGradients)
+{
+    // Train on the left half of the step only: the tree never sees a
+    // positive target, so it predicts the negative plateau everywhere.
+    const auto ds = stepData();
+    BinnedMatrix binned(ds, 64);
+    std::vector<std::uint32_t> rows;
+    for (std::uint32_t i = 0; i < 50; ++i)
+        rows.push_back(i);
+    TreeTrainConfig cfg;
+    cfg.lambda = 0.0;
+    const auto tree = trainTree(binned, rows, negLabels(ds), cfg,
+                                nullptr);
+    const float hi = 0.9f;
+    EXPECT_NEAR(tree.predictRow(&hi), -10.0, 1e-6);
+}

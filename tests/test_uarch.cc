@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the core-family microarchitecture table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/uarch.hh"
+#include "util/error.hh"
+
+using namespace gcm::sim;
+using gcm::GcmError;
+
+TEST(Uarch, TwentyTwoFamilies)
+{
+    EXPECT_EQ(coreFamilyTable().size(), 22u);
+}
+
+TEST(Uarch, LookupByName)
+{
+    const CoreFamilyId id = coreFamilyIdByName("Cortex-A53");
+    EXPECT_EQ(coreFamily(id).name, "Cortex-A53");
+}
+
+TEST(Uarch, UnknownNameThrows)
+{
+    EXPECT_THROW(coreFamilyIdByName("Cortex-X99"), GcmError);
+}
+
+TEST(Uarch, NamesAreUnique)
+{
+    const auto &table = coreFamilyTable();
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        for (std::size_t j = i + 1; j < table.size(); ++j)
+            EXPECT_NE(table[i].name, table[j].name);
+    }
+}
+
+TEST(Uarch, DotprodCoresAreFasterPerCycle)
+{
+    // Every SDOT-capable core sustains more int8 MACs/cycle than any
+    // pre-SDOT core of the same era family line we model.
+    const auto &a53 = coreFamily(coreFamilyIdByName("Cortex-A53"));
+    const auto &a55 = coreFamily(coreFamilyIdByName("Cortex-A55"));
+    const auto &a73 = coreFamily(coreFamilyIdByName("Cortex-A73"));
+    const auto &a76 = coreFamily(coreFamilyIdByName("Cortex-A76"));
+    EXPECT_FALSE(a53.has_dotprod);
+    EXPECT_TRUE(a55.has_dotprod);
+    EXPECT_GT(a55.macsPerCycleInt8(), a53.macsPerCycleInt8());
+    EXPECT_GT(a76.macsPerCycleInt8(), a73.macsPerCycleInt8());
+}
+
+TEST(Uarch, GenerationalProgressInCortexLine)
+{
+    const char *line[] = {"Cortex-A53", "Cortex-A72", "Cortex-A73",
+                          "Cortex-A75", "Cortex-A76", "Cortex-A77",
+                          "Cortex-A78"};
+    double prev = 0.0;
+    for (const char *name : line) {
+        const auto &core = coreFamily(coreFamilyIdByName(name));
+        EXPECT_GE(core.macsPerCycleInt8(), prev) << name;
+        prev = core.macsPerCycleInt8();
+    }
+}
+
+TEST(Uarch, KryoGoldMirrorsArmCounterparts)
+{
+    // Kryo 485 Gold is an A76 derivative; rates should match closely.
+    const auto &k485 = coreFamily(coreFamilyIdByName("Kryo-485-Gold"));
+    const auto &a76 = coreFamily(coreFamilyIdByName("Cortex-A76"));
+    EXPECT_NEAR(k485.macsPerCycleInt8(), a76.macsPerCycleInt8(), 2.0);
+}
+
+TEST(Uarch, AllFamiliesHaveSaneParameters)
+{
+    for (const auto &core : coreFamilyTable()) {
+        EXPECT_GT(core.int8_macs_per_cycle, 0.0) << core.name;
+        EXPECT_GT(core.scalar_ipc, 0.0) << core.name;
+        EXPECT_GT(core.l2_kb, 0) << core.name;
+        EXPECT_TRUE(core.simd_width_bits == 64
+                    || core.simd_width_bits == 128)
+            << core.name;
+        EXPECT_GE(core.year, 2010) << core.name;
+        EXPECT_LE(core.year, 2021) << core.name;
+    }
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the 18-network model zoo. MAC counts are checked
+ * against the published figures for the well-documented models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/analysis.hh"
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include "util/error.hh"
+
+using namespace gcm::dnn;
+using gcm::GcmError;
+
+TEST(Zoo, HasEighteenModels)
+{
+    EXPECT_EQ(zooModelNames().size(), 18u);
+    EXPECT_EQ(buildZoo().size(), 18u);
+}
+
+TEST(Zoo, NamesMatchBuiltGraphs)
+{
+    for (const auto &name : zooModelNames())
+        EXPECT_EQ(buildZooModel(name).name(), name);
+}
+
+TEST(Zoo, UnknownModelThrows)
+{
+    EXPECT_THROW(buildZooModel("resnet_50"), GcmError);
+}
+
+TEST(Zoo, AllModelsValidateAndQuantize)
+{
+    for (const auto &g : buildZoo()) {
+        EXPECT_NO_THROW(g.validate());
+        const Graph q = quantize(g);
+        EXPECT_NO_THROW(q.validate());
+        EXPECT_EQ(totalMacs(g), totalMacs(q));
+    }
+}
+
+TEST(Zoo, MobileNetV1MacsMatchPaper)
+{
+    // Howard et al. report 569M MACs for MobileNetV1 1.0 @ 224.
+    EXPECT_NEAR(megaMacs(buildZooModel("mobilenet_v1_1.0")), 569.0, 10.0);
+}
+
+TEST(Zoo, MobileNetV2MacsMatchPaper)
+{
+    // Sandler et al. report 300M MACs for MobileNetV2 1.0 @ 224.
+    EXPECT_NEAR(megaMacs(buildZooModel("mobilenet_v2_1.0")), 300.0, 10.0);
+}
+
+TEST(Zoo, MobileNetV3MacsMatchPaper)
+{
+    // Howard et al. report 219M (large) and 56M (small) MAdds.
+    EXPECT_NEAR(megaMacs(buildZooModel("mobilenet_v3_large")), 219.0,
+                15.0);
+    EXPECT_NEAR(megaMacs(buildZooModel("mobilenet_v3_small")), 56.0, 8.0);
+}
+
+TEST(Zoo, SqueezeNetElevenIsLighterThanTen)
+{
+    // SqueezeNet 1.1 is advertised as ~2.4x cheaper than 1.0.
+    const double m10 = megaMacs(buildZooModel("squeezenet_1.0"));
+    const double m11 = megaMacs(buildZooModel("squeezenet_1.1"));
+    EXPECT_GT(m10, 2.0 * m11);
+}
+
+TEST(Zoo, WidthMultipliersOrderMacs)
+{
+    const double w50 = megaMacs(buildZooModel("mobilenet_v1_0.5"));
+    const double w75 = megaMacs(buildZooModel("mobilenet_v1_0.75"));
+    const double w100 = megaMacs(buildZooModel("mobilenet_v1_1.0"));
+    EXPECT_LT(w50, w75);
+    EXPECT_LT(w75, w100);
+    const double v075 = megaMacs(buildZooModel("mobilenet_v2_0.75"));
+    const double v140 = megaMacs(buildZooModel("mobilenet_v2_1.4"));
+    EXPECT_LT(v075, megaMacs(buildZooModel("mobilenet_v2_1.0")));
+    EXPECT_GT(v140, megaMacs(buildZooModel("mobilenet_v2_1.0")));
+}
+
+TEST(Zoo, MnasNetInExpectedRange)
+{
+    // MnasNet-A1/B1 are ~312M/315M MACs.
+    EXPECT_NEAR(megaMacs(buildZooModel("mnasnet_a1")), 312.0, 20.0);
+    EXPECT_NEAR(megaMacs(buildZooModel("mnasnet_b1")), 315.0, 20.0);
+}
+
+TEST(Zoo, SeNetworksContainSigmoidAndMul)
+{
+    const Graph v3 = buildZooModel("mobilenet_v3_large");
+    EXPECT_GT(v3.countKind(OpKind::Sigmoid), 0u);
+    EXPECT_GT(v3.countKind(OpKind::Mul), 0u);
+}
+
+TEST(Zoo, SqueezeNetUsesConcat)
+{
+    EXPECT_EQ(buildZooModel("squeezenet_1.0").countKind(OpKind::Concat),
+              8u);
+}
+
+TEST(Zoo, AllModelsTakeImageNetInput)
+{
+    for (const auto &g : buildZoo())
+        EXPECT_EQ(g.inputShape(), (TensorShape{1, 224, 224, 3}));
+}
+
+TEST(Zoo, ClassifierOutputs1000Classes)
+{
+    for (const auto &g : buildZoo())
+        EXPECT_EQ(g.outputNode().shape.c, 1000);
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared fixtures for the core-module tests: a reduced-size
+ * ExperimentContext (fewer networks/devices/runs) that builds in well
+ * under a second while exercising the same code paths as the full
+ * 118x105 dataset.
+ */
+
+#ifndef GCM_TESTS_TESTING_SUPPORT_HH
+#define GCM_TESTS_TESTING_SUPPORT_HH
+
+#include "core/experiment_context.hh"
+
+namespace gcm::gcmtest
+{
+
+/** 18 zoo + 12 random networks on 24 devices, 5 runs each. */
+inline const core::ExperimentContext &
+smallContext()
+{
+    static const core::ExperimentContext ctx = [] {
+        core::ExperimentConfig cfg;
+        cfg.num_random_networks = 12;
+        cfg.num_devices = 24;
+        cfg.campaign.runs_per_network = 5;
+        return core::ExperimentContext::build(cfg);
+    }();
+    return ctx;
+}
+
+/** Faster booster settings for tests (fewer, shallower trees). */
+inline ml::GbtParams
+fastGbt()
+{
+    ml::GbtParams p;
+    p.n_estimators = 40;
+    return p;
+}
+
+} // namespace gcm::gcmtest
+
+#endif // GCM_TESTS_TESTING_SUPPORT_HH

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * gcm — command-line driver for the cost-model library.
+ *
+ *   gcm dataset --out repo.csv            export the 118x105 dataset
+ *   gcm train --data repo.csv --out m.txt train + serialize a model
+ *   gcm predict --model m.txt --network <name> --signature a,b,c,...
+ *   gcm profile --network <name> --device <model-name>
+ *   gcm list-networks | gcm list-devices
+ *
+ * The standard suite/fleet are deterministic, so a dataset exported on
+ * one machine trains to an identical model anywhere.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "core/experiment_context.hh"
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+#include "sim/profiler.hh"
+#include "util/error.hh"
+
+using namespace gcm;
+
+namespace
+{
+
+/** Minimal --key value parser; bare flags get "1". */
+std::map<std::string, std::string>
+parseFlags(int argc, char **argv, int start)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = start; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0)
+            fatal("unexpected argument: ", key);
+        key = key.substr(2);
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+            flags[key] = argv[++i];
+        } else {
+            flags[key] = "1";
+        }
+    }
+    return flags;
+}
+
+std::string
+flagOr(const std::map<std::string, std::string> &flags,
+       const std::string &key, const std::string &fallback)
+{
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+}
+
+int
+cmdDataset(const std::map<std::string, std::string> &flags)
+{
+    const std::string out = flagOr(flags, "out", "gcm_dataset.csv");
+    const auto ctx = core::ExperimentContext::build();
+    std::ofstream os(out);
+    if (!os)
+        fatal("cannot open ", out, " for writing");
+    os << ctx.repo().toCsv();
+    std::printf("wrote %zu measurements (%zu networks x %zu devices) "
+                "to %s\n",
+                ctx.repo().size(), ctx.numNetworks(), ctx.fleet().size(),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdTrain(const std::map<std::string, std::string> &flags)
+{
+    const std::string data = flagOr(flags, "data", "");
+    const std::string out = flagOr(flags, "out", "gcm_model.txt");
+    const std::string method = flagOr(flags, "method", "mis");
+    const std::size_t size =
+        static_cast<std::size_t>(std::stoul(flagOr(flags, "size", "10")));
+
+    // Rebuild the deterministic suite and align it with the CSV rows.
+    const auto ctx = core::ExperimentContext::build();
+    sim::MeasurementRepository repo;
+    if (data.empty()) {
+        repo = ctx.repo();
+        std::printf("no --data given; using the built-in campaign\n");
+    } else {
+        std::ifstream is(data);
+        if (!is)
+            fatal("cannot open ", data);
+        std::stringstream ss;
+        ss << is.rdbuf();
+        repo = sim::MeasurementRepository::fromCsv(ss.str());
+    }
+
+    // Device ids present in the repository.
+    std::vector<std::int32_t> device_ids;
+    for (const auto &rec : repo.records()) {
+        if (device_ids.empty() || rec.device_id != device_ids.back())
+            device_ids.push_back(rec.device_id);
+    }
+    const auto matrix = repo.latencyMatrix(device_ids,
+                                           ctx.networkNames());
+
+    core::SignatureCostModel::Config cfg;
+    cfg.selection.size = size;
+    if (method == "mis")
+        cfg.method = core::SignatureMethod::MutualInformation;
+    else if (method == "sccs")
+        cfg.method = core::SignatureMethod::SpearmanCorrelation;
+    else if (method == "rs")
+        cfg.method = core::SignatureMethod::RandomSampling;
+    else
+        fatal("unknown --method '", method, "' (mis|sccs|rs)");
+
+    const auto model =
+        core::SignatureCostModel::train(ctx.suite(), matrix, cfg);
+    std::ofstream os(out);
+    if (!os)
+        fatal("cannot open ", out, " for writing");
+    model.serialize(os);
+    std::printf("trained on %zu devices; signature:", device_ids.size());
+    for (const auto &name : model.signatureNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\nmodel written to %s\n", out.c_str());
+    return 0;
+}
+
+int
+cmdPredict(const std::map<std::string, std::string> &flags)
+{
+    const std::string model_path = flagOr(flags, "model", "");
+    const std::string network = flagOr(flags, "network", "");
+    const std::string signature = flagOr(flags, "signature", "");
+    if (model_path.empty() || network.empty() || signature.empty()) {
+        fatal("predict needs --model, --network and --signature "
+              "(comma-separated latencies in signature order)");
+    }
+    std::ifstream is(model_path);
+    if (!is)
+        fatal("cannot open ", model_path);
+    const auto model = core::SignatureCostModel::deserialize(is);
+
+    std::vector<double> sig;
+    std::stringstream ss(signature);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        sig.push_back(std::stod(item));
+
+    const dnn::Graph net = dnn::quantize(dnn::buildZooModel(network));
+    std::printf("%s: predicted %.1f ms\n", network.c_str(),
+                model.predictMs(net, sig));
+    return 0;
+}
+
+int
+cmdProfile(const std::map<std::string, std::string> &flags)
+{
+    const std::string network =
+        flagOr(flags, "network", "mobilenet_v2_1.0");
+    const std::string device_name = flagOr(flags, "device", "Mi-9");
+    const dnn::Graph net = dnn::quantize(dnn::buildZooModel(network));
+    const auto fleet = sim::DeviceDatabase::standard();
+    const auto &device = fleet.byName(device_name);
+    const sim::LatencyModel model;
+    const auto profile = sim::profileGraph(model, net, device,
+                                           fleet.chipsetOf(device));
+    std::printf("%s\n", sim::renderProfile(profile, net).c_str());
+    return 0;
+}
+
+int
+cmdListNetworks()
+{
+    const auto ctx = core::ExperimentContext::build();
+    for (const auto &name : ctx.networkNames())
+        std::printf("%s\n", name.c_str());
+    return 0;
+}
+
+int
+cmdListDevices()
+{
+    const auto fleet = sim::DeviceDatabase::standard();
+    for (const auto &d : fleet.devices()) {
+        std::printf("%-28s %-16s %-14s %.2f GHz %3.0f GB\n",
+                    d.model_name.c_str(),
+                    fleet.chipsetOf(d).name.c_str(),
+                    fleet.coreOf(d).name.c_str(), d.freq_ghz, d.ram_gb);
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: gcm <command> [flags]\n"
+        "  dataset  --out FILE                    export dataset CSV\n"
+        "  train    [--data FILE] --out FILE      train + save model\n"
+        "           [--method mis|sccs|rs] [--size N]\n"
+        "  predict  --model FILE --network NAME --signature a,b,...\n"
+        "  profile  [--network NAME] [--device NAME]\n"
+        "  list-networks | list-devices\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    try {
+        const auto flags = parseFlags(argc, argv, 2);
+        if (cmd == "dataset")
+            return cmdDataset(flags);
+        if (cmd == "train")
+            return cmdTrain(flags);
+        if (cmd == "predict")
+            return cmdPredict(flags);
+        if (cmd == "profile")
+            return cmdProfile(flags);
+        if (cmd == "list-networks")
+            return cmdListNetworks();
+        if (cmd == "list-devices")
+            return cmdListDevices();
+        usage();
+        return 1;
+    } catch (const GcmError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
