@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_design"
+  "../bench/bench_ablation_design.pdb"
+  "CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cc.o"
+  "CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

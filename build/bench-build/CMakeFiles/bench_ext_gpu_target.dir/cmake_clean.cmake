@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_gpu_target"
+  "../bench/bench_ext_gpu_target.pdb"
+  "CMakeFiles/bench_ext_gpu_target.dir/bench_ext_gpu_target.cc.o"
+  "CMakeFiles/bench_ext_gpu_target.dir/bench_ext_gpu_target.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gpu_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_random_variation"
+  "../bench/bench_fig10_random_variation.pdb"
+  "CMakeFiles/bench_fig10_random_variation.dir/bench_fig10_random_variation.cc.o"
+  "CMakeFiles/bench_fig10_random_variation.dir/bench_fig10_random_variation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_random_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_collaborative"
+  "../bench/bench_fig12_collaborative.pdb"
+  "CMakeFiles/bench_fig12_collaborative.dir/bench_fig12_collaborative.cc.o"
+  "CMakeFiles/bench_fig12_collaborative.dir/bench_fig12_collaborative.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_collaborative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_collab_vs_isolated"
+  "../bench/bench_fig13_collab_vs_isolated.pdb"
+  "CMakeFiles/bench_fig13_collab_vs_isolated.dir/bench_fig13_collab_vs_isolated.cc.o"
+  "CMakeFiles/bench_fig13_collab_vs_isolated.dir/bench_fig13_collab_vs_isolated.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_collab_vs_isolated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

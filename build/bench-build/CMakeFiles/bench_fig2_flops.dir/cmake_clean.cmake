@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_flops"
+  "../bench/bench_fig2_flops.pdb"
+  "CMakeFiles/bench_fig2_flops.dir/bench_fig2_flops.cc.o"
+  "CMakeFiles/bench_fig2_flops.dir/bench_fig2_flops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_cpu_histogram"
+  "../bench/bench_fig3_cpu_histogram.pdb"
+  "CMakeFiles/bench_fig3_cpu_histogram.dir/bench_fig3_cpu_histogram.cc.o"
+  "CMakeFiles/bench_fig3_cpu_histogram.dir/bench_fig3_cpu_histogram.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cpu_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_device_clusters"
+  "../bench/bench_fig4_device_clusters.pdb"
+  "CMakeFiles/bench_fig4_device_clusters.dir/bench_fig4_device_clusters.cc.o"
+  "CMakeFiles/bench_fig4_device_clusters.dir/bench_fig4_device_clusters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_device_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

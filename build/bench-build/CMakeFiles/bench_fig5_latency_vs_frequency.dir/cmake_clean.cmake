@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_latency_vs_frequency"
+  "../bench/bench_fig5_latency_vs_frequency.pdb"
+  "CMakeFiles/bench_fig5_latency_vs_frequency.dir/bench_fig5_latency_vs_frequency.cc.o"
+  "CMakeFiles/bench_fig5_latency_vs_frequency.dir/bench_fig5_latency_vs_frequency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_latency_vs_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

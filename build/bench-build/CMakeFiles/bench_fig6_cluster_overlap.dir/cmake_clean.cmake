@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_cluster_overlap"
+  "../bench/bench_fig6_cluster_overlap.pdb"
+  "CMakeFiles/bench_fig6_cluster_overlap.dir/bench_fig6_cluster_overlap.cc.o"
+  "CMakeFiles/bench_fig6_cluster_overlap.dir/bench_fig6_cluster_overlap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cluster_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_static_features"
+  "../bench/bench_fig8_static_features.pdb"
+  "CMakeFiles/bench_fig8_static_features.dir/bench_fig8_static_features.cc.o"
+  "CMakeFiles/bench_fig8_static_features.dir/bench_fig8_static_features.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_static_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_signature_methods"
+  "../bench/bench_fig9_signature_methods.pdb"
+  "CMakeFiles/bench_fig9_signature_methods.dir/bench_fig9_signature_methods.cc.o"
+  "CMakeFiles/bench_fig9_signature_methods.dir/bench_fig9_signature_methods.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_signature_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_adversarial_splits"
+  "../bench/bench_table1_adversarial_splits.pdb"
+  "CMakeFiles/bench_table1_adversarial_splits.dir/bench_table1_adversarial_splits.cc.o"
+  "CMakeFiles/bench_table1_adversarial_splits.dir/bench_table1_adversarial_splits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_adversarial_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_new_device.dir/characterize_new_device.cc.o"
+  "CMakeFiles/characterize_new_device.dir/characterize_new_device.cc.o.d"
+  "characterize_new_device"
+  "characterize_new_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_new_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

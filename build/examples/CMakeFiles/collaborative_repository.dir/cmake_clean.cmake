@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_repository.dir/collaborative_repository.cc.o"
+  "CMakeFiles/collaborative_repository.dir/collaborative_repository.cc.o.d"
+  "collaborative_repository"
+  "collaborative_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

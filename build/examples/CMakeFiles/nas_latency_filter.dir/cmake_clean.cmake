@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_latency_filter.dir/nas_latency_filter.cc.o"
+  "CMakeFiles/nas_latency_filter.dir/nas_latency_filter.cc.o.d"
+  "nas_latency_filter"
+  "nas_latency_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_latency_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nas_latency_filter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for nas_latency_filter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_network.dir/profile_network.cc.o"
+  "CMakeFiles/profile_network.dir/profile_network.cc.o.d"
+  "profile_network"
+  "profile_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collaborative.cc" "src/core/CMakeFiles/gcm_core.dir/collaborative.cc.o" "gcc" "src/core/CMakeFiles/gcm_core.dir/collaborative.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/gcm_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/gcm_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/cross_validation.cc" "src/core/CMakeFiles/gcm_core.dir/cross_validation.cc.o" "gcc" "src/core/CMakeFiles/gcm_core.dir/cross_validation.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/gcm_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/gcm_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/experiment_context.cc" "src/core/CMakeFiles/gcm_core.dir/experiment_context.cc.o" "gcc" "src/core/CMakeFiles/gcm_core.dir/experiment_context.cc.o.d"
+  "/root/repo/src/core/hw_features.cc" "src/core/CMakeFiles/gcm_core.dir/hw_features.cc.o" "gcc" "src/core/CMakeFiles/gcm_core.dir/hw_features.cc.o.d"
+  "/root/repo/src/core/net_encoder.cc" "src/core/CMakeFiles/gcm_core.dir/net_encoder.cc.o" "gcc" "src/core/CMakeFiles/gcm_core.dir/net_encoder.cc.o.d"
+  "/root/repo/src/core/signature.cc" "src/core/CMakeFiles/gcm_core.dir/signature.cc.o" "gcc" "src/core/CMakeFiles/gcm_core.dir/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gcm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gcm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/gcm_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

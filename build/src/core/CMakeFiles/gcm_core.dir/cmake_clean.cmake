@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcm_core.dir/collaborative.cc.o"
+  "CMakeFiles/gcm_core.dir/collaborative.cc.o.d"
+  "CMakeFiles/gcm_core.dir/cost_model.cc.o"
+  "CMakeFiles/gcm_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/gcm_core.dir/cross_validation.cc.o"
+  "CMakeFiles/gcm_core.dir/cross_validation.cc.o.d"
+  "CMakeFiles/gcm_core.dir/evaluation.cc.o"
+  "CMakeFiles/gcm_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/gcm_core.dir/experiment_context.cc.o"
+  "CMakeFiles/gcm_core.dir/experiment_context.cc.o.d"
+  "CMakeFiles/gcm_core.dir/hw_features.cc.o"
+  "CMakeFiles/gcm_core.dir/hw_features.cc.o.d"
+  "CMakeFiles/gcm_core.dir/net_encoder.cc.o"
+  "CMakeFiles/gcm_core.dir/net_encoder.cc.o.d"
+  "CMakeFiles/gcm_core.dir/signature.cc.o"
+  "CMakeFiles/gcm_core.dir/signature.cc.o.d"
+  "libgcm_core.a"
+  "libgcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

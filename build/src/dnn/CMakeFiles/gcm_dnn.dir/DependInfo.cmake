@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/analysis.cc" "src/dnn/CMakeFiles/gcm_dnn.dir/analysis.cc.o" "gcc" "src/dnn/CMakeFiles/gcm_dnn.dir/analysis.cc.o.d"
+  "/root/repo/src/dnn/generator.cc" "src/dnn/CMakeFiles/gcm_dnn.dir/generator.cc.o" "gcc" "src/dnn/CMakeFiles/gcm_dnn.dir/generator.cc.o.d"
+  "/root/repo/src/dnn/graph.cc" "src/dnn/CMakeFiles/gcm_dnn.dir/graph.cc.o" "gcc" "src/dnn/CMakeFiles/gcm_dnn.dir/graph.cc.o.d"
+  "/root/repo/src/dnn/op.cc" "src/dnn/CMakeFiles/gcm_dnn.dir/op.cc.o" "gcc" "src/dnn/CMakeFiles/gcm_dnn.dir/op.cc.o.d"
+  "/root/repo/src/dnn/quantize.cc" "src/dnn/CMakeFiles/gcm_dnn.dir/quantize.cc.o" "gcc" "src/dnn/CMakeFiles/gcm_dnn.dir/quantize.cc.o.d"
+  "/root/repo/src/dnn/serialize.cc" "src/dnn/CMakeFiles/gcm_dnn.dir/serialize.cc.o" "gcc" "src/dnn/CMakeFiles/gcm_dnn.dir/serialize.cc.o.d"
+  "/root/repo/src/dnn/zoo.cc" "src/dnn/CMakeFiles/gcm_dnn.dir/zoo.cc.o" "gcc" "src/dnn/CMakeFiles/gcm_dnn.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcm_dnn.dir/analysis.cc.o"
+  "CMakeFiles/gcm_dnn.dir/analysis.cc.o.d"
+  "CMakeFiles/gcm_dnn.dir/generator.cc.o"
+  "CMakeFiles/gcm_dnn.dir/generator.cc.o.d"
+  "CMakeFiles/gcm_dnn.dir/graph.cc.o"
+  "CMakeFiles/gcm_dnn.dir/graph.cc.o.d"
+  "CMakeFiles/gcm_dnn.dir/op.cc.o"
+  "CMakeFiles/gcm_dnn.dir/op.cc.o.d"
+  "CMakeFiles/gcm_dnn.dir/quantize.cc.o"
+  "CMakeFiles/gcm_dnn.dir/quantize.cc.o.d"
+  "CMakeFiles/gcm_dnn.dir/serialize.cc.o"
+  "CMakeFiles/gcm_dnn.dir/serialize.cc.o.d"
+  "CMakeFiles/gcm_dnn.dir/zoo.cc.o"
+  "CMakeFiles/gcm_dnn.dir/zoo.cc.o.d"
+  "libgcm_dnn.a"
+  "libgcm_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcm_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/binning.cc" "src/ml/CMakeFiles/gcm_ml.dir/binning.cc.o" "gcc" "src/ml/CMakeFiles/gcm_ml.dir/binning.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/gcm_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/gcm_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/gbt.cc" "src/ml/CMakeFiles/gcm_ml.dir/gbt.cc.o" "gcc" "src/ml/CMakeFiles/gcm_ml.dir/gbt.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/gcm_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/gcm_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/gcm_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/gcm_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/gcm_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/gcm_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/gcm_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/gcm_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/gcm_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/gcm_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/ml/CMakeFiles/gcm_ml.dir/tree.cc.o" "gcc" "src/ml/CMakeFiles/gcm_ml.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gcm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcm_ml.dir/binning.cc.o"
+  "CMakeFiles/gcm_ml.dir/binning.cc.o.d"
+  "CMakeFiles/gcm_ml.dir/dataset.cc.o"
+  "CMakeFiles/gcm_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/gcm_ml.dir/gbt.cc.o"
+  "CMakeFiles/gcm_ml.dir/gbt.cc.o.d"
+  "CMakeFiles/gcm_ml.dir/knn.cc.o"
+  "CMakeFiles/gcm_ml.dir/knn.cc.o.d"
+  "CMakeFiles/gcm_ml.dir/linear.cc.o"
+  "CMakeFiles/gcm_ml.dir/linear.cc.o.d"
+  "CMakeFiles/gcm_ml.dir/metrics.cc.o"
+  "CMakeFiles/gcm_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/gcm_ml.dir/mlp.cc.o"
+  "CMakeFiles/gcm_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/gcm_ml.dir/random_forest.cc.o"
+  "CMakeFiles/gcm_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/gcm_ml.dir/tree.cc.o"
+  "CMakeFiles/gcm_ml.dir/tree.cc.o.d"
+  "libgcm_ml.a"
+  "libgcm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

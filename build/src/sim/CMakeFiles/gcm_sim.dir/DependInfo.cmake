@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/campaign.cc" "src/sim/CMakeFiles/gcm_sim.dir/campaign.cc.o" "gcc" "src/sim/CMakeFiles/gcm_sim.dir/campaign.cc.o.d"
+  "/root/repo/src/sim/chipset.cc" "src/sim/CMakeFiles/gcm_sim.dir/chipset.cc.o" "gcc" "src/sim/CMakeFiles/gcm_sim.dir/chipset.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/gcm_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/gcm_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/latency_model.cc" "src/sim/CMakeFiles/gcm_sim.dir/latency_model.cc.o" "gcc" "src/sim/CMakeFiles/gcm_sim.dir/latency_model.cc.o.d"
+  "/root/repo/src/sim/measurement.cc" "src/sim/CMakeFiles/gcm_sim.dir/measurement.cc.o" "gcc" "src/sim/CMakeFiles/gcm_sim.dir/measurement.cc.o.d"
+  "/root/repo/src/sim/profiler.cc" "src/sim/CMakeFiles/gcm_sim.dir/profiler.cc.o" "gcc" "src/sim/CMakeFiles/gcm_sim.dir/profiler.cc.o.d"
+  "/root/repo/src/sim/repository.cc" "src/sim/CMakeFiles/gcm_sim.dir/repository.cc.o" "gcc" "src/sim/CMakeFiles/gcm_sim.dir/repository.cc.o.d"
+  "/root/repo/src/sim/uarch.cc" "src/sim/CMakeFiles/gcm_sim.dir/uarch.cc.o" "gcc" "src/sim/CMakeFiles/gcm_sim.dir/uarch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/gcm_dnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

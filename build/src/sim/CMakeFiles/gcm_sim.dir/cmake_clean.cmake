@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcm_sim.dir/campaign.cc.o"
+  "CMakeFiles/gcm_sim.dir/campaign.cc.o.d"
+  "CMakeFiles/gcm_sim.dir/chipset.cc.o"
+  "CMakeFiles/gcm_sim.dir/chipset.cc.o.d"
+  "CMakeFiles/gcm_sim.dir/device.cc.o"
+  "CMakeFiles/gcm_sim.dir/device.cc.o.d"
+  "CMakeFiles/gcm_sim.dir/latency_model.cc.o"
+  "CMakeFiles/gcm_sim.dir/latency_model.cc.o.d"
+  "CMakeFiles/gcm_sim.dir/measurement.cc.o"
+  "CMakeFiles/gcm_sim.dir/measurement.cc.o.d"
+  "CMakeFiles/gcm_sim.dir/profiler.cc.o"
+  "CMakeFiles/gcm_sim.dir/profiler.cc.o.d"
+  "CMakeFiles/gcm_sim.dir/repository.cc.o"
+  "CMakeFiles/gcm_sim.dir/repository.cc.o.d"
+  "CMakeFiles/gcm_sim.dir/uarch.cc.o"
+  "CMakeFiles/gcm_sim.dir/uarch.cc.o.d"
+  "libgcm_sim.a"
+  "libgcm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

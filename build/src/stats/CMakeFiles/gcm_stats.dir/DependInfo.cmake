@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/gcm_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/gcm_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/gcm_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/gcm_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/kmeans.cc" "src/stats/CMakeFiles/gcm_stats.dir/kmeans.cc.o" "gcc" "src/stats/CMakeFiles/gcm_stats.dir/kmeans.cc.o.d"
+  "/root/repo/src/stats/linalg.cc" "src/stats/CMakeFiles/gcm_stats.dir/linalg.cc.o" "gcc" "src/stats/CMakeFiles/gcm_stats.dir/linalg.cc.o.d"
+  "/root/repo/src/stats/mutual_info.cc" "src/stats/CMakeFiles/gcm_stats.dir/mutual_info.cc.o" "gcc" "src/stats/CMakeFiles/gcm_stats.dir/mutual_info.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

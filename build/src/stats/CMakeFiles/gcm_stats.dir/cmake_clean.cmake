@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcm_stats.dir/correlation.cc.o"
+  "CMakeFiles/gcm_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/gcm_stats.dir/descriptive.cc.o"
+  "CMakeFiles/gcm_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/gcm_stats.dir/kmeans.cc.o"
+  "CMakeFiles/gcm_stats.dir/kmeans.cc.o.d"
+  "CMakeFiles/gcm_stats.dir/linalg.cc.o"
+  "CMakeFiles/gcm_stats.dir/linalg.cc.o.d"
+  "CMakeFiles/gcm_stats.dir/mutual_info.cc.o"
+  "CMakeFiles/gcm_stats.dir/mutual_info.cc.o.d"
+  "libgcm_stats.a"
+  "libgcm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

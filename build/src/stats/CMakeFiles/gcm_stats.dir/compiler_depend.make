@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gcm_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcm_util.dir/csv.cc.o"
+  "CMakeFiles/gcm_util.dir/csv.cc.o.d"
+  "CMakeFiles/gcm_util.dir/error.cc.o"
+  "CMakeFiles/gcm_util.dir/error.cc.o.d"
+  "CMakeFiles/gcm_util.dir/rng.cc.o"
+  "CMakeFiles/gcm_util.dir/rng.cc.o.d"
+  "CMakeFiles/gcm_util.dir/table.cc.o"
+  "CMakeFiles/gcm_util.dir/table.cc.o.d"
+  "libgcm_util.a"
+  "libgcm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcm_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binning.dir/test_binning.cc.o"
+  "CMakeFiles/test_binning.dir/test_binning.cc.o.d"
+  "test_binning"
+  "test_binning.pdb"
+  "test_binning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chipset.dir/test_chipset.cc.o"
+  "CMakeFiles/test_chipset.dir/test_chipset.cc.o.d"
+  "test_chipset"
+  "test_chipset.pdb"
+  "test_chipset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chipset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

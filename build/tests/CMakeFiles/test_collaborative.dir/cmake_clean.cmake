@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collaborative.dir/test_collaborative.cc.o"
+  "CMakeFiles/test_collaborative.dir/test_collaborative.cc.o.d"
+  "test_collaborative"
+  "test_collaborative.pdb"
+  "test_collaborative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collaborative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

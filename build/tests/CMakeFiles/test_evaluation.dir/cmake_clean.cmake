@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evaluation.dir/test_evaluation.cc.o"
+  "CMakeFiles/test_evaluation.dir/test_evaluation.cc.o.d"
+  "test_evaluation"
+  "test_evaluation.pdb"
+  "test_evaluation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_zoo.dir/test_extended_zoo.cc.o"
+  "CMakeFiles/test_extended_zoo.dir/test_extended_zoo.cc.o.d"
+  "test_extended_zoo"
+  "test_extended_zoo.pdb"
+  "test_extended_zoo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gbt.dir/test_gbt.cc.o"
+  "CMakeFiles/test_gbt.dir/test_gbt.cc.o.d"
+  "test_gbt"
+  "test_gbt.pdb"
+  "test_gbt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_target.dir/test_gpu_target.cc.o"
+  "CMakeFiles/test_gpu_target.dir/test_gpu_target.cc.o.d"
+  "test_gpu_target"
+  "test_gpu_target.pdb"
+  "test_gpu_target[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_serialize.dir/test_graph_serialize.cc.o"
+  "CMakeFiles/test_graph_serialize.dir/test_graph_serialize.cc.o.d"
+  "test_graph_serialize"
+  "test_graph_serialize.pdb"
+  "test_graph_serialize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

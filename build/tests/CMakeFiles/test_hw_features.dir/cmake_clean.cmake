@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_features.dir/test_hw_features.cc.o"
+  "CMakeFiles/test_hw_features.dir/test_hw_features.cc.o.d"
+  "test_hw_features"
+  "test_hw_features.pdb"
+  "test_hw_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

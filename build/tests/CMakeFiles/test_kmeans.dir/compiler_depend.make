@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_kmeans.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency_model.dir/test_latency_model.cc.o"
+  "CMakeFiles/test_latency_model.dir/test_latency_model.cc.o.d"
+  "test_latency_model"
+  "test_latency_model.pdb"
+  "test_latency_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

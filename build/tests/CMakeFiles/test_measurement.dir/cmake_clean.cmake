@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measurement.dir/test_measurement.cc.o"
+  "CMakeFiles/test_measurement.dir/test_measurement.cc.o.d"
+  "test_measurement"
+  "test_measurement.pdb"
+  "test_measurement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mutual_info.dir/test_mutual_info.cc.o"
+  "CMakeFiles/test_mutual_info.dir/test_mutual_info.cc.o.d"
+  "test_mutual_info"
+  "test_mutual_info.pdb"
+  "test_mutual_info[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mutual_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

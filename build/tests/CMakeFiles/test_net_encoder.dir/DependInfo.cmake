@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_net_encoder.cc" "tests/CMakeFiles/test_net_encoder.dir/test_net_encoder.cc.o" "gcc" "tests/CMakeFiles/test_net_encoder.dir/test_net_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/gcm_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gcm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gcm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

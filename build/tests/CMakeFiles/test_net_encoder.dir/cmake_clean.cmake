@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_encoder.dir/test_net_encoder.cc.o"
+  "CMakeFiles/test_net_encoder.dir/test_net_encoder.cc.o.d"
+  "test_net_encoder"
+  "test_net_encoder.pdb"
+  "test_net_encoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

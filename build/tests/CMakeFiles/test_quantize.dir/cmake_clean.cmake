@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantize.dir/test_quantize.cc.o"
+  "CMakeFiles/test_quantize.dir/test_quantize.cc.o.d"
+  "test_quantize"
+  "test_quantize.pdb"
+  "test_quantize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

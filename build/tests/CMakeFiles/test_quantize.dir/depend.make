@@ -1,0 +1,2 @@
+# Empty dependencies file for test_quantize.
+# This may be replaced when dependencies are built.

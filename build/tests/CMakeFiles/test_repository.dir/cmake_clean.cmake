@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repository.dir/test_repository.cc.o"
+  "CMakeFiles/test_repository.dir/test_repository.cc.o.d"
+  "test_repository"
+  "test_repository.pdb"
+  "test_repository[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table.dir/test_table.cc.o"
+  "CMakeFiles/test_table.dir/test_table.cc.o.d"
+  "test_table"
+  "test_table.pdb"
+  "test_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch.dir/test_uarch.cc.o"
+  "CMakeFiles/test_uarch.dir/test_uarch.cc.o.d"
+  "test_uarch"
+  "test_uarch.pdb"
+  "test_uarch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zoo.dir/test_zoo.cc.o"
+  "CMakeFiles/test_zoo.dir/test_zoo.cc.o.d"
+  "test_zoo"
+  "test_zoo.pdb"
+  "test_zoo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

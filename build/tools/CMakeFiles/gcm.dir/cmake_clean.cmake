@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcm.dir/gcm.cc.o"
+  "CMakeFiles/gcm.dir/gcm.cc.o.d"
+  "gcm"
+  "gcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
