@@ -5,6 +5,7 @@
 
 #include "dnn/analysis.hh"
 #include "util/error.hh"
+#include "verify/verifier.hh"
 
 namespace gcm::dnn
 {
@@ -154,8 +155,10 @@ RandomNetworkGenerator::generate(const std::string &name)
         Rng rng = rng_.fork(nextStream_++);
         Graph g = generateCandidate(name, rng);
         const double mmacs = megaMacs(g);
-        if (mmacs >= space_.min_mmacs && mmacs <= space_.max_mmacs)
+        if (mmacs >= space_.min_mmacs && mmacs <= space_.max_mmacs) {
+            verify::verifyGraphOrThrow(g, "RandomNetworkGenerator");
             return g;
+        }
     }
     fatal("RandomNetworkGenerator: no candidate within [",
           space_.min_mmacs, ", ", space_.max_mmacs, "] MMACs after ",

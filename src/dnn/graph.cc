@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/error.hh"
+#include "verify/verifier.hh"
 
 namespace gcm::dnn
 {
@@ -399,13 +400,15 @@ GraphBuilder::dwBnAct(NodeId in, std::int32_t kernel, std::int32_t stride,
 NodeId
 GraphBuilder::squeezeExcite(NodeId in, std::int32_t reduction)
 {
-    const TensorShape &s = shapeOf(in);
+    // Copy the channel count: shapeOf() returns a reference into
+    // nodes_, which the appends below may reallocate.
+    const std::int32_t channels = shapeOf(in).c;
     const std::int32_t squeezed =
-        std::max<std::int32_t>(s.c / reduction, 8);
+        std::max<std::int32_t>(channels / reduction, 8);
     NodeId g = globalAvgPool(in);
     NodeId f1 = fullyConnected(g, squeezed);
     NodeId a1 = relu(f1);
-    NodeId f2 = fullyConnected(a1, s.c);
+    NodeId f2 = fullyConnected(a1, channels);
     NodeId a2 = sigmoid(f2);
     return mul(in, a2);
 }
@@ -417,6 +420,11 @@ GraphBuilder::build()
     built_ = true;
     Graph g(std::move(name_), std::move(nodes_), Precision::Float32);
     g.validate();
+#ifndef NDEBUG
+    // Debug-mode belt and braces: the incremental shape inference
+    // should already guarantee this, so any finding is a builder bug.
+    verify::verifyGraphOrThrow(g, "GraphBuilder::build");
+#endif
     return g;
 }
 

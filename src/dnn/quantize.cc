@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "util/error.hh"
+#include "verify/verifier.hh"
 
 namespace gcm::dnn
 {
@@ -72,6 +73,11 @@ quantize(const Graph &graph)
 
     Graph q(graph.name(), std::move(out), Precision::Int8);
     q.validate();
+#ifndef NDEBUG
+    // The rewiring above is the one place node ids are remapped by
+    // hand; re-verify the deployment graph end to end in debug mode.
+    verify::verifyGraphOrThrow(q, "quantize");
+#endif
     return q;
 }
 

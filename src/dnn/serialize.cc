@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/error.hh"
+#include "verify/verifier.hh"
 
 namespace gcm::dnn
 {
@@ -74,6 +75,33 @@ expectField(std::istringstream &iss, const std::string &key)
     return token.substr(key.size() + 1);
 }
 
+/**
+ * Strict int32 parse for untrusted input: the whole token must be a
+ * decimal integer in range. std::stoi would throw std:: exceptions on
+ * garbage and silently accept trailing junk ("3;rm").
+ */
+std::int32_t
+parseInt(const std::string &token, const char *what)
+{
+    std::size_t used = 0;
+    long long value = 0;
+    try {
+        value = std::stoll(token, &used);
+    } catch (const std::exception &) {
+        fatal("deserializeGraph: ", what, " is not an integer: '",
+              token, "'");
+    }
+    if (used != token.size())
+        fatal("deserializeGraph: trailing junk after ", what, ": '",
+              token, "'");
+    if (value < INT32_MIN || value > INT32_MAX)
+        fatal("deserializeGraph: ", what, " out of range: ", value);
+    return static_cast<std::int32_t>(value);
+}
+
+/** Upper bound on the node count field of an untrusted stream. */
+constexpr std::size_t kMaxSerializedNodes = 1u << 20;
+
 } // namespace
 
 Graph
@@ -95,6 +123,10 @@ deserializeGraph(std::istream &is)
     std::size_t count = 0;
     if (!(is >> tag >> count) || tag != "nodes" || count == 0)
         fatal("deserializeGraph: missing node count");
+    if (count > kMaxSerializedNodes) {
+        fatal("deserializeGraph: node count ", count,
+              " exceeds the limit of ", kMaxSerializedNodes);
+    }
 
     is.ignore(); // consume the newline before per-line parsing
     std::vector<Node> nodes;
@@ -111,22 +143,34 @@ deserializeGraph(std::istream &is)
             fatal("deserializeGraph: malformed node line: ", line);
         }
         n.kind = kindFromName(kind_name);
-        n.params.kernel =
-            std::stoi(expectField(iss, "k"));
-        n.params.stride = std::stoi(expectField(iss, "s"));
-        n.params.padding = std::stoi(expectField(iss, "p"));
-        n.params.out_channels = std::stoi(expectField(iss, "oc"));
-        n.params.groups = std::stoi(expectField(iss, "g"));
-        const int act = std::stoi(expectField(iss, "act"));
-        if (act < 0 || act > static_cast<int>(FusedActivation::Sigmoid))
+        if (n.id != static_cast<NodeId>(nodes.size())) {
+            fatal("deserializeGraph: node id ", n.id,
+                  " out of order (expected ", nodes.size(), ")");
+        }
+        n.params.kernel = parseInt(expectField(iss, "k"), "kernel");
+        n.params.stride = parseInt(expectField(iss, "s"), "stride");
+        n.params.padding = parseInt(expectField(iss, "p"), "padding");
+        n.params.out_channels =
+            parseInt(expectField(iss, "oc"), "out_channels");
+        n.params.groups = parseInt(expectField(iss, "g"), "groups");
+        const std::int32_t act =
+            parseInt(expectField(iss, "act"), "fused activation");
+        if (act < 0
+            || act > static_cast<std::int32_t>(FusedActivation::Sigmoid))
             fatal("deserializeGraph: invalid fused activation ", act);
         n.params.fused_activation = static_cast<FusedActivation>(act);
         const std::string ins = expectField(iss, "in");
         if (ins != "-") {
             std::istringstream ins_ss(ins);
             std::string id;
-            while (std::getline(ins_ss, id, ','))
-                n.inputs.push_back(std::stoi(id));
+            while (std::getline(ins_ss, id, ',')) {
+                const std::int32_t in = parseInt(id, "input id");
+                if (in < 0 || in >= n.id) {
+                    fatal("deserializeGraph: node ", n.id,
+                          " references out-of-range input ", in);
+                }
+                n.inputs.push_back(in);
+            }
         }
         const std::string shape = expectField(iss, "shape");
         std::istringstream shape_ss(shape);
@@ -144,7 +188,9 @@ deserializeGraph(std::istream &is)
     Graph g(name, std::move(nodes),
             precision_str == "int8" ? Precision::Int8
                                     : Precision::Float32);
-    g.validate();
+    // Untrusted input: run the full verifier, not just the cheap
+    // constructor-time validation, and hard-error on any finding.
+    verify::verifyGraphOrThrow(g, "deserializeGraph");
     return g;
 }
 

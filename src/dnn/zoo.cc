@@ -5,6 +5,7 @@
 
 #include "dnn/generator.hh"
 #include "util/error.hh"
+#include "verify/verifier.hh"
 
 namespace gcm::dnn
 {
@@ -547,16 +548,29 @@ extendedZooModelNames()
     return names;
 }
 
+namespace
+{
+
+/** Zoo graphs feed every downstream experiment; ship none unchecked. */
+Graph
+verified(Graph g)
+{
+    verify::verifyGraphOrThrow(g, "buildZooModel");
+    return g;
+}
+
+} // namespace
+
 Graph
 buildZooModel(const std::string &name)
 {
     for (const auto &[n, fn] : registry()) {
         if (n == name)
-            return fn();
+            return verified(fn());
     }
     for (const auto &[n, fn] : extendedRegistry()) {
         if (n == name)
-            return fn();
+            return verified(fn());
     }
     fatal("unknown zoo model: ", name);
 }
@@ -567,7 +581,7 @@ buildZoo()
     std::vector<Graph> out;
     out.reserve(registry().size());
     for (const auto &[name, fn] : registry())
-        out.push_back(fn());
+        out.push_back(verified(fn()));
     return out;
 }
 

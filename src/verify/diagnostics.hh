@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Diagnostic types shared by the graph verifier and the lint passes.
+ *
+ * A verification or lint run produces a VerifyReport: an ordered list
+ * of Diagnostic records, each tagged with a severity, the offending
+ * node (or kNoNode for graph-level findings) and the name of the pass
+ * that raised it. Reports are plain data so callers can decide whether
+ * a finding is fatal (deserialization of untrusted input) or merely
+ * logged (lint tooling).
+ */
+
+#ifndef GCM_VERIFY_DIAGNOSTICS_HH
+#define GCM_VERIFY_DIAGNOSTICS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hh"
+
+namespace gcm::verify
+{
+
+/** How bad a finding is. */
+enum class Severity : std::uint8_t
+{
+    /** Informational; never fails a verification run. */
+    Note,
+    /** Suspicious for the cost-model pipeline but structurally legal. */
+    Warning,
+    /** Structural invariant violation; the graph must not be used. */
+    Error,
+};
+
+/** Stable display name of a severity. */
+const char *severityName(Severity severity);
+
+/** Sentinel node id for graph-level diagnostics. */
+inline constexpr dnn::NodeId kNoNode = -1;
+
+/** One finding raised by a verifier check or lint pass. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Offending node, or kNoNode for graph-level findings. */
+    dnn::NodeId node = kNoNode;
+    /** Name of the check/pass that raised the finding. */
+    std::string pass;
+    std::string message;
+
+    /** One-line rendering: "error [structure] node 3: ...". */
+    std::string str() const;
+};
+
+/** Ordered collection of diagnostics from one verification run. */
+class VerifyReport
+{
+  public:
+    void add(Severity severity, dnn::NodeId node, std::string pass,
+             std::string message);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+    bool empty() const { return diags_.empty(); }
+    std::size_t size() const { return diags_.size(); }
+
+    /** Number of findings at the given severity. */
+    std::size_t count(Severity severity) const;
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+
+    /** Append another report's findings (pass names preserved). */
+    void merge(const VerifyReport &other);
+
+    /** Multi-line rendering, one diagnostic per line. */
+    std::string str() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace gcm::verify
+
+#endif // GCM_VERIFY_DIAGNOSTICS_HH

@@ -1,0 +1,223 @@
+#include "verify/lint.hh"
+
+#include <sstream>
+
+#include "dnn/analysis.hh"
+#include "util/error.hh"
+
+namespace gcm::verify
+{
+
+namespace
+{
+
+using dnn::FusedActivation;
+using dnn::Graph;
+using dnn::Node;
+using dnn::NodeId;
+using dnn::OpKind;
+
+/**
+ * flops-range: a network whose complexity falls outside the Fig. 2
+ * characterization span would sit in a region of feature space the
+ * cost models were never fitted on; its predictions are extrapolation.
+ */
+void
+lintFlopsRange(const Graph &graph, VerifyReport &report)
+{
+    const double mmacs = dnn::megaMacs(graph);
+    if (mmacs < kLintMinMegaMacs || mmacs > kLintMaxMegaMacs) {
+        std::ostringstream oss;
+        oss << "network complexity " << mmacs
+            << " MMACs is outside the characterized range ["
+            << kLintMinMegaMacs << ", " << kLintMaxMegaMacs << "]";
+        report.add(Severity::Warning, kNoNode, "flops-range", oss.str());
+    }
+}
+
+/**
+ * Walk back from @p id through the squeeze-excite tail. Recognizes
+ * both the fp32 form (FC -> ReLU -> FC -> Sigmoid) and the quantized
+ * form where the ReLU is fused into the first FC. Returns the squeeze
+ * FC node, or nullptr when the pattern does not match.
+ */
+const Node *
+seSqueezeFc(const Graph &graph, NodeId sigmoid_id)
+{
+    const auto &nodes = graph.nodes();
+    const Node &sig = nodes[static_cast<std::size_t>(sigmoid_id)];
+    if (sig.kind != OpKind::Sigmoid || sig.inputs.size() != 1)
+        return nullptr;
+    const Node &expand = nodes[static_cast<std::size_t>(sig.inputs[0])];
+    if (expand.kind != OpKind::FullyConnected
+        || expand.inputs.size() != 1) {
+        return nullptr;
+    }
+    const Node *mid = &nodes[static_cast<std::size_t>(expand.inputs[0])];
+    if (mid->kind == OpKind::ReLU) {
+        if (mid->inputs.size() != 1)
+            return nullptr;
+        mid = &nodes[static_cast<std::size_t>(mid->inputs[0])];
+    }
+    if (mid->kind != OpKind::FullyConnected || mid->inputs.size() != 1)
+        return nullptr;
+    const Node &gap = nodes[static_cast<std::size_t>(mid->inputs[0])];
+    if (gap.kind != OpKind::GlobalAvgPool)
+        return nullptr;
+    return mid;
+}
+
+/**
+ * se-reduction: squeeze-and-excite blocks must actually squeeze. A
+ * first FC that widens (squeezed > channels) or drops below the
+ * customary floor of 8 produces a block no mobile network family
+ * ships, and its FC feature rows mislead the predictor.
+ */
+void
+lintSeReduction(const Graph &graph, VerifyReport &report)
+{
+    const auto &nodes = graph.nodes();
+    for (const Node &n : nodes) {
+        if (n.kind != OpKind::Mul || n.inputs.size() != 2)
+            continue;
+        const Node *squeeze = seSqueezeFc(graph, n.inputs[1]);
+        if (squeeze == nullptr)
+            continue;
+        const std::int32_t channels =
+            nodes[static_cast<std::size_t>(n.inputs[0])].shape.c;
+        const std::int32_t squeezed = squeeze->params.out_channels;
+        if (squeezed > channels) {
+            std::ostringstream oss;
+            oss << "squeeze-excite squeezes " << channels
+                << " channels to " << squeezed
+                << " (reduction ratio below 1)";
+            report.add(Severity::Warning, squeeze->id, "se-reduction",
+                       oss.str());
+        } else if (squeezed < 8) {
+            std::ostringstream oss;
+            oss << "squeeze-excite bottleneck of " << squeezed
+                << " channels is below the customary floor of 8";
+            report.add(Severity::Warning, squeeze->id, "se-reduction",
+                       oss.str());
+        }
+    }
+}
+
+/**
+ * encoder-range: the NetworkEncoder writes every geometric parameter
+ * into a float feature slot. Values beyond 2^24 lose integer
+ * precision, negatives corrupt one-hot-adjacent slots, and networks
+ * deeper than any plausible fitted layout cannot be encoded at all.
+ */
+void
+lintEncoderRange(const Graph &graph, VerifyReport &report)
+{
+    std::size_t depth = 0;
+    for (const Node &n : graph.nodes()) {
+        if (n.kind != OpKind::Input)
+            ++depth;
+        const std::int64_t geom[] = {
+            n.shape.h, n.shape.c, n.params.kernel, n.params.stride,
+            n.params.padding, n.params.out_channels, n.params.groups,
+        };
+        for (std::int64_t v : geom) {
+            if (v > kLintMaxEncodableFeature) {
+                std::ostringstream oss;
+                oss << "feature value " << v
+                    << " exceeds exact float range (2^24); the encoded "
+                       "feature would silently lose precision";
+                report.add(Severity::Warning, n.id, "encoder-range",
+                           oss.str());
+                break;
+            }
+        }
+        if (n.params.kernel < 0 || n.params.stride < 0
+            || n.params.padding < 0 || n.params.out_channels < 0
+            || n.params.groups < 0) {
+            report.add(Severity::Warning, n.id, "encoder-range",
+                       "negative operator parameter would flow into "
+                       "the feature vector");
+        }
+    }
+    if (depth > kLintMaxEncoderDepth) {
+        std::ostringstream oss;
+        oss << "network has " << depth
+            << " encodable layers, beyond the supported layout depth "
+            << kLintMaxEncoderDepth;
+        report.add(Severity::Warning, kNoNode, "encoder-range",
+                   oss.str());
+    }
+}
+
+} // namespace
+
+LintRegistry &
+LintRegistry::instance()
+{
+    static LintRegistry registry;
+    return registry;
+}
+
+LintRegistry::LintRegistry()
+{
+    registerPass("flops-range",
+                 "network MACs inside the Fig. 2 characterization span",
+                 lintFlopsRange);
+    registerPass("se-reduction",
+                 "squeeze-excite blocks use a valid reduction ratio",
+                 lintSeReduction);
+    registerPass("encoder-range",
+                 "every feature fits its NetworkEncoder bin exactly",
+                 lintEncoderRange);
+}
+
+void
+LintRegistry::registerPass(std::string name, std::string description,
+                           LintFn fn)
+{
+    if (find(name) != nullptr)
+        fatal("LintRegistry: duplicate pass '", name, "'");
+    passes_.push_back(
+        LintPass{std::move(name), std::move(description), std::move(fn)});
+}
+
+const LintPass *
+LintRegistry::find(const std::string &name) const
+{
+    for (const auto &p : passes_) {
+        if (p.name == name)
+            return &p;
+    }
+    return nullptr;
+}
+
+VerifyReport
+LintRegistry::run(const dnn::Graph &graph) const
+{
+    VerifyReport report;
+    for (const auto &p : passes_)
+        p.fn(graph, report);
+    return report;
+}
+
+VerifyReport
+LintRegistry::run(const dnn::Graph &graph,
+                  const std::vector<std::string> &names) const
+{
+    VerifyReport report;
+    for (const auto &name : names) {
+        const LintPass *p = find(name);
+        if (p == nullptr)
+            fatal("LintRegistry: unknown pass '", name, "'");
+        p->fn(graph, report);
+    }
+    return report;
+}
+
+VerifyReport
+lintGraph(const dnn::Graph &graph)
+{
+    return LintRegistry::instance().run(graph);
+}
+
+} // namespace gcm::verify

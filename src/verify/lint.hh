@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Extensible lint-pass registry over the Graph IR.
+ *
+ * Where the GraphVerifier enforces hard structural invariants, lint
+ * passes encode cost-model-specific expectations: a graph can be a
+ * perfectly valid DAG yet still poison the latency dataset (FLOPs far
+ * outside the paper's Fig. 2 characterization range, a malformed
+ * squeeze-excite block, features that a NetworkEncoder layout cannot
+ * faithfully represent). Passes are registered by name and produce
+ * Warning/Note diagnostics; callers (gcm-verify, test sweeps) decide
+ * whether findings fail the run.
+ *
+ * Passes assume a structurally valid graph (they index producer ids
+ * without re-checking bounds) — run the GraphVerifier first and skip
+ * linting when it reports errors, as gcm-verify does.
+ *
+ * Registering a custom pass:
+ *
+ *   LintRegistry::instance().registerPass(
+ *       "my-pass", "what it checks",
+ *       [](const dnn::Graph &g, VerifyReport &r) { ... });
+ */
+
+#ifndef GCM_VERIFY_LINT_HH
+#define GCM_VERIFY_LINT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hh"
+#include "verify/diagnostics.hh"
+
+namespace gcm::verify
+{
+
+/** Callable body of a lint pass; appends findings to the report. */
+using LintFn = std::function<void(const dnn::Graph &, VerifyReport &)>;
+
+/** A named, documented lint pass. */
+struct LintPass
+{
+    std::string name;
+    std::string description;
+    LintFn fn;
+};
+
+/** Process-wide registry; built-in passes register at construction. */
+class LintRegistry
+{
+  public:
+    static LintRegistry &instance();
+
+    /** Add a pass. Throws GcmError on duplicate names. */
+    void registerPass(std::string name, std::string description,
+                      LintFn fn);
+
+    const std::vector<LintPass> &passes() const { return passes_; }
+
+    /** Lookup by name; nullptr when absent. */
+    const LintPass *find(const std::string &name) const;
+
+    /** Run every registered pass. */
+    VerifyReport run(const dnn::Graph &graph) const;
+
+    /** Run a subset by name. Throws GcmError on unknown names. */
+    VerifyReport run(const dnn::Graph &graph,
+                     const std::vector<std::string> &names) const;
+
+  private:
+    LintRegistry();
+
+    std::vector<LintPass> passes_;
+};
+
+/** Convenience: run all registered lint passes. */
+VerifyReport lintGraph(const dnn::Graph &graph);
+
+/**
+ * Thresholds used by the built-in passes, exposed for tests.
+ * The FLOPs window brackets the paper's Fig. 2 span (tens to hundreds
+ * of MMACs for both popular and generated networks) with headroom for
+ * the extended zoo (ResNet-18 at ~1.8 GMACs).
+ */
+inline constexpr double kLintMinMegaMacs = 10.0;
+inline constexpr double kLintMaxMegaMacs = 2000.0;
+/** Largest int a float feature slot represents exactly (2^24). */
+inline constexpr std::int64_t kLintMaxEncodableFeature = 1 << 24;
+/** Depth beyond which no fitted encoder layout is expected to cope. */
+inline constexpr std::size_t kLintMaxEncoderDepth = 512;
+
+} // namespace gcm::verify
+
+#endif // GCM_VERIFY_LINT_HH

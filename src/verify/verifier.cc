@@ -1,0 +1,548 @@
+#include "verify/verifier.hh"
+
+#include <deque>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace gcm::verify
+{
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    GCM_ASSERT(false, "severityName: invalid severity");
+    return "?";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream oss;
+    oss << severityName(severity) << " [" << pass << "]";
+    if (node != kNoNode)
+        oss << " node " << node;
+    oss << ": " << message;
+    return oss.str();
+}
+
+void
+VerifyReport::add(Severity severity, dnn::NodeId node, std::string pass,
+                  std::string message)
+{
+    diags_.push_back(Diagnostic{severity, node, std::move(pass),
+                                std::move(message)});
+}
+
+std::size_t
+VerifyReport::count(Severity severity) const
+{
+    std::size_t c = 0;
+    for (const auto &d : diags_) {
+        if (d.severity == severity)
+            ++c;
+    }
+    return c;
+}
+
+void
+VerifyReport::merge(const VerifyReport &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(),
+                  other.diags_.end());
+}
+
+std::string
+VerifyReport::str() const
+{
+    std::ostringstream oss;
+    for (const auto &d : diags_)
+        oss << d.str() << "\n";
+    return oss.str();
+}
+
+namespace
+{
+
+using dnn::Graph;
+using dnn::Node;
+using dnn::NodeId;
+using dnn::OpKind;
+using dnn::TensorShape;
+
+/** Report sink bound to one pass name. */
+class Sink
+{
+  public:
+    Sink(VerifyReport &report, const char *pass)
+        : report_(report), pass_(pass)
+    {}
+
+    template <typename... Args>
+    void
+    error(NodeId node, const Args &...parts)
+    {
+        add(Severity::Error, node, parts...);
+    }
+
+    template <typename... Args>
+    void
+    warn(NodeId node, const Args &...parts)
+    {
+        add(Severity::Warning, node, parts...);
+    }
+
+  private:
+    template <typename... Args>
+    void
+    add(Severity sev, NodeId node, const Args &...parts)
+    {
+        std::ostringstream oss;
+        (oss << ... << parts);
+        report_.add(sev, node, pass_, oss.str());
+    }
+
+    VerifyReport &report_;
+    const char *pass_;
+};
+
+/** opKindName that cannot abort on a corrupted kind value. */
+const char *
+safeKindName(OpKind kind)
+{
+    if (static_cast<std::size_t>(kind) >= dnn::kNumOpKinds)
+        return "<invalid kind>";
+    return opKindName(kind);
+}
+
+/** True when every id in inputs is a valid, earlier node. */
+bool
+inputsWellFormed(const Node &n, std::size_t num_nodes)
+{
+    for (NodeId in : n.inputs) {
+        if (in < 0 || static_cast<std::size_t>(in) >= num_nodes
+            || in >= n.id) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Expected input count for a kind; -1 means variadic (Concat). */
+int
+expectedArity(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Input:
+        return 0;
+      case OpKind::Add:
+      case OpKind::Mul:
+        return 2;
+      case OpKind::Concat:
+        return -1;
+      default:
+        return 1;
+    }
+}
+
+/**
+ * Id / position / arity / edge-bounds checks. Returns true when the
+ * graph is sound enough for the per-node shape analysis to index
+ * inputs safely.
+ */
+bool
+checkStructure(const Graph &graph, VerifyReport &report)
+{
+    Sink sink(report, "structure");
+    const auto &nodes = graph.nodes();
+    if (nodes.empty()) {
+        sink.error(kNoNode, "graph '", graph.name(), "' is empty");
+        return false;
+    }
+    if (nodes.front().kind != OpKind::Input)
+        sink.error(0, "first node must be Input, got ",
+                   safeKindName(nodes.front().kind));
+
+    bool sound = true;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        if (n.id != static_cast<NodeId>(i)) {
+            sink.error(static_cast<NodeId>(i), "node id ", n.id,
+                       " does not match position ", i);
+            sound = false;
+            continue;
+        }
+        if (n.kind == OpKind::Input && i != 0) {
+            sink.error(n.id, "interior Input node");
+            sound = false;
+        }
+        if (static_cast<std::size_t>(n.kind) >= dnn::kNumOpKinds) {
+            sink.error(n.id, "invalid operator kind value ",
+                       static_cast<int>(n.kind));
+            sound = false;
+            continue;
+        }
+        const int arity = expectedArity(n.kind);
+        if (arity >= 0
+            && n.inputs.size() != static_cast<std::size_t>(arity)) {
+            sink.error(n.id, safeKindName(n.kind), " expects ", arity,
+                       " input(s), has ", n.inputs.size());
+            sound = false;
+        }
+        if (arity < 0 && n.inputs.size() < 2) {
+            sink.error(n.id, "Concat expects at least 2 inputs, has ",
+                       n.inputs.size());
+            sound = false;
+        }
+        for (NodeId in : n.inputs) {
+            if (in < 0 || static_cast<std::size_t>(in) >= nodes.size()) {
+                sink.error(n.id, "dangling input reference %", in,
+                           " (graph has ", nodes.size(), " nodes)");
+                sound = false;
+            } else if (in == n.id) {
+                sink.error(n.id, "self-edge %", in, " -> %", n.id);
+                sound = false;
+            } else if (in > n.id) {
+                sink.error(n.id, "non-topological edge %", in, " -> %",
+                           n.id);
+                sound = false;
+            }
+        }
+    }
+    return sound;
+}
+
+/**
+ * Kahn's algorithm over the in-bounds edges, independent of the
+ * stored ordering, so true cycles are distinguished from graphs that
+ * are acyclic but mis-ordered.
+ */
+void
+checkAcyclicity(const Graph &graph, VerifyReport &report)
+{
+    Sink sink(report, "structure");
+    const auto &nodes = graph.nodes();
+    const std::size_t n = nodes.size();
+    std::vector<std::size_t> indegree(n, 0);
+    std::vector<std::vector<std::size_t>> consumers(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (NodeId in : nodes[i].inputs) {
+            if (in < 0 || static_cast<std::size_t>(in) >= n)
+                continue; // reported as dangling by checkStructure
+            ++indegree[i];
+            consumers[static_cast<std::size_t>(in)].push_back(i);
+        }
+    }
+    std::deque<std::size_t> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (indegree[i] == 0)
+            ready.push_back(i);
+    }
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+        const std::size_t i = ready.front();
+        ready.pop_front();
+        ++processed;
+        for (std::size_t c : consumers[i]) {
+            if (--indegree[c] == 0)
+                ready.push_back(c);
+        }
+    }
+    if (processed == n)
+        return;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (indegree[i] > 0) {
+            sink.error(static_cast<NodeId>(i),
+                       "node participates in a cycle");
+        }
+    }
+}
+
+/** Conv / pool spatial output size; negative on invalid geometry. */
+std::int32_t
+windowOutput(std::int32_t in, std::int32_t kernel, std::int32_t stride,
+             std::int32_t padding)
+{
+    if (kernel <= 0 || stride <= 0 || padding < 0)
+        return -1;
+    const std::int32_t eff = in + 2 * padding - kernel;
+    if (eff < 0)
+        return -1;
+    return eff / stride + 1;
+}
+
+/**
+ * Per-node parameter legality and shape re-inference against the
+ * stored TensorShape. @pre checkStructure returned sound.
+ */
+void
+checkShapes(const Graph &graph, VerifyReport &report)
+{
+    Sink sink(report, "shape");
+    const auto &nodes = graph.nodes();
+    for (const Node &n : nodes) {
+        if (!inputsWellFormed(n, nodes.size()))
+            continue; // structural diagnostics already cover it
+        if (n.shape.n != 1 || n.shape.h <= 0 || n.shape.w <= 0
+            || n.shape.c <= 0) {
+            sink.error(n.id, "invalid stored shape ", n.shape.str());
+            continue;
+        }
+        if (n.kind == OpKind::Input)
+            continue;
+
+        const TensorShape &in0 = nodes[n.inputs[0]].shape;
+        TensorShape expect = in0;
+        bool known = true;
+        switch (n.kind) {
+          case OpKind::Conv2d: {
+            if (n.params.out_channels <= 0) {
+                sink.error(n.id, "Conv2d out_channels must be positive");
+                continue;
+            }
+            const std::int32_t g = n.params.groups;
+            if (g <= 0 || in0.c % g != 0
+                || n.params.out_channels % g != 0) {
+                sink.error(n.id, "Conv2d groups=", g,
+                           " must divide in_c=", in0.c, " and out_c=",
+                           n.params.out_channels);
+                continue;
+            }
+            expect.h = windowOutput(in0.h, n.params.kernel,
+                                    n.params.stride, n.params.padding);
+            expect.w = windowOutput(in0.w, n.params.kernel,
+                                    n.params.stride, n.params.padding);
+            expect.c = n.params.out_channels;
+            break;
+          }
+          case OpKind::DepthwiseConv2d: {
+            expect.h = windowOutput(in0.h, n.params.kernel,
+                                    n.params.stride, n.params.padding);
+            expect.w = windowOutput(in0.w, n.params.kernel,
+                                    n.params.stride, n.params.padding);
+            expect.c = in0.c;
+            if (n.params.groups != in0.c) {
+                sink.warn(n.id, "depthwise groups=", n.params.groups,
+                          " differs from input channels ", in0.c);
+            }
+            break;
+          }
+          case OpKind::MaxPool2d:
+          case OpKind::AvgPool2d:
+            expect.h = windowOutput(in0.h, n.params.kernel,
+                                    n.params.stride, n.params.padding);
+            expect.w = windowOutput(in0.w, n.params.kernel,
+                                    n.params.stride, n.params.padding);
+            break;
+          case OpKind::FullyConnected:
+            if (n.params.out_channels <= 0) {
+                sink.error(n.id,
+                           "FullyConnected out_channels must be positive");
+                continue;
+            }
+            expect = TensorShape{1, 1, 1, n.params.out_channels};
+            break;
+          case OpKind::GlobalAvgPool:
+            expect = TensorShape{1, 1, 1, in0.c};
+            break;
+          case OpKind::Add: {
+            const TensorShape &b = nodes[n.inputs[1]].shape;
+            if (!(in0 == b)) {
+                sink.error(n.id, "Add input shapes differ: ", in0.str(),
+                           " vs ", b.str());
+                continue;
+            }
+            break;
+          }
+          case OpKind::Mul: {
+            const TensorShape &b = nodes[n.inputs[1]].shape;
+            const bool broadcast =
+                b.h == 1 && b.w == 1 && b.c == in0.c;
+            if (!(in0 == b) && !broadcast) {
+                sink.error(n.id, "Mul shapes not multiplicable: ",
+                           in0.str(), " vs ", b.str());
+                continue;
+            }
+            break;
+          }
+          case OpKind::Concat: {
+            std::int32_t c = 0;
+            bool ok = true;
+            for (NodeId in : n.inputs) {
+                const TensorShape &s = nodes[in].shape;
+                if (s.h != in0.h || s.w != in0.w) {
+                    sink.error(n.id, "Concat spatial mismatch: ",
+                               s.str(), " vs ", in0.str());
+                    ok = false;
+                    break;
+                }
+                c += s.c;
+            }
+            if (!ok)
+                continue;
+            expect.c = c;
+            break;
+          }
+          case OpKind::ChannelShuffle:
+            if (n.params.groups <= 0 || in0.c % n.params.groups != 0) {
+                sink.error(n.id, "ChannelShuffle groups=",
+                           n.params.groups, " must divide channels=",
+                           in0.c);
+                continue;
+            }
+            break;
+          case OpKind::ReLU:
+          case OpKind::ReLU6:
+          case OpKind::HSwish:
+          case OpKind::Sigmoid:
+          case OpKind::BatchNorm:
+          case OpKind::Softmax:
+            break; // shape-preserving
+          default:
+            known = false;
+            break;
+        }
+        if (!known) {
+            sink.error(n.id, "unknown operator kind ",
+                       static_cast<int>(n.kind));
+            continue;
+        }
+        if (expect.h < 0 || expect.w < 0) {
+            sink.error(n.id, opKindName(n.kind), " window (k=",
+                       n.params.kernel, ", s=", n.params.stride, ", p=",
+                       n.params.padding, ") is invalid for input ",
+                       in0.str());
+            continue;
+        }
+        if (!(n.shape == expect)) {
+            sink.error(n.id, "stored shape ", n.shape.str(),
+                       " disagrees with re-inferred ", expect.str(),
+                       " (stale shape)");
+        }
+    }
+}
+
+/** Flag nodes with no path to the graph output (dead code). */
+void
+checkDeadNodes(const Graph &graph, VerifyReport &report)
+{
+    Sink sink(report, "dead-code");
+    const auto &nodes = graph.nodes();
+    std::vector<bool> live(nodes.size(), false);
+    std::deque<std::size_t> work{nodes.size() - 1};
+    live[nodes.size() - 1] = true;
+    while (!work.empty()) {
+        const std::size_t i = work.front();
+        work.pop_front();
+        for (NodeId in : nodes[i].inputs) {
+            if (in < 0 || static_cast<std::size_t>(in) >= nodes.size())
+                continue;
+            if (!live[static_cast<std::size_t>(in)]) {
+                live[static_cast<std::size_t>(in)] = true;
+                work.push_back(static_cast<std::size_t>(in));
+            }
+        }
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (!live[i]) {
+            sink.warn(static_cast<NodeId>(i),
+                      "unreachable from the graph output (dead node)");
+        }
+    }
+}
+
+/** Fused-activation legality and precision-level consistency. */
+void
+checkPrecision(const Graph &graph, VerifyReport &report)
+{
+    Sink sink(report, "precision");
+    const bool int8 = graph.precision() == dnn::Precision::Int8;
+    for (const Node &n : graph.nodes()) {
+        const auto act =
+            static_cast<std::uint8_t>(n.params.fused_activation);
+        if (act > static_cast<std::uint8_t>(
+                dnn::FusedActivation::Sigmoid)) {
+            sink.error(n.id, "invalid fused activation value ",
+                       static_cast<int>(act));
+            continue;
+        }
+        const bool fusable = n.kind == OpKind::Conv2d
+            || n.kind == OpKind::DepthwiseConv2d
+            || n.kind == OpKind::FullyConnected || n.kind == OpKind::Add;
+        if (n.params.fused_activation != dnn::FusedActivation::None) {
+            if (!fusable) {
+                sink.error(n.id, "fused activation on non-fusable op ",
+                           safeKindName(n.kind));
+            } else if (!int8) {
+                sink.warn(n.id,
+                          "fused activation in an fp32 graph (fusion "
+                          "is a deployment-time pass)");
+            }
+        }
+        if (int8 && n.kind == OpKind::BatchNorm) {
+            sink.error(n.id,
+                       "BatchNorm in an int8 deployment graph (the "
+                       "quantizer folds these away)");
+        }
+    }
+}
+
+} // namespace
+
+GraphVerifier::GraphVerifier(VerifyOptions options) : options_(options)
+{}
+
+VerifyReport
+GraphVerifier::verify(const Graph &graph) const
+{
+    VerifyReport report;
+    const bool sound = checkStructure(graph, report);
+    if (!graph.nodes().empty()) {
+        checkAcyclicity(graph, report);
+        if (sound && options_.check_shapes)
+            checkShapes(graph, report);
+        if (sound && options_.check_dead_nodes)
+            checkDeadNodes(graph, report);
+        if (options_.check_precision)
+            checkPrecision(graph, report);
+    }
+    return report;
+}
+
+VerifyReport
+verifyGraph(const dnn::Graph &graph)
+{
+    return GraphVerifier().verify(graph);
+}
+
+void
+verifyGraphOrThrow(const dnn::Graph &graph, const char *context)
+{
+    const VerifyReport report = verifyGraph(graph);
+    if (!report.hasErrors())
+        return;
+    std::ostringstream oss;
+    oss << context << ": graph '" << graph.name() << "' failed "
+        << "verification with " << report.count(Severity::Error)
+        << " error(s):\n";
+    std::size_t listed = 0;
+    for (const auto &d : report.diagnostics()) {
+        if (d.severity != Severity::Error)
+            continue;
+        if (listed == 8) {
+            oss << "  ...\n";
+            break;
+        }
+        oss << "  " << d.str() << "\n";
+        ++listed;
+    }
+    fatal(oss.str());
+}
+
+} // namespace gcm::verify

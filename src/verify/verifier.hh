@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Structural verifier for the gcm::dnn::Graph IR.
+ *
+ * Graph::validate() is the cheap constructor-time gate; GraphVerifier
+ * is the exhaustive static analysis run on every producer boundary
+ * (builder finalization, zoo/generator output, deserialization of
+ * untrusted files) and by the gcm-verify CLI. It never aborts on a
+ * malformed graph — every violation becomes a Diagnostic — so it can
+ * be pointed at arbitrarily corrupted inputs.
+ *
+ * Checked invariants:
+ *  - node ids match their vector positions; node 0 is the unique Input
+ *  - every edge references an in-bounds, earlier node (topological
+ *    order, which also rules out cycles; out-of-order edges are
+ *    additionally classified as cycles via Kahn's algorithm)
+ *  - per-OpKind input arity (unary chain ops, binary Add/Mul,
+ *    variadic Concat)
+ *  - operator parameters are legal (positive windows, divisible
+ *    groups, out_channels consistent with the stored shape)
+ *  - shape re-inference: each node's stored TensorShape equals the
+ *    shape recomputed from its inputs under the builder's rules
+ *  - reachability: nodes that cannot reach the output are dead code
+ *    (Warning — legal but suspicious for cost-model features)
+ *  - precision/quantization consistency: fused activations only on
+ *    fusable kinds, no BatchNorm in an Int8 deployment graph
+ */
+
+#ifndef GCM_VERIFY_VERIFIER_HH
+#define GCM_VERIFY_VERIFIER_HH
+
+#include "dnn/graph.hh"
+#include "verify/diagnostics.hh"
+
+namespace gcm::verify
+{
+
+/** Toggles for individual verifier stages (all on by default). */
+struct VerifyOptions
+{
+    /** Re-infer shapes and compare against stored ones. */
+    bool check_shapes = true;
+    /** Flag nodes unreachable from the graph output (Warning). */
+    bool check_dead_nodes = true;
+    /** Precision / fused-activation consistency checks. */
+    bool check_precision = true;
+};
+
+/** Exhaustive structural checker; cheap to construct, reusable. */
+class GraphVerifier
+{
+  public:
+    explicit GraphVerifier(VerifyOptions options = {});
+
+    /** Run all enabled checks; never throws on graph content. */
+    VerifyReport verify(const dnn::Graph &graph) const;
+
+    const VerifyOptions &options() const { return options_; }
+
+  private:
+    VerifyOptions options_;
+};
+
+/** Convenience: verify with default options. */
+VerifyReport verifyGraph(const dnn::Graph &graph);
+
+/**
+ * Verify and throw GcmError listing all Error-severity findings.
+ * Warnings and notes do not throw. @p context names the producer
+ * (e.g. "deserializeGraph") for the error message.
+ */
+void verifyGraphOrThrow(const dnn::Graph &graph, const char *context);
+
+} // namespace gcm::verify
+
+#endif // GCM_VERIFY_VERIFIER_HH

@@ -139,10 +139,14 @@ TEST(GraphBuilder, SqueezeExciteShapePreserving)
 TEST(GraphBuilder, ActivationsPreserveShape)
 {
     auto b = makeBuilder(10, 8);
-    EXPECT_EQ(b.shapeOf(b.relu(b.input())), b.shapeOf(b.input()));
-    EXPECT_EQ(b.shapeOf(b.relu6(b.input())), b.shapeOf(b.input()));
-    EXPECT_EQ(b.shapeOf(b.hswish(b.input())), b.shapeOf(b.input()));
-    EXPECT_EQ(b.shapeOf(b.sigmoid(b.input())), b.shapeOf(b.input()));
+    // Copy the input shape: shapeOf() returns a reference into the
+    // builder's node vector, which each append may reallocate.
+    const NodeId in = b.input();
+    const TensorShape expected = b.shapeOf(in);
+    EXPECT_EQ(b.shapeOf(b.relu(in)), expected);
+    EXPECT_EQ(b.shapeOf(b.relu6(in)), expected);
+    EXPECT_EQ(b.shapeOf(b.hswish(in)), expected);
+    EXPECT_EQ(b.shapeOf(b.sigmoid(in)), expected);
 }
 
 TEST(Graph, BuildValidates)

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+#
+# Static-analysis CI lane: build everything with warnings-as-errors
+# under ASan+UBSan and run the tier-1 test suite. Any warning, test
+# failure or sanitizer report fails the script.
+#
+#   tools/check.sh [extra ctest args...]
+#
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/check-build"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "$ROOT" -B "$BUILD" \
+    -DGCM_SANITIZE=address,undefined \
+    -DGCM_WERROR=ON
+cmake --build "$BUILD" -j "$JOBS"
+
+# Abort on the first sanitizer finding instead of trying to continue.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+cd "$BUILD"
+ctest --output-on-failure -j "$JOBS" "$@"
+
+echo "check.sh: clean under ASan+UBSan with -Wall -Wextra -Werror"

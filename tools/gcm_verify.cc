@@ -1,0 +1,223 @@
+/**
+ * @file
+ * gcm-verify — static analysis driver for serialized graphs and the
+ * built-in network suites.
+ *
+ *   gcm-verify --file graph.txt          verify + lint one serialized graph
+ *   gcm-verify --zoo [--extended]        verify + lint the model zoo
+ *   gcm-verify --generated N [--seed S]  verify + lint N generated networks
+ *   gcm-verify --quantized               also check int8 deployment graphs
+ *   gcm-verify --passes a,b              restrict linting to named passes
+ *   gcm-verify --no-lint                 structural verification only
+ *   gcm-verify --list-passes             show the registered lint passes
+ *
+ * Exits 0 when every graph is clean, 1 on any diagnostic or error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dnn/generator.hh"
+#include "dnn/quantize.hh"
+#include "dnn/serialize.hh"
+#include "dnn/zoo.hh"
+#include "util/error.hh"
+#include "verify/lint.hh"
+#include "verify/verifier.hh"
+
+using namespace gcm;
+
+namespace
+{
+
+/** Minimal --key value parser; bare flags get "1". */
+std::map<std::string, std::string>
+parseFlags(int argc, char **argv, int start)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = start; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0)
+            fatal("unexpected argument: ", key);
+        key = key.substr(2);
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+            flags[key] = argv[++i];
+        } else {
+            flags[key] = "1";
+        }
+    }
+    return flags;
+}
+
+std::string
+flagOr(const std::map<std::string, std::string> &flags,
+       const std::string &key, const std::string &fallback)
+{
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : csv) {
+        if (ch == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+struct CheckStats
+{
+    std::size_t graphs = 0;
+    std::size_t clean = 0;
+    std::size_t diagnostics = 0;
+};
+
+/**
+ * Verify (and optionally lint) one graph, printing every diagnostic
+ * prefixed with the graph name.
+ */
+void
+checkGraph(const dnn::Graph &graph, bool lint,
+           const std::vector<std::string> &passes, CheckStats &stats)
+{
+    ++stats.graphs;
+    verify::VerifyReport report = verify::verifyGraph(graph);
+    // Lints index producer ids without bounds checks; only run them
+    // on structurally sound graphs.
+    if (lint && !report.hasErrors()) {
+        auto &registry = verify::LintRegistry::instance();
+        report.merge(passes.empty() ? registry.run(graph)
+                                    : registry.run(graph, passes));
+    }
+    if (report.empty()) {
+        ++stats.clean;
+        return;
+    }
+    stats.diagnostics += report.size();
+    for (const auto &d : report.diagnostics())
+        std::printf("%s: %s\n", graph.name().c_str(), d.str().c_str());
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: gcm-verify [--file <path>] [--zoo] [--extended]\n"
+        "                  [--generated <count>] [--seed <seed>]\n"
+        "                  [--quantized] [--no-lint] [--passes a,b]\n"
+        "                  [--list-passes]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const auto flags = parseFlags(argc, argv, 1);
+        if (flags.empty()) {
+            usage();
+            return 1;
+        }
+        if (flags.count("list-passes")) {
+            for (const auto &p :
+                 verify::LintRegistry::instance().passes()) {
+                std::printf("%-16s %s\n", p.name.c_str(),
+                            p.description.c_str());
+            }
+            return 0;
+        }
+
+        const bool lint = flags.count("no-lint") == 0;
+        const bool quantized = flags.count("quantized") > 0;
+        std::vector<std::string> passes;
+        if (const auto it = flags.find("passes"); it != flags.end())
+            passes = splitList(it->second);
+
+        std::vector<dnn::Graph> graphs;
+        if (const auto it = flags.find("file"); it != flags.end()) {
+            std::ifstream is(it->second);
+            if (!is)
+                fatal("cannot open ", it->second);
+            // deserializeGraph hard-errors on structural findings;
+            // the catch below turns that into a report + exit 1.
+            graphs.push_back(dnn::deserializeGraph(is));
+        }
+        if (flags.count("zoo")) {
+            for (const auto &name : dnn::zooModelNames())
+                graphs.push_back(dnn::buildZooModel(name));
+            if (flags.count("extended")) {
+                for (const auto &name : dnn::extendedZooModelNames())
+                    graphs.push_back(dnn::buildZooModel(name));
+            }
+        }
+        if (const auto it = flags.find("generated"); it != flags.end()) {
+            int count = 0;
+            try {
+                std::size_t used = 0;
+                count = std::stoi(it->second, &used);
+                if (used != it->second.size())
+                    count = 0;
+            } catch (const std::exception &) {
+                count = 0;
+            }
+            if (count <= 0)
+                fatal("--generated needs a positive count, got '",
+                      it->second, "'");
+            const std::string seed_str = flagOr(flags, "seed", "42");
+            std::uint64_t seed = 0;
+            try {
+                std::size_t used = 0;
+                seed = std::stoull(seed_str, &used);
+                if (used != seed_str.size())
+                    fatal("--seed needs an integer, got '", seed_str, "'");
+            } catch (const GcmError &) {
+                throw;
+            } catch (const std::exception &) {
+                fatal("--seed needs an integer, got '", seed_str, "'");
+            }
+            dnn::RandomNetworkGenerator gen(dnn::SearchSpace{}, seed);
+            for (auto &g : gen.generateSuite(
+                     static_cast<std::size_t>(count), "gen"))
+                graphs.push_back(std::move(g));
+        }
+        if (graphs.empty()) {
+            usage();
+            return 1;
+        }
+
+        CheckStats stats;
+        for (const auto &g : graphs) {
+            checkGraph(g, lint, passes, stats);
+            if (quantized)
+                checkGraph(dnn::quantize(g), lint, passes, stats);
+        }
+        std::printf("checked %zu graph(s): %zu clean, %zu "
+                    "diagnostic(s)\n",
+                    stats.graphs, stats.clean, stats.diagnostics);
+        return stats.diagnostics == 0 ? 0 : 1;
+    } catch (const GcmError &e) {
+        std::fprintf(stderr, "gcm-verify: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "gcm-verify: %s\n", e.what());
+        usage();
+        return 1;
+    }
+}
