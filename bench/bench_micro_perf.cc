@@ -16,6 +16,7 @@
 #include "stats/correlation.hh"
 #include "stats/kmeans.hh"
 #include "stats/mutual_info.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 
 using namespace gcm;
@@ -98,6 +99,74 @@ BM_GbtPredict(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 2000);
 }
 BENCHMARK(BM_GbtPredict);
+
+/**
+ * Thread-scaling variants. Arg is the worker-thread count handed to
+ * setThreads(); results stay bit-identical across counts, so these
+ * measure pure wall-clock scaling of the parallel execution layer.
+ */
+static void
+BM_GbtTrainMT(benchmark::State &state)
+{
+    setThreads(static_cast<std::size_t>(state.range(0)));
+    const auto ds = syntheticDataset(4000, 64, 1);
+    ml::GbtParams p;
+    p.n_estimators = 50;
+    for (auto _ : state) {
+        ml::GradientBoostedTrees model(p);
+        model.train(ds);
+        benchmark::DoNotOptimize(model.numTrees());
+    }
+    state.SetItemsProcessed(state.iterations() * 4000);
+    setThreads(1);
+}
+BENCHMARK(BM_GbtTrainMT)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_GbtPredictMT(benchmark::State &state)
+{
+    const auto ds = syntheticDataset(2000, 64, 2);
+    ml::GradientBoostedTrees model;
+    model.train(ds);
+    setThreads(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.predict(ds));
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+    setThreads(1);
+}
+BENCHMARK(BM_GbtPredictMT)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+static void
+BM_CampaignRunMT(benchmark::State &state)
+{
+    setThreads(static_cast<std::size_t>(state.range(0)));
+    const auto fleet = sim::DeviceDatabase::standard(2020, 16);
+    const sim::LatencyModel model;
+    sim::CampaignConfig config;
+    config.runs_per_network = 10;
+    std::vector<dnn::Graph> suite;
+    suite.push_back(dnn::buildZooModel("mobilenet_v1_1.0"));
+    suite.push_back(dnn::buildZooModel("mobilenet_v2_1.0"));
+    suite.push_back(dnn::buildZooModel("squeezenet_1.0"));
+    const sim::CharacterizationCampaign campaign(fleet, model, config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(campaign.run(suite).size());
+    }
+    state.SetItemsProcessed(state.iterations() * 16 * 3);
+    setThreads(1);
+}
+BENCHMARK(BM_CampaignRunMT)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 static void
 BM_SimulatorGraphLatency(benchmark::State &state)

@@ -8,6 +8,7 @@
 
 #include "ml/metrics.hh"
 #include "util/error.hh"
+#include "util/parallel.hh"
 
 namespace gcm::ml
 {
@@ -66,15 +67,24 @@ GradientBoostedTrees::trainImpl(const Dataset &data, const Dataset *eval)
         eval_preds.assign(eval->numRows(), baseScore_);
 
     std::vector<double> tree_gain;
+    // Boosting is sequential across rounds (each tree fits the
+    // residual of the previous ones); the parallelism lives inside a
+    // round — histogram/split search in trainTree and the elementwise
+    // gradient/prediction sweeps below, all index-owned and therefore
+    // bit-identical at any thread count.
     for (std::size_t t = 0; t < params_.n_estimators; ++t) {
         // Squared-error objective: g = pred - y (unit hessian).
-        for (std::size_t i = 0; i < n; ++i)
+        parallelFor(0, n, 4096, [&](std::size_t i) {
             grad[i] = static_cast<float>(preds[i] - data.label(i));
+        });
 
+        // Round t draws from its own named stream, never from a
+        // shared sequential Rng, so the subsample (and any feature
+        // sampling inside trainTree) depends only on (seed, t).
+        Rng tree_rng = rng.fork(t);
         std::vector<std::uint32_t> rows;
         if (params_.subsample < 1.0) {
             rows.reserve(n);
-            Rng tree_rng = rng.fork(t);
             for (std::uint32_t i = 0; i < n; ++i) {
                 if (tree_rng.bernoulli(params_.subsample))
                     rows.push_back(i);
@@ -86,18 +96,20 @@ GradientBoostedTrees::trainImpl(const Dataset &data, const Dataset *eval)
         }
 
         tree_gain.assign(data.numFeatures(), 0.0);
-        RegressionTree tree =
-            trainTree(binned, rows, grad, tree_cfg, &rng, &tree_gain);
+        RegressionTree tree = trainTree(binned, rows, grad, tree_cfg,
+                                        &tree_rng, &tree_gain);
         tree.scaleLeaves(params_.learning_rate);
         for (std::size_t f = 0; f < tree_gain.size(); ++f)
             featureGain_[f] += tree_gain[f];
 
-        for (std::size_t i = 0; i < n; ++i)
+        parallelFor(0, n, 1024, [&](std::size_t i) {
             preds[i] += tree.predictBinnedRow(binned, i);
+        });
 
         if (eval) {
-            for (std::size_t i = 0; i < eval->numRows(); ++i)
+            parallelFor(0, eval->numRows(), 1024, [&](std::size_t i) {
                 eval_preds[i] += tree.predictRow(eval->row(i));
+            });
             evalHistory_.push_back(rmse(eval->labels(), eval_preds));
         }
 
@@ -118,9 +130,12 @@ GradientBoostedTrees::predictRow(const float *x) const
 std::vector<double>
 GradientBoostedTrees::predict(const Dataset &data) const
 {
+    // Batch predict: every row is independent and writes its own
+    // output slot.
     std::vector<double> out(data.numRows());
-    for (std::size_t i = 0; i < data.numRows(); ++i)
+    parallelFor(0, data.numRows(), 64, [&](std::size_t i) {
         out[i] = predictRow(data.row(i));
+    });
     return out;
 }
 

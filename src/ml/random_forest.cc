@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "util/error.hh"
+#include "util/parallel.hh"
 
 namespace gcm::ml
 {
@@ -37,9 +38,13 @@ RandomForest::train(const Dataset &data)
     cfg.min_child_weight = params_.min_child_weight;
     cfg.feature_fraction = params_.feature_fraction;
 
-    Rng rng(params_.seed);
-    for (std::size_t t = 0; t < params_.n_trees; ++t) {
-        Rng tree_rng = rng.fork(t);
+    // Each tree is a task with its own stream forked from the root
+    // seed — never a draw from a shared Rng — so tree t sees the same
+    // bootstrap and feature draws at any thread count, and the same
+    // draws the serial loop produced.
+    const Rng root(params_.seed);
+    trees_ = parallelMap(params_.n_trees, 1, [&](std::size_t t) {
+        Rng tree_rng = root.fork(t);
         std::vector<std::uint32_t> rows(n);
         if (params_.bootstrap) {
             for (auto &r : rows) {
@@ -49,8 +54,8 @@ RandomForest::train(const Dataset &data)
         } else {
             std::iota(rows.begin(), rows.end(), std::uint32_t{0});
         }
-        trees_.push_back(trainTree(binned, rows, grad, cfg, &tree_rng));
-    }
+        return trainTree(binned, rows, grad, cfg, &tree_rng);
+    });
 }
 
 double
@@ -67,8 +72,9 @@ std::vector<double>
 RandomForest::predict(const Dataset &data) const
 {
     std::vector<double> out(data.numRows());
-    for (std::size_t i = 0; i < data.numRows(); ++i)
+    parallelFor(0, data.numRows(), 64, [&](std::size_t i) {
         out[i] = predictRow(data.row(i));
+    });
     return out;
 }
 

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "util/error.hh"
+#include "util/parallel.hh"
 
 namespace gcm::ml
 {
@@ -170,7 +171,15 @@ struct Builder
     {
         hist.reset(totalBins);
         const auto &active = binned.activeFeatures();
-        for (std::size_t a = 0; a < active.size(); ++a) {
+        // Each feature owns a disjoint [offsets[a], offsets[a+1])
+        // region of the histogram and scans rows in ascending order,
+        // so the accumulation is bit-identical at any thread count.
+        // Small nodes run as one inline chunk to skip pool overhead.
+        const std::size_t grain =
+            rows.size() * active.size() < 1u << 15
+                ? active.size()
+                : std::max<std::size_t>(1, active.size() / 32);
+        parallelFor(0, active.size(), grain, [&](std::size_t a) {
             const std::uint8_t *col = binned.column(active[a]);
             double *hg = hist.g.data() + offsets[a];
             std::uint32_t *hn = hist.n.data() + offsets[a];
@@ -179,7 +188,7 @@ struct Builder
                 hg[b] += grad[i];
                 ++hn[b];
             }
-        }
+        });
     }
 
     double
@@ -211,33 +220,50 @@ struct Builder
         }
         const std::size_t n_cand =
             subsample_features ? sampled.size() : active.size();
-        for (std::size_t c = 0; c < n_cand; ++c) {
-            const std::size_t a = subsample_features ? sampled[c] : c;
-            const std::size_t nb =
-                binned.featureBins(active[a]).numBins();
-            const double *hg = hist.g.data() + offsets[a];
-            const std::uint32_t *hn = hist.n.data() + offsets[a];
-            double gl = 0.0, nl = 0.0;
-            for (std::size_t b = 0; b + 1 < nb; ++b) {
-                gl += hg[b];
-                nl += hn[b];
-                const double nr = count - nl;
-                if (nl < cfg.min_child_weight
-                    || nr < cfg.min_child_weight) {
-                    continue;
+        // Score every candidate feature independently, then reduce in
+        // candidate order. The serial loop kept a running best and
+        // accepted only strictly larger gains, so scanning the
+        // per-candidate winners with the same `>` in the same order
+        // reproduces its result (ties keep the earlier feature)
+        // bit-for-bit at any thread count.
+        const std::size_t grain =
+            n_cand * totalBins < 1u << 15 ? n_cand : 1;
+        const auto cand = parallelMap(
+            n_cand, grain, [&](std::size_t c) -> BestSplit {
+                const std::size_t a =
+                    subsample_features ? sampled[c] : c;
+                const std::size_t nb =
+                    binned.featureBins(active[a]).numBins();
+                const double *hg = hist.g.data() + offsets[a];
+                const std::uint32_t *hn = hist.n.data() + offsets[a];
+                BestSplit local;
+                double gl = 0.0, nl = 0.0;
+                for (std::size_t b = 0; b + 1 < nb; ++b) {
+                    gl += hg[b];
+                    nl += hn[b];
+                    const double nr = count - nl;
+                    if (nl < cfg.min_child_weight
+                        || nr < cfg.min_child_weight) {
+                        continue;
+                    }
+                    const double gr = sum_g - gl;
+                    const double gain = 0.5
+                            * (gl * gl / (nl + cfg.lambda)
+                               + gr * gr / (nr + cfg.lambda)
+                               - parent_score)
+                        - cfg.gamma;
+                    if (gain > local.gain) {
+                        local.gain = gain;
+                        local.feature = active[a];
+                        local.bin = static_cast<std::uint8_t>(b);
+                        local.found = true;
+                    }
                 }
-                const double gr = sum_g - gl;
-                const double gain = 0.5
-                        * (gl * gl / (nl + cfg.lambda)
-                           + gr * gr / (nr + cfg.lambda) - parent_score)
-                    - cfg.gamma;
-                if (gain > best.gain) {
-                    best.gain = gain;
-                    best.feature = active[a];
-                    best.bin = static_cast<std::uint8_t>(b);
-                    best.found = true;
-                }
-            }
+                return local;
+            });
+        for (const BestSplit &c : cand) {
+            if (c.found && c.gain > best.gain)
+                best = c;
         }
         return best;
     }

@@ -2,6 +2,7 @@
 
 #include "dnn/quantize.hh"
 #include "util/error.hh"
+#include "util/parallel.hh"
 
 namespace gcm::sim
 {
@@ -42,41 +43,82 @@ CharacterizationCampaign::measurableDevices() const
     return out;
 }
 
+std::vector<const dnn::Graph *>
+CharacterizationCampaign::deployableSuite(
+    const std::vector<dnn::Graph> &suite,
+    std::vector<dnn::Graph> &storage)
+{
+    // All graph-invariant deployment work happens here, exactly once
+    // per network regardless of fleet size: fp32 networks are
+    // quantized a single time and already-int8 networks are
+    // referenced in place instead of copied per iteration.
+    storage.clear();
+    storage.reserve(suite.size());
+    std::vector<const dnn::Graph *> deployed;
+    deployed.reserve(suite.size());
+    for (const auto &g : suite) {
+        if (g.precision() == dnn::Precision::Int8) {
+            deployed.push_back(&g);
+        } else {
+            storage.push_back(dnn::quantize(g));
+            deployed.push_back(&storage.back());
+        }
+    }
+    return deployed;
+}
+
+std::vector<MeasurementRecord>
+CharacterizationCampaign::measureDevice(
+    std::size_t fleet_idx,
+    const std::vector<const dnn::Graph *> &deployed) const
+{
+    const DeviceSpec &device = fleet_.device(fleet_idx);
+    const Chipset &chipset = fleet_.chipsetOf(device);
+    DeviceRuntime runtime(
+        device, chipset, model_,
+        config_.noise_seed
+            ^ (0x9e3779b97f4a7c15ULL
+               * static_cast<std::uint64_t>(device.id + 1)),
+        config_.noise);
+    std::vector<MeasurementRecord> records;
+    records.reserve(deployed.size());
+    for (const dnn::Graph *g : deployed) {
+        const MeasurementResult res = runtime.measure(
+            *g, config_.runs_per_network, config_.target);
+        MeasurementRecord rec;
+        rec.device_id = device.id;
+        rec.device_name = device.model_name;
+        rec.network = g->name();
+        rec.mean_ms = res.mean_ms;
+        rec.stddev_ms = res.stddev_ms;
+        rec.runs = static_cast<std::int32_t>(res.runs_ms.size());
+        records.push_back(std::move(rec));
+    }
+    return records;
+}
+
 MeasurementRepository
 CharacterizationCampaign::run(const std::vector<dnn::Graph> &suite) const
 {
     GCM_ASSERT(!suite.empty(), "campaign: empty network suite");
-    // Quantize once, up front (the paper ships int8 models in the app).
-    std::vector<dnn::Graph> deployed;
-    deployed.reserve(suite.size());
-    for (const auto &g : suite) {
-        deployed.push_back(g.precision() == dnn::Precision::Int8
-                               ? g
-                               : dnn::quantize(g));
-    }
+    std::vector<dnn::Graph> storage;
+    const auto deployed = deployableSuite(suite, storage);
+
+    // The measurement grid: devices are independent tasks (each owns
+    // its DeviceRuntime, whose noise stream is a function of the
+    // device id alone), and within a device the networks run in suite
+    // order, exactly as they did serially. Flattening the per-device
+    // blocks in device order reproduces the serial repository
+    // byte-for-byte at any thread count.
+    const auto devices = measurableDevices();
+    auto blocks = parallelMap(devices.size(), 1, [&](std::size_t k) {
+        return measureDevice(devices[k], deployed);
+    });
 
     MeasurementRepository repo;
-    for (std::size_t idx : measurableDevices()) {
-        const DeviceSpec &device = fleet_.device(idx);
-        const Chipset &chipset = fleet_.chipsetOf(device);
-        DeviceRuntime runtime(
-            device, chipset, model_,
-            config_.noise_seed
-                ^ (0x9e3779b97f4a7c15ULL
-                   * static_cast<std::uint64_t>(device.id + 1)),
-            config_.noise);
-        for (const auto &g : deployed) {
-            const MeasurementResult res = runtime.measure(
-                g, config_.runs_per_network, config_.target);
-            MeasurementRecord rec;
-            rec.device_id = device.id;
-            rec.device_name = device.model_name;
-            rec.network = g.name();
-            rec.mean_ms = res.mean_ms;
-            rec.stddev_ms = res.stddev_ms;
-            rec.runs = static_cast<std::int32_t>(res.runs_ms.size());
+    for (auto &block : blocks) {
+        for (auto &rec : block)
             repo.add(std::move(rec));
-        }
     }
     return repo;
 }

@@ -46,13 +46,25 @@ class CharacterizationCampaign
                              LatencyModel model, CampaignConfig config = {});
 
     /**
-     * Measure every network on every device.
+     * Measure every network on every device. Devices are measured in
+     * parallel (see util/parallel.hh); the resulting repository is
+     * byte-identical at any thread count.
      *
      * @param suite Networks in deployment (fp32 or already-int8) form;
-     *        fp32 graphs are quantized on the fly, mirroring the
+     *        fp32 graphs are quantized once up front, mirroring the
      *        pipeline in the paper's Fig. 1.
      */
     MeasurementRepository run(const std::vector<dnn::Graph> &suite) const;
+
+    /**
+     * Hoist the graph-invariant deployment work: quantize each fp32
+     * network exactly once and reference already-int8 networks in
+     * place. Returned pointers alias `suite` and `storage`; both must
+     * outlive the result.
+     */
+    static std::vector<const dnn::Graph *>
+    deployableSuite(const std::vector<dnn::Graph> &suite,
+                    std::vector<dnn::Graph> &storage);
 
     /**
      * Measure a subset: one device, a list of networks. Used by the
@@ -81,6 +93,11 @@ class CharacterizationCampaign
     const CampaignConfig &config() const { return config_; }
 
   private:
+    /** One device's full measurement block, in suite order. */
+    std::vector<MeasurementRecord>
+    measureDevice(std::size_t fleet_idx,
+                  const std::vector<const dnn::Graph *> &deployed) const;
+
     const DeviceDatabase &fleet_;
     LatencyModel model_;
     CampaignConfig config_;

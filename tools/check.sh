@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 #
-# Static-analysis CI lane: build everything with warnings-as-errors
-# under ASan+UBSan and run the tier-1 test suite. Any warning, test
-# failure or sanitizer report fails the script.
+# Static-analysis CI lanes:
+#   1. build everything with warnings-as-errors under ASan+UBSan and
+#      run the tier-1 test suite;
+#   2. rebuild the parallel-path tests under TSan (address and thread
+#      sanitizers are mutually exclusive, hence the second build tree)
+#      and run them with a worker pool forced on via GCM_THREADS.
+# Any warning, test failure or sanitizer report fails the script.
 #
 #   tools/check.sh [extra ctest args...]
 #
@@ -10,6 +14,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/check-build"
+TSAN_BUILD="${ROOT}/check-build-tsan"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -S "$ROOT" -B "$BUILD" \
@@ -21,7 +26,27 @@ cmake --build "$BUILD" -j "$JOBS"
 export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
-cd "$BUILD"
-ctest --output-on-failure -j "$JOBS" "$@"
+(
+    cd "$BUILD"
+    ctest --output-on-failure -j "$JOBS" "$@"
+)
 
 echo "check.sh: clean under ASan+UBSan with -Wall -Wextra -Werror"
+
+# --- TSan lane: the tests that exercise the parallel execution layer.
+PARALLEL_TESTS=(test_parallel test_tree test_gbt test_baselines
+                test_campaign test_cross_validation test_signature)
+
+cmake -S "$ROOT" -B "$TSAN_BUILD" \
+    -DGCM_SANITIZE=thread \
+    -DGCM_WERROR=ON
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target "${PARALLEL_TESTS[@]}"
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+for t in "${PARALLEL_TESTS[@]}"; do
+    # GCM_THREADS=8 forces a real worker pool even on small CI boxes
+    # so the races TSan should see actually happen.
+    GCM_THREADS=8 "$TSAN_BUILD/tests/$t"
+done
+
+echo "check.sh: parallel-path tests clean under TSan (GCM_THREADS=8)"

@@ -26,6 +26,7 @@
 #include "dnn/zoo.hh"
 #include "sim/profiler.hh"
 #include "util/error.hh"
+#include "util/parallel.hh"
 
 using namespace gcm;
 
@@ -207,7 +208,11 @@ usage()
         "           [--method mis|sccs|rs] [--size N]\n"
         "  predict  --model FILE --network NAME --signature a,b,...\n"
         "  profile  [--network NAME] [--device NAME]\n"
-        "  list-networks | list-devices\n");
+        "  list-networks | list-devices\n"
+        "global flags:\n"
+        "  --threads N   worker threads (default: GCM_THREADS env,\n"
+        "                else hardware concurrency); results are\n"
+        "                bit-identical at any thread count\n");
 }
 
 } // namespace
@@ -222,6 +227,9 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     try {
         const auto flags = parseFlags(argc, argv, 2);
+        const std::string threads = flagOr(flags, "threads", "");
+        if (!threads.empty())
+            setThreads(static_cast<std::size_t>(std::stoul(threads)));
         if (cmd == "dataset")
             return cmdDataset(flags);
         if (cmd == "train")
