@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
@@ -33,6 +34,7 @@ crossValidateSignatureModel(const EvaluationHarness &harness,
                             const ml::GbtParams &params,
                             std::uint64_t seed)
 {
+    const obs::TraceSpan cv_span("cv.run");
     const auto partition = kFoldDevices(num_devices, folds, seed);
     // Every fold re-selects its signature and re-trains its booster
     // independently against the shared (const) harness, so the k
@@ -40,6 +42,8 @@ crossValidateSignatureModel(const EvaluationHarness &harness,
     // order and the aggregation below is unchanged from the serial
     // loop.
     const auto evals = parallelMap(folds, 1, [&](std::size_t f) {
+        const obs::TraceSpan fold_span("cv.fold");
+        obs::counterAdd("cv.folds");
         DeviceSplit split;
         split.test = partition[f];
         for (std::size_t g = 0; g < folds; ++g) {

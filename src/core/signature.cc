@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hh"
 #include "stats/correlation.hh"
 #include "stats/mutual_info.hh"
 #include "util/error.hh"
@@ -73,6 +74,8 @@ misGaussian(const std::vector<std::vector<double>> &vars, std::size_t m,
     std::vector<std::size_t> subset;
     const double no_gain = -std::numeric_limits<double>::max();
     for (std::size_t step = 0; step < m; ++step) {
+        const obs::TraceSpan scan_span("signature.scan");
+        obs::counterAdd("signature.candidates", n);
         // Each candidate's set-MI (two logdets) is evaluated as its
         // own task against the shared const estimator; the argmax is
         // reduced serially in candidate order, so ties resolve to the
@@ -136,6 +139,8 @@ misHistogram(const std::vector<std::vector<double>> &vars, std::size_t m,
     std::vector<double> best_cover(n, 0.0);
     std::vector<std::size_t> subset;
     for (std::size_t step = 0; step < m; ++step) {
+        const obs::TraceSpan scan_span("signature.scan");
+        obs::counterAdd("signature.candidates", n);
         // Marginal coverage gain per candidate, one task each, with a
         // serial in-order argmax (ties to the lowest index, as in the
         // serial loop).
@@ -177,6 +182,7 @@ selectMisSignature(const std::vector<std::vector<double>> &net_latencies,
     GCM_ASSERT(m <= net_latencies.size(),
                "signature larger than network count");
     GCM_ASSERT(m >= 1, "empty signature requested");
+    const obs::TraceSpan span("signature.mis");
     const auto vars = logLatencies(net_latencies);
     if (config.mi_estimator == MiEstimatorKind::Gaussian)
         return misGaussian(vars, m, config.mi_ridge);
@@ -191,12 +197,15 @@ selectSccsSignature(const std::vector<std::vector<double>> &net_latencies,
     GCM_ASSERT(m <= n, "signature larger than network count");
     GCM_ASSERT(config.sccs_gamma > 0.0 && config.sccs_gamma <= 1.0,
                "SCCS gamma out of (0, 1]");
+    const obs::TraceSpan span("signature.sccs");
     const auto rho = stats::spearmanMatrix(net_latencies);
 
     std::vector<bool> removed(n, false);
     std::vector<std::size_t> subset;
     double gamma = config.sccs_gamma;
     while (subset.size() < m) {
+        const obs::TraceSpan scan_span("signature.scan");
+        obs::counterAdd("signature.candidates", n);
         // Pick the live network with the most live correlations
         // >= gamma (self excluded). Ties — common when all pairs
         // correlate above gamma — go to the network with the largest

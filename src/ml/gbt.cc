@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "ml/metrics.hh"
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/parallel.hh"
 
@@ -38,6 +39,7 @@ void
 GradientBoostedTrees::trainImpl(const Dataset &data, const Dataset *eval)
 {
     GCM_ASSERT(data.numRows() > 0, "GBT: empty training set");
+    const obs::TraceSpan train_span("gbt.train");
     trees_.clear();
     evalHistory_.clear();
     featureGain_.assign(data.numFeatures(), 0.0);
@@ -48,7 +50,10 @@ GradientBoostedTrees::trainImpl(const Dataset &data, const Dataset *eval)
         / static_cast<double>(n);
     trained_ = true;
 
-    BinnedMatrix binned(data, params_.max_bins);
+    const BinnedMatrix binned = [&] {
+        const obs::TraceSpan bin_span("gbt.bin");
+        return BinnedMatrix(data, params_.max_bins);
+    }();
 
     std::vector<double> preds(n, baseScore_);
     std::vector<float> grad(n);
@@ -73,10 +78,15 @@ GradientBoostedTrees::trainImpl(const Dataset &data, const Dataset *eval)
     // gradient/prediction sweeps below, all index-owned and therefore
     // bit-identical at any thread count.
     for (std::size_t t = 0; t < params_.n_estimators; ++t) {
-        // Squared-error objective: g = pred - y (unit hessian).
-        parallelFor(0, n, 4096, [&](std::size_t i) {
-            grad[i] = static_cast<float>(preds[i] - data.label(i));
-        });
+        const obs::TraceSpan round_span("gbt.round");
+        obs::counterAdd("gbt.rounds");
+        {
+            // Squared-error objective: g = pred - y (unit hessian).
+            const obs::TraceSpan grad_span("gbt.gradient");
+            parallelFor(0, n, 4096, [&](std::size_t i) {
+                grad[i] = static_cast<float>(preds[i] - data.label(i));
+            });
+        }
 
         // Round t draws from its own named stream, never from a
         // shared sequential Rng, so the subsample (and any feature
@@ -96,17 +106,24 @@ GradientBoostedTrees::trainImpl(const Dataset &data, const Dataset *eval)
         }
 
         tree_gain.assign(data.numFeatures(), 0.0);
-        RegressionTree tree = trainTree(binned, rows, grad, tree_cfg,
-                                        &tree_rng, &tree_gain);
+        RegressionTree tree = [&] {
+            const obs::TraceSpan tree_span("gbt.tree");
+            return trainTree(binned, rows, grad, tree_cfg, &tree_rng,
+                             &tree_gain);
+        }();
         tree.scaleLeaves(params_.learning_rate);
         for (std::size_t f = 0; f < tree_gain.size(); ++f)
             featureGain_[f] += tree_gain[f];
 
-        parallelFor(0, n, 1024, [&](std::size_t i) {
-            preds[i] += tree.predictBinnedRow(binned, i);
-        });
+        {
+            const obs::TraceSpan update_span("gbt.update");
+            parallelFor(0, n, 1024, [&](std::size_t i) {
+                preds[i] += tree.predictBinnedRow(binned, i);
+            });
+        }
 
         if (eval) {
+            const obs::TraceSpan eval_span("gbt.eval");
             parallelFor(0, eval->numRows(), 1024, [&](std::size_t i) {
                 eval_preds[i] += tree.predictRow(eval->row(i));
             });
@@ -132,6 +149,7 @@ GradientBoostedTrees::predict(const Dataset &data) const
 {
     // Batch predict: every row is independent and writes its own
     // output slot.
+    const obs::TraceSpan span("gbt.predict");
     std::vector<double> out(data.numRows());
     parallelFor(0, data.numRows(), 64, [&](std::size_t i) {
         out[i] = predictRow(data.row(i));

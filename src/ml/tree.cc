@@ -5,6 +5,7 @@
 #include <limits>
 #include <ostream>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/parallel.hh"
 
@@ -169,6 +170,7 @@ struct Builder
     accumulate(const std::vector<std::uint32_t> &rows,
                HistBlock &hist) const
     {
+        const obs::TraceSpan span("tree.histogram");
         hist.reset(totalBins);
         const auto &active = binned.activeFeatures();
         // Each feature owns a disjoint [offsets[a], offsets[a+1])
@@ -200,6 +202,7 @@ struct Builder
     BestSplit
     findSplit(const HistBlock &hist, double sum_g, double count) const
     {
+        const obs::TraceSpan span("tree.split");
         BestSplit best;
         const double parent_score =
             sum_g * sum_g / (count + cfg.lambda);
@@ -278,6 +281,7 @@ struct Builder
     {
         const auto idx = static_cast<std::int32_t>(nodes.size());
         nodes.emplace_back();
+        obs::counterAdd("tree.nodes");
         const double count = static_cast<double>(rows.size());
 
         const bool splittable = depth < cfg.max_depth && rows.size() >= 2;

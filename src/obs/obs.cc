@@ -1,0 +1,171 @@
+#include "obs/obs.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "obs/registry.hh"
+
+namespace gcm::obs
+{
+
+namespace detail
+{
+
+namespace
+{
+
+bool
+envEnabled()
+{
+    const char *env = std::getenv("GCM_OBS");
+    return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+/**
+ * Per-thread span context. The stack holds pointers into the global
+ * tree (stable: nodes are never deleted while collection runs); base
+ * is the inherited parent installed by SpanParentScope for pool
+ * workers. Thread-local, so unsynchronized access is race-free.
+ */
+struct ThreadContext
+{
+    std::vector<SpanNode *> stack;
+    SpanNode *base = nullptr;
+};
+
+ThreadContext &
+threadContext()
+{
+    thread_local ThreadContext ctx;
+    return ctx;
+}
+
+} // namespace
+
+std::atomic<bool> g_enabled{envEnabled()};
+
+Registry &
+registry()
+{
+    static Registry reg;
+    return reg;
+}
+
+void *
+openSpan(const char *name)
+{
+    ThreadContext &ctx = threadContext();
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    SpanNode *parent = !ctx.stack.empty() ? ctx.stack.back()
+                       : ctx.base != nullptr ? ctx.base
+                                             : &reg.root;
+    auto &slot = parent->children[name];
+    if (!slot) {
+        slot = std::make_unique<SpanNode>();
+        slot->name = name;
+    }
+    ctx.stack.push_back(slot.get());
+    return slot.get();
+}
+
+void
+closeSpan(void *node, double elapsed_ms)
+{
+    ThreadContext &ctx = threadContext();
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto *span = static_cast<SpanNode *>(node);
+    span->count += 1;
+    span->total_ms += elapsed_ms;
+    // RAII guarantees LIFO destruction per thread, so the handle is
+    // the top of this thread's stack.
+    if (!ctx.stack.empty() && ctx.stack.back() == span)
+        ctx.stack.pop_back();
+}
+
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+counterAdd(const std::string &name, std::uint64_t delta)
+{
+    if (!enabled())
+        return;
+    detail::Registry &reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.counters[name] += delta;
+}
+
+void
+gaugeSet(const std::string &name, double value)
+{
+    if (!enabled())
+        return;
+    detail::Registry &reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.gauges[name] = value;
+}
+
+void
+histogramObserve(const std::string &name, double ms)
+{
+    if (!enabled())
+        return;
+    std::size_t bucket = kNumHistogramBuckets - 1;
+    for (std::size_t i = 0; i + 1 < kNumHistogramBuckets; ++i) {
+        if (ms <= kHistogramBounds[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    detail::Registry &reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    detail::Histogram &h = reg.histograms[name];
+    h.counts[bucket] += 1;
+    h.count += 1;
+    h.sum_ms += ms;
+}
+
+void *
+currentSpanHandle()
+{
+    const detail::ThreadContext &ctx = detail::threadContext();
+    if (!ctx.stack.empty())
+        return ctx.stack.back();
+    return ctx.base;
+}
+
+SpanParentScope::SpanParentScope(void *parent)
+{
+    detail::ThreadContext &ctx = detail::threadContext();
+    saved_ = ctx.base;
+    ctx.base = static_cast<detail::SpanNode *>(parent);
+}
+
+SpanParentScope::~SpanParentScope()
+{
+    detail::threadContext().base =
+        static_cast<detail::SpanNode *>(saved_);
+}
+
+void
+reset()
+{
+    detail::Registry &reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.counters.clear();
+    reg.gauges.clear();
+    reg.histograms.clear();
+    reg.root.children.clear();
+    reg.root.count = 0;
+    reg.root.total_ms = 0.0;
+}
+
+} // namespace gcm::obs

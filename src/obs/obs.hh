@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Observability layer: metrics registry + hierarchical trace spans.
+ *
+ * Every hot path in the library (GBT rounds, tree histogram/split
+ * phases, the campaign device grid, signature scans, CV folds, the
+ * worker pool) is instrumented with named counters, gauges,
+ * fixed-bucket latency histograms and RAII TraceSpans that assemble
+ * an aggregated timing tree. A run's collected state serializes to a
+ * machine-readable JSON perf report ("gcm-perf-report/v1", see
+ * DESIGN.md §8) so perf changes across PRs have a before/after
+ * artifact.
+ *
+ * Zero-perturbation contract
+ * --------------------------
+ * Observability is compiled in but OFF by default; it is enabled by
+ * the GCM_OBS environment variable (any value but "" or "0") or
+ * setEnabled(true) (the `gcm` tool's --trace-out flag does this).
+ * Enabling it must leave every model/campaign output bit-identical:
+ * the layer only reads the steady clock and mutates its own registry —
+ * it never draws from an Rng, never reorders work, and never feeds a
+ * value back into computation. tests/test_obs_determinism.cc enforces
+ * this at 1 and 8 threads.
+ *
+ * Threading
+ * ---------
+ * Collection uses thread-local state merged into the global registry
+ * at span close (or per call, under one mutex, for counters emitted
+ * outside any span — hot paths batch those locally first, see
+ * util/parallel.cc). All shared state is mutex-guarded so the TSan
+ * lane stays clean. When disabled, every entry point is a single
+ * relaxed atomic load.
+ *
+ * Span parentage across the pool: a worker executing chunks for a
+ * batch inherits the submitting thread's open span as the base parent
+ * (SpanParentScope), so e.g. per-device campaign spans nest under
+ * campaign.grid even though they run on pool threads.
+ *
+ * setEnabled()/reset() must not be called concurrently with
+ * instrumented work in flight (they are test/CLI entry points, not
+ * hot-path API).
+ */
+
+#ifndef GCM_OBS_OBS_HH
+#define GCM_OBS_OBS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace gcm::obs
+{
+
+namespace detail
+{
+
+/** Global on/off switch; initialized from the GCM_OBS env var. */
+extern std::atomic<bool> g_enabled;
+
+/** Open a span named `name` under the current thread's span context;
+ *  returns an opaque node handle to pass to closeSpan. */
+void *openSpan(const char *name);
+
+/** Fold `elapsed_ms` into the node and pop the thread's span stack. */
+void closeSpan(void *node, double elapsed_ms);
+
+} // namespace detail
+
+/** Whether collection is on. Hot-path check: one relaxed load. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn collection on/off at runtime (overrides GCM_OBS). */
+void setEnabled(bool on);
+
+/** Add `delta` to the named monotonic counter. No-op when disabled. */
+void counterAdd(const std::string &name, std::uint64_t delta = 1);
+
+/** Set the named gauge to its latest value. No-op when disabled. */
+void gaugeSet(const std::string &name, double value);
+
+/**
+ * Record one observation (in milliseconds) into the named fixed-bucket
+ * latency histogram. All histograms share the same log-spaced bucket
+ * bounds (kHistogramBounds + one overflow bucket). No-op when disabled.
+ */
+void histogramObserve(const std::string &name, double ms);
+
+/** Shared histogram bucket upper bounds, in milliseconds. */
+inline constexpr double kHistogramBounds[] = {
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0,
+};
+inline constexpr std::size_t kNumHistogramBuckets =
+    sizeof(kHistogramBounds) / sizeof(kHistogramBounds[0]) + 1;
+
+/**
+ * RAII trace span. Opening nests under the thread's innermost open
+ * span (or the inherited batch parent, or the root); closing adds the
+ * elapsed wall time to the aggregated (name-path keyed) timing tree.
+ * When collection is disabled both ends are no-ops and the clock is
+ * never read.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name)
+    {
+        if (!enabled())
+            return;
+        node_ = detail::openSpan(name);
+        start_ = std::chrono::steady_clock::now();
+    }
+
+    ~TraceSpan()
+    {
+        if (!node_)
+            return;
+        const std::chrono::duration<double, std::milli> dt =
+            std::chrono::steady_clock::now() - start_;
+        detail::closeSpan(node_, dt.count());
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    void *node_ = nullptr;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Handle of the calling thread's innermost open span (its inherited
+ * base when no span is open; null at the root). Captured by the
+ * worker pool when a batch is posted.
+ */
+void *currentSpanHandle();
+
+/**
+ * Install `parent` as the calling thread's base span for the scope's
+ * lifetime: spans opened with an empty stack nest under it. Used by
+ * pool workers so chunk-side spans attach to the submitting thread's
+ * span tree. Restores the previous base on destruction.
+ */
+class SpanParentScope
+{
+  public:
+    explicit SpanParentScope(void *parent);
+    ~SpanParentScope();
+
+    SpanParentScope(const SpanParentScope &) = delete;
+    SpanParentScope &operator=(const SpanParentScope &) = delete;
+
+  private:
+    void *saved_;
+};
+
+/**
+ * Serialize the collected state as a gcm-perf-report/v1 JSON document
+ * (schema in DESIGN.md §8). Deterministic key order; timing values
+ * are, of course, wall-clock dependent.
+ */
+std::string reportJson();
+
+/** Write reportJson() to a file. Throws GcmError on I/O failure. */
+void writeReport(const std::string &path);
+
+/**
+ * Drop all collected metrics and spans (the enabled flag is kept).
+ * Must not be called while any span is open on any thread.
+ */
+void reset();
+
+} // namespace gcm::obs
+
+#endif // GCM_OBS_OBS_HH

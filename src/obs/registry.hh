@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Internal shared state of the observability layer: the metric maps
+ * and the aggregated span tree. Not installed API — include obs.hh.
+ * Everything here is guarded by Registry::mu except where noted.
+ */
+
+#ifndef GCM_OBS_REGISTRY_HH
+#define GCM_OBS_REGISTRY_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/obs.hh"
+
+namespace gcm::obs::detail
+{
+
+/** One fixed-bucket latency histogram (bounds in kHistogramBounds). */
+struct Histogram
+{
+    std::array<std::uint64_t, kNumHistogramBuckets> counts{};
+    std::uint64_t count = 0;
+    double sum_ms = 0.0;
+};
+
+/**
+ * Aggregated span-tree node, keyed by the name path from the root.
+ * Nodes are owned by their parent and never deleted while collection
+ * is live, so raw pointers to them are stable handles.
+ */
+struct SpanNode
+{
+    std::string name;
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    std::map<std::string, std::unique_ptr<SpanNode>> children;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram> histograms;
+    /** Root sentinel; its children are the top-level spans. */
+    SpanNode root;
+};
+
+/** The process-wide registry singleton. */
+Registry &registry();
+
+} // namespace gcm::obs::detail
+
+#endif // GCM_OBS_REGISTRY_HH

@@ -1,6 +1,7 @@
 #include "sim/campaign.hh"
 
 #include "dnn/quantize.hh"
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/parallel.hh"
 
@@ -72,6 +73,8 @@ CharacterizationCampaign::measureDevice(
     std::size_t fleet_idx,
     const std::vector<const dnn::Graph *> &deployed) const
 {
+    const obs::TraceSpan span("campaign.device");
+    obs::counterAdd("campaign.devices");
     const DeviceSpec &device = fleet_.device(fleet_idx);
     const Chipset &chipset = fleet_.chipsetOf(device);
     DeviceRuntime runtime(
@@ -101,8 +104,12 @@ MeasurementRepository
 CharacterizationCampaign::run(const std::vector<dnn::Graph> &suite) const
 {
     GCM_ASSERT(!suite.empty(), "campaign: empty network suite");
+    const obs::TraceSpan run_span("campaign.run");
     std::vector<dnn::Graph> storage;
-    const auto deployed = deployableSuite(suite, storage);
+    const auto deployed = [&] {
+        const obs::TraceSpan deploy_span("campaign.deploy");
+        return deployableSuite(suite, storage);
+    }();
 
     // The measurement grid: devices are independent tasks (each owns
     // its DeviceRuntime, whose noise stream is a function of the
@@ -111,15 +118,19 @@ CharacterizationCampaign::run(const std::vector<dnn::Graph> &suite) const
     // blocks in device order reproduces the serial repository
     // byte-for-byte at any thread count.
     const auto devices = measurableDevices();
-    auto blocks = parallelMap(devices.size(), 1, [&](std::size_t k) {
-        return measureDevice(devices[k], deployed);
-    });
+    auto blocks = [&] {
+        const obs::TraceSpan grid_span("campaign.grid");
+        return parallelMap(devices.size(), 1, [&](std::size_t k) {
+            return measureDevice(devices[k], deployed);
+        });
+    }();
 
     MeasurementRepository repo;
     for (auto &block : blocks) {
         for (auto &rec : block)
             repo.add(std::move(rec));
     }
+    obs::counterAdd("campaign.records", repo.size());
     return repo;
 }
 

@@ -1,6 +1,7 @@
 #include "util/parallel.hh"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -9,6 +10,8 @@
 #include <mutex>
 #include <string>
 #include <thread>
+
+#include "obs/obs.hh"
 
 namespace gcm
 {
@@ -31,7 +34,24 @@ struct Batch
     std::size_t completed = 0;
     /** First exception thrown by a chunk; guarded by m. */
     std::exception_ptr error;
+    /** Observability snapshot taken at submission (see runBatch). */
+    bool obs_on = false;
+    void *obs_parent = nullptr;
+    std::chrono::steady_clock::time_point posted_at;
 };
+
+/**
+ * Stable small id for pool-counter breakdowns ("chunks per thread").
+ * Assigned on a thread's first drained batch, in first-use order.
+ */
+std::size_t
+obsThreadTag()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t tag =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tag;
+}
 
 /**
  * Claim and execute chunks until the batch is exhausted. Every chunk
@@ -41,14 +61,21 @@ struct Batch
 void
 drain(Batch &b)
 {
+    // Chunk-side spans nest under the submitting thread's open span;
+    // chunk counts accumulate in a stack-local and merge into the
+    // registry once per drained batch, keeping the hot loop free of
+    // shared-state writes (and the TSan lane clean).
+    obs::SpanParentScope obs_scope(b.obs_on ? b.obs_parent : nullptr);
+    std::size_t executed = 0;
     for (;;) {
         const std::size_t c =
             b.next.fetch_add(1, std::memory_order_relaxed);
         if (c >= b.nchunks)
-            return;
+            break;
         if (!b.failed.load(std::memory_order_relaxed)) {
             try {
                 (*b.chunk)(c);
+                ++executed;
             } catch (...) {
                 std::lock_guard<std::mutex> lock(b.m);
                 if (!b.error)
@@ -59,6 +86,12 @@ drain(Batch &b)
         std::lock_guard<std::mutex> lock(b.m);
         if (++b.completed == b.nchunks)
             b.all_done.notify_all();
+    }
+    if (b.obs_on && executed > 0) {
+        obs::counterAdd("pool.chunks", executed);
+        obs::counterAdd("pool.thread." + std::to_string(obsThreadTag())
+                            + ".chunks",
+                        executed);
     }
 }
 
@@ -182,6 +215,12 @@ class Pool
                 batch = std::move(jobs_.front());
                 jobs_.pop_front();
             }
+            if (batch->obs_on) {
+                const std::chrono::duration<double, std::milli> wait =
+                    std::chrono::steady_clock::now() - batch->posted_at;
+                obs::histogramObserve("pool.queue_wait_ms",
+                                      wait.count());
+            }
             drain(*batch);
         }
     }
@@ -223,6 +262,14 @@ runBatch(std::size_t nchunks,
     batch->chunk = &chunk; // outlives the batch: we block below
     Pool &pool = Pool::instance();
     const std::size_t threads = pool.threads();
+    if (obs::enabled()) {
+        batch->obs_on = true;
+        batch->obs_parent = obs::currentSpanHandle();
+        batch->posted_at = std::chrono::steady_clock::now();
+        obs::counterAdd("pool.batches");
+        obs::gaugeSet("pool.threads",
+                      static_cast<double>(threads));
+    }
     const std::size_t helpers =
         threads - 1 < nchunks - 1 ? threads - 1 : nchunks - 1;
     if (helpers > 0)

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for tests that validate the
+ * gcm-perf-report/v1 documents emitted by src/obs. Supports the full
+ * JSON value grammar the emitter produces (objects, arrays, strings
+ * with escapes, numbers, booleans, null); throws std::runtime_error
+ * on malformed input so schema violations fail the test with a
+ * position message.
+ */
+
+#ifndef GCM_TESTS_SUPPORT_JSON_HH
+#define GCM_TESTS_SUPPORT_JSON_HH
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gcm::gcmtest
+{
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    bool
+    has(const std::string &key) const
+    {
+        return isObject() && object.count(key) > 0;
+    }
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        if (!has(key))
+            throw std::runtime_error("json: missing key '" + key + "'");
+        return object.at(key);
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        const JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("json: " + what + " at offset "
+                                 + std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const std::string &lit)
+    {
+        if (text_.compare(pos_, lit.size(), lit) != 0)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f' || c == 'n')
+            return parseKeyword();
+        return parseNumber();
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            const JsonValue key = parseString();
+            expect(':');
+            v.object[key.str] = parseValue();
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("unterminated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case 'r': c = '\r'; break;
+                  case 'b': c = '\b'; break;
+                  case 'f': c = '\f'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        fail("truncated \\u escape");
+                    const int code =
+                        std::stoi(text_.substr(pos_, 4), nullptr, 16);
+                    pos_ += 4;
+                    // The emitter only escapes control chars.
+                    c = static_cast<char>(code);
+                    break;
+                  }
+                  default: fail("unknown escape");
+                }
+            }
+            v.str.push_back(c);
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return v;
+    }
+
+    JsonValue
+    parseKeyword()
+    {
+        skipWs();
+        JsonValue v;
+        if (consumeLiteral("true")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+        } else if (consumeLiteral("false")) {
+            v.kind = JsonValue::Kind::Bool;
+        } else if (consumeLiteral("null")) {
+            v.kind = JsonValue::Kind::Null;
+        } else {
+            fail("unknown keyword");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()
+               && (std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))
+                   || text_[pos_] == '-' || text_[pos_] == '+'
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        if (start == pos_)
+            fail("expected a number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        std::size_t used = 0;
+        const std::string token = text_.substr(start, pos_ - start);
+        v.number = std::stod(token, &used);
+        if (used != token.size())
+            fail("malformed number '" + token + "'");
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+inline JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace gcm::gcmtest
+
+#endif // GCM_TESTS_SUPPORT_JSON_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Golden-file tests for the 18-network zoo: the encoder feature
+ * vector of every network (fitted on the quantized suite, the
+ * deployment representation the cost model trains on) and the static
+ * MAC/parameter totals are pinned to CSVs under tests/golden/. Any
+ * unintended change to the zoo builders, the quantizer, the encoder
+ * layout or the cost analysis shows up as a byte diff here.
+ *
+ * Regenerating after an INTENTIONAL change:
+ *
+ *   GCM_REGEN_GOLDEN=1 ./build/tests/test_golden_zoo
+ *
+ * rewrites the CSVs in the source tree (the build embeds the source
+ * path as GCM_TEST_GOLDEN_DIR); re-run without the flag to confirm,
+ * then review the diff like any other code change.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/net_encoder.hh"
+#include "dnn/analysis.hh"
+#include "dnn/quantize.hh"
+#include "dnn/zoo.hh"
+
+#ifndef GCM_TEST_GOLDEN_DIR
+#error "GCM_TEST_GOLDEN_DIR must point at tests/golden in the source tree"
+#endif
+
+namespace
+{
+
+using namespace gcm;
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(GCM_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("GCM_REGEN_GOLDEN");
+    return env != nullptr && std::string(env) != "0"
+           && std::string(env) != "";
+}
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return {};
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+/** Shortest exact decimal for a float (round-trips via strtof). */
+std::string
+formatFloat(float v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+    return buf;
+}
+
+/** The quantized 18-network zoo, in canonical order. */
+const std::vector<dnn::Graph> &
+quantizedZoo()
+{
+    static const std::vector<dnn::Graph> zoo = [] {
+        std::vector<dnn::Graph> graphs;
+        for (const auto &name : dnn::zooModelNames())
+            graphs.push_back(dnn::quantize(dnn::buildZooModel(name)));
+        return graphs;
+    }();
+    return zoo;
+}
+
+std::string
+buildEncodersCsv()
+{
+    const auto &zoo = quantizedZoo();
+    const core::NetworkEncoder encoder(zoo);
+    std::ostringstream os;
+    os << "# encoder vectors of the quantized zoo; " << "max_layers="
+       << encoder.maxLayers() << " features_per_layer="
+       << encoder.featuresPerLayer() << "\n";
+    const auto &names = dnn::zooModelNames();
+    for (std::size_t i = 0; i < zoo.size(); ++i) {
+        os << names[i];
+        for (float v : encoder.encode(zoo[i]))
+            os << "," << formatFloat(v);
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+buildMacsCsv()
+{
+    std::ostringstream os;
+    os << "name,macs,params,macs_int8,params_int8\n";
+    const auto &names = dnn::zooModelNames();
+    const auto &zoo = quantizedZoo();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const dnn::Graph fp32 = dnn::buildZooModel(names[i]);
+        os << names[i] << "," << dnn::totalMacs(fp32) << ","
+           << dnn::totalParams(fp32) << "," << dnn::totalMacs(zoo[i])
+           << "," << dnn::totalParams(zoo[i]) << "\n";
+    }
+    return os.str();
+}
+
+void
+checkGolden(const std::string &file, const std::string &current)
+{
+    const std::string path = goldenPath(file);
+    if (regenRequested()) {
+        std::ofstream os(path);
+        ASSERT_TRUE(os.good()) << "cannot write " << path;
+        os << current;
+        GTEST_SKIP() << "regenerated " << path
+                     << "; re-run without GCM_REGEN_GOLDEN to verify";
+    }
+    const std::string golden = readFileOrEmpty(path);
+    ASSERT_FALSE(golden.empty())
+        << path << " is missing; run with GCM_REGEN_GOLDEN=1 to create";
+    if (golden == current)
+        return;
+    // Point at the first differing line to make diffs actionable.
+    std::istringstream gs(golden), cs(current);
+    std::string gline, cline;
+    std::size_t line = 1;
+    while (std::getline(gs, gline) && std::getline(cs, cline)) {
+        if (gline != cline)
+            break;
+        ++line;
+    }
+    FAIL() << file << " differs from the checked-in golden at line "
+           << line << "\n  golden:  "
+           << (gline.size() > 160 ? gline.substr(0, 160) + "..." : gline)
+           << "\n  current: "
+           << (cline.size() > 160 ? cline.substr(0, 160) + "..." : cline)
+           << "\nIf the change is intentional, regenerate with "
+              "GCM_REGEN_GOLDEN=1 (see file header).";
+}
+
+TEST(GoldenZoo, EncoderVectorsMatchGolden)
+{
+    checkGolden("zoo_encoders.csv", buildEncodersCsv());
+}
+
+TEST(GoldenZoo, MacAndParamTotalsMatchGolden)
+{
+    checkGolden("zoo_macs.csv", buildMacsCsv());
+}
+
+TEST(GoldenZoo, GoldenCoversEveryZooNetwork)
+{
+    // Guards against a regenerated golden silently dropping rows.
+    const std::string golden = readFileOrEmpty(goldenPath("zoo_macs.csv"));
+    if (golden.empty())
+        GTEST_SKIP() << "golden missing (regen pending)";
+    for (const auto &name : dnn::zooModelNames())
+        EXPECT_NE(golden.find("\n" + name + ","), std::string::npos)
+            << name << " missing from zoo_macs.csv";
+}
+
+} // namespace

@@ -1,10 +1,15 @@
 /**
  * @file
- * Unit tests for DNN graph text serialization.
+ * Unit tests for DNN graph text serialization, plus a property-based
+ * sweep: a few hundred generator-random graphs must round-trip
+ * exactly, and truncated or bit-flipped serializations must raise
+ * GcmError (or, for benign corruptions, still parse to a valid
+ * graph) — never crash.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "dnn/analysis.hh"
@@ -13,6 +18,7 @@
 #include "dnn/serialize.hh"
 #include "dnn/zoo.hh"
 #include "util/error.hh"
+#include "util/rng.hh"
 
 using namespace gcm::dnn;
 using gcm::GcmError;
@@ -96,4 +102,86 @@ TEST(GraphSerialize, LoadedGraphValidates)
     ASSERT_NE(pos, std::string::npos);
     text.replace(pos, 5, "in=9 ");
     EXPECT_THROW((void)graphFromText(text), GcmError);
+}
+
+TEST(GraphSerialize, PropertyRandomGraphsRoundTripExactly)
+{
+    // ~200 generator-random networks (plus their quantized forms on a
+    // sample) must reproduce structure, shapes and static costs
+    // exactly through a serialize/deserialize cycle.
+    RandomNetworkGenerator gen(SearchSpace{}, 20260805);
+    const auto suite = gen.generateSuite(200, "prop");
+    ASSERT_EQ(suite.size(), 200u);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const Graph &g = suite[i];
+        const Graph back = graphFromText(graphToText(g));
+        ASSERT_TRUE(graphsEqual(g, back)) << g.name();
+        ASSERT_EQ(totalMacs(g), totalMacs(back)) << g.name();
+        ASSERT_EQ(totalParams(g), totalParams(back)) << g.name();
+        if (i % 25 == 0) {
+            const Graph q = quantize(g);
+            const Graph qback = graphFromText(graphToText(q));
+            ASSERT_TRUE(graphsEqual(q, qback)) << q.name();
+            ASSERT_EQ(qback.precision(), Precision::Int8);
+        }
+    }
+}
+
+TEST(GraphSerialize, PropertyTruncationNeverCrashes)
+{
+    // Cutting the stream at any point yields GcmError, or — when the
+    // cut removes only trailing whitespace — the identical graph.
+    RandomNetworkGenerator gen(SearchSpace{}, 99);
+    const Graph g = gen.generate("trunc");
+    const std::string text = graphToText(g);
+    const std::size_t step = std::max<std::size_t>(1, text.size() / 64);
+    for (std::size_t cut = 0; cut < text.size(); cut += step) {
+        try {
+            const Graph back = graphFromText(text.substr(0, cut));
+            EXPECT_TRUE(graphsEqual(g, back))
+                << "truncation at " << cut
+                << " parsed to a different graph";
+        } catch (const GcmError &) {
+            // Expected for cuts through real content.
+        } catch (...) {
+            FAIL() << "truncation at " << cut
+                   << " escaped with a non-GcmError exception";
+        }
+    }
+}
+
+TEST(GraphSerialize, PropertyBitFlipsNeverCrash)
+{
+    // ~300 seeded single-bit corruptions across several source
+    // graphs: the deserializer must either reject with GcmError or
+    // produce some valid graph — never crash, hang or throw anything
+    // else.
+    RandomNetworkGenerator gen(SearchSpace{}, 4242);
+    std::vector<std::string> texts;
+    texts.push_back(graphToText(gen.generate("flip_a")));
+    texts.push_back(graphToText(quantize(gen.generate("flip_b"))));
+    texts.push_back(graphToText(buildZooModel("mobilenet_v2_1.0")));
+    gcm::Rng rng(31337);
+    std::size_t rejected = 0, accepted = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string text = texts[trial % texts.size()];
+        const std::size_t pos = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(text.size()) - 1));
+        const char bit = static_cast<char>(
+            1 << rng.uniformInt(0, 7));
+        text[pos] = static_cast<char>(text[pos] ^ bit);
+        try {
+            (void)graphFromText(text);
+            ++accepted;
+        } catch (const GcmError &) {
+            ++rejected;
+        } catch (...) {
+            FAIL() << "bit flip at byte " << pos << " (trial " << trial
+                   << ") escaped with a non-GcmError exception";
+        }
+    }
+    EXPECT_EQ(rejected + accepted, 300u);
+    // The strict parser must catch the overwhelming majority; a flip
+    // inside the free-form name field can legitimately survive.
+    EXPECT_GT(rejected, 150u);
 }

@@ -5,8 +5,11 @@
 #      run the tier-1 test suite;
 #   2. rebuild the parallel-path tests under TSan (address and thread
 #      sanitizers are mutually exclusive, hence the second build tree)
-#      and run them with a worker pool forced on via GCM_THREADS.
-# Any warning, test failure or sanitizer report fails the script.
+#      and run them with a worker pool forced on via GCM_THREADS;
+#   3. rebuild with gcov instrumentation, run the observability tests
+#      and enforce a 70% line-coverage floor on src/obs.
+# Any warning, test failure, sanitizer report or coverage shortfall
+# fails the script.
 #
 #   tools/check.sh [extra ctest args...]
 #
@@ -15,6 +18,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/check-build"
 TSAN_BUILD="${ROOT}/check-build-tsan"
+COV_BUILD="${ROOT}/check-build-cov"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -S "$ROOT" -B "$BUILD" \
@@ -35,7 +39,8 @@ echo "check.sh: clean under ASan+UBSan with -Wall -Wextra -Werror"
 
 # --- TSan lane: the tests that exercise the parallel execution layer.
 PARALLEL_TESTS=(test_parallel test_tree test_gbt test_baselines
-                test_campaign test_cross_validation test_signature)
+                test_campaign test_cross_validation test_signature
+                test_obs test_obs_determinism)
 
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
     -DGCM_SANITIZE=thread \
@@ -50,3 +55,76 @@ for t in "${PARALLEL_TESTS[@]}"; do
 done
 
 echo "check.sh: parallel-path tests clean under TSan (GCM_THREADS=8)"
+
+# --- Coverage lane: gcov-instrumented build of the observability
+# tests; src/obs must stay above the 70% line-coverage floor. The
+# container ships raw gcov (no gcovr/lcov), so per-directory numbers
+# are aggregated from `gcov` summary lines directly.
+COVERAGE_TESTS=(test_obs test_obs_determinism)
+COVERAGE_FLOOR=70
+
+if ! command -v gcov >/dev/null 2>&1; then
+    echo "check.sh: WARNING gcov not found; skipping the coverage lane"
+    exit 0
+fi
+
+cmake -S "$ROOT" -B "$COV_BUILD" -DGCM_COVERAGE=ON
+cmake --build "$COV_BUILD" -j "$JOBS" --target "${COVERAGE_TESTS[@]}"
+for t in "${COVERAGE_TESTS[@]}"; do
+    GCM_THREADS=8 "$COV_BUILD/tests/$t" >/dev/null
+done
+
+# Aggregate executed/total lines per source directory. gcov prints
+# "Lines executed:NN.NN% of M" per file; resolve each report back to
+# its source path and bucket by the directory under src/.
+report_coverage() {
+    find "$COV_BUILD" -name '*.gcda' -path '*src*' | while read -r gcda; do
+        local_dir="$(dirname "$gcda")"
+        (
+            cd "$local_dir"
+            gcov -n "$(basename "$gcda")" 2>/dev/null
+        ) | awk -v root="$ROOT/src/" -v q="'" '
+            /^File / {
+                file = $2
+                gsub(q, "", file)
+                keep = index(file, root) == 1 ? 1 : 0
+                if (keep) {
+                    rel = substr(file, length(root) + 1)
+                    split(rel, parts, "/")
+                    dir = parts[1]
+                }
+            }
+            keep && /^Lines executed:/ {
+                split($0, a, ":")
+                split(a[2], b, "% of ")
+                total = b[2] + 0
+                executed = total * b[1] / 100.0
+                print dir, executed, total
+                keep = 0
+            }'
+    done | awk '
+        { exec_lines[$1] += $2; total_lines[$1] += $3 }
+        END {
+            for (d in total_lines) {
+                pct = total_lines[d] > 0 \
+                    ? 100.0 * exec_lines[d] / total_lines[d] : 0
+                printf "%-10s %6.1f%% of %d lines\n", d, pct, total_lines[d]
+            }
+        }' | sort
+}
+
+echo "check.sh: per-directory line coverage (obs test binaries)"
+COVERAGE_TABLE="$(report_coverage)"
+echo "$COVERAGE_TABLE"
+
+OBS_PCT="$(echo "$COVERAGE_TABLE" | awk '$1 == "obs" { print int($2) }')"
+if [ -z "$OBS_PCT" ]; then
+    echo "check.sh: FAIL no coverage data collected for src/obs"
+    exit 1
+fi
+if [ "$OBS_PCT" -lt "$COVERAGE_FLOOR" ]; then
+    echo "check.sh: FAIL src/obs coverage ${OBS_PCT}% is below the" \
+         "${COVERAGE_FLOOR}% floor"
+    exit 1
+fi
+echo "check.sh: src/obs coverage ${OBS_PCT}% >= ${COVERAGE_FLOOR}% floor"

@@ -24,6 +24,7 @@
 #include "core/experiment_context.hh"
 #include "dnn/quantize.hh"
 #include "dnn/zoo.hh"
+#include "obs/obs.hh"
 #include "sim/profiler.hh"
 #include "util/error.hh"
 #include "util/parallel.hh"
@@ -212,7 +213,13 @@ usage()
         "global flags:\n"
         "  --threads N   worker threads (default: GCM_THREADS env,\n"
         "                else hardware concurrency); results are\n"
-        "                bit-identical at any thread count\n");
+        "                bit-identical at any thread count\n"
+        "  --trace-out FILE  enable observability and write the\n"
+        "                gcm-perf-report/v1 JSON (span tree, pool\n"
+        "                counters, latency histograms) after the\n"
+        "                command; GCM_OBS=1 enables collection\n"
+        "                alone. Outputs stay bit-identical either\n"
+        "                way.\n");
 }
 
 } // namespace
@@ -230,20 +237,37 @@ main(int argc, char **argv)
         const std::string threads = flagOr(flags, "threads", "");
         if (!threads.empty())
             setThreads(static_cast<std::size_t>(std::stoul(threads)));
+        const std::string trace_out = flagOr(flags, "trace-out", "");
+        if (!trace_out.empty())
+            obs::setEnabled(true);
+
+        int rc = 1;
         if (cmd == "dataset")
-            return cmdDataset(flags);
-        if (cmd == "train")
-            return cmdTrain(flags);
-        if (cmd == "predict")
-            return cmdPredict(flags);
-        if (cmd == "profile")
-            return cmdProfile(flags);
-        if (cmd == "list-networks")
-            return cmdListNetworks();
-        if (cmd == "list-devices")
-            return cmdListDevices();
-        usage();
-        return 1;
+            rc = cmdDataset(flags);
+        else if (cmd == "train")
+            rc = cmdTrain(flags);
+        else if (cmd == "predict")
+            rc = cmdPredict(flags);
+        else if (cmd == "profile")
+            rc = cmdProfile(flags);
+        else if (cmd == "list-networks")
+            rc = cmdListNetworks();
+        else if (cmd == "list-devices")
+            rc = cmdListDevices();
+        else
+            usage();
+
+        if (!trace_out.empty()) {
+            obs::writeReport(trace_out);
+            std::fprintf(stderr, "perf report written to %s\n",
+                         trace_out.c_str());
+        } else if (obs::enabled()) {
+            std::fprintf(stderr,
+                         "observability on (GCM_OBS); pass "
+                         "--trace-out FILE to write the perf "
+                         "report\n");
+        }
+        return rc;
     } catch (const GcmError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
