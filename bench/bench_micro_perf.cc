@@ -168,6 +168,44 @@ BENCHMARK(BM_CampaignRunMT)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Faulted campaign at increasing fault rates (arg = rate in percent).
+ * Retry/backoff bookkeeping runs on the simulated clock, so the
+ * wall-clock overhead over the fault-free campaign must stay bounded
+ * by the extra sessions actually attempted — compare against the
+ * rate-0 row.
+ */
+static void
+BM_CampaignFaulted(benchmark::State &state)
+{
+    const auto fleet = sim::DeviceDatabase::standard(2020, 16);
+    const sim::LatencyModel model;
+    sim::CampaignConfig config;
+    config.runs_per_network = 10;
+    config.faults = sim::FaultParams::uniformRate(
+        static_cast<double>(state.range(0)) / 100.0);
+    std::vector<dnn::Graph> suite;
+    suite.push_back(dnn::buildZooModel("mobilenet_v1_1.0"));
+    suite.push_back(dnn::buildZooModel("mobilenet_v2_1.0"));
+    suite.push_back(dnn::buildZooModel("squeezenet_1.0"));
+    const sim::CharacterizationCampaign campaign(fleet, model, config);
+    std::uint64_t sessions = 0;
+    for (auto _ : state) {
+        const auto report = campaign.runResilient(suite);
+        benchmark::DoNotOptimize(report.repo.size());
+        sessions += report.stats.sessions_attempted;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sessions));
+    state.counters["sessions"] = benchmark::Counter(
+        static_cast<double>(sessions) / state.iterations());
+}
+BENCHMARK(BM_CampaignFaulted)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
 static void
 BM_SimulatorGraphLatency(benchmark::State &state)
 {

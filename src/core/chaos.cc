@@ -1,0 +1,97 @@
+#include "core/chaos.hh"
+
+#include <set>
+
+#include "core/cost_model.hh"
+#include "core/evaluation.hh"
+#include "ml/metrics.hh"
+#include "obs/obs.hh"
+#include "util/error.hh"
+
+namespace gcm::core
+{
+
+std::vector<ChaosPoint>
+runChaosSweep(const ChaosSweepConfig &config)
+{
+    GCM_ASSERT(!config.fault_rates.empty(),
+               "runChaosSweep: no fault rates");
+    obs::TraceSpan sweep_span("chaos.sweep");
+
+    // Clean baseline: fault-free dataset, the holdout's ground truth.
+    ExperimentConfig clean_cfg = config.experiment;
+    clean_cfg.campaign.faults = sim::FaultParams{};
+    const auto ctx = ExperimentContext::build(clean_cfg);
+
+    const DeviceSplit split = splitDevices(
+        ctx.fleet().size(), config.test_fraction, config.split_seed);
+    GCM_ASSERT(!split.train.empty() && !split.test.empty(),
+               "runChaosSweep: degenerate device split");
+
+    std::vector<std::int32_t> train_ids;
+    train_ids.reserve(split.train.size());
+    for (std::size_t d : split.train)
+        train_ids.push_back(ctx.fleet().device(d).id);
+    const std::vector<std::string> &names = ctx.networkNames();
+
+    SignatureCostModel::Config model_cfg;
+    model_cfg.method = config.method;
+    model_cfg.selection = config.selection;
+    model_cfg.gbt = config.gbt;
+
+    std::vector<ChaosPoint> points;
+    points.reserve(config.fault_rates.size());
+    for (double rate : config.fault_rates) {
+        obs::TraceSpan span("chaos.point");
+        ChaosPoint pt;
+        pt.fault_rate = rate;
+
+        sim::CampaignConfig cc = clean_cfg.campaign;
+        cc.faults = sim::FaultParams::uniformRate(rate);
+        cc.fault_seed = config.fault_seed;
+        sim::CharacterizationCampaign campaign(
+            ctx.fleet(), ctx.campaign().model(), cc);
+        const sim::CampaignReport report =
+            campaign.runResilient(ctx.suite());
+        pt.stats = report.stats;
+        pt.expected_cells = report.expected_cells;
+        pt.quarantined_devices = report.quarantined.size();
+        pt.dropout_devices = report.dropouts.size();
+
+        // Train-fleet columns only: faulted holdout measurements must
+        // not leak into training, not even through imputation.
+        auto latencies =
+            report.repo.sparseLatencyMatrix(train_ids, names);
+        pt.missing_cells = report.repo.missingCells(train_ids, names);
+        pt.imputation =
+            imputeLatencyMatrix(latencies, config.imputation);
+
+        const auto model =
+            SignatureCostModel::train(ctx.suite(), latencies, model_cfg);
+
+        // Clean holdout: fault-free signature latencies in, fault-free
+        // ground truth out.
+        const std::set<std::size_t> sig_set(model.signature().begin(),
+                                            model.signature().end());
+        std::vector<double> y_true, y_pred;
+        for (std::size_t d : split.test) {
+            std::vector<double> sig_lat;
+            sig_lat.reserve(model.signature().size());
+            for (std::size_t s : model.signature())
+                sig_lat.push_back(ctx.latencyMs(d, s));
+            for (std::size_t n = 0; n < names.size(); ++n) {
+                if (sig_set.count(n))
+                    continue;
+                y_true.push_back(ctx.latencyMs(d, n));
+                y_pred.push_back(
+                    model.predictMs(ctx.suite()[n], sig_lat));
+            }
+        }
+        pt.r2_clean_holdout = ml::r2Score(y_true, y_pred);
+        obs::counterAdd("chaos.points", 1);
+        points.push_back(std::move(pt));
+    }
+    return points;
+}
+
+} // namespace gcm::core

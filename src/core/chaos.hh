@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Chaos-sweep evaluation: how gracefully does the end-to-end pipeline
+ * degrade as the crowd-sourcing campaign gets more hostile?
+ *
+ * For each fault rate the sweep re-runs the characterization campaign
+ * under a uniform fault mix (FaultParams::uniformRate), imputes the
+ * resulting sparse repository (core/imputation.hh), trains the
+ * signature cost model on the imputed train-device columns, and
+ * scores it on a *clean* holdout: test devices contribute their
+ * fault-free signature latencies and are scored against fault-free
+ * ground truth. The clean holdout isolates the damage done by faults
+ * to the *training* side — exactly the situation of a production
+ * repository fed by flaky phones while the evaluation lab measures
+ * carefully.
+ *
+ * The whole sweep is deterministic: the fault seed, split seed and
+ * campaign seeds fully determine every point.
+ */
+
+#ifndef GCM_CORE_CHAOS_HH
+#define GCM_CORE_CHAOS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment_context.hh"
+#include "core/imputation.hh"
+#include "core/signature.hh"
+#include "ml/gbt.hh"
+#include "sim/campaign.hh"
+
+namespace gcm::core
+{
+
+/** One point of the sweep: a fault rate and what it cost us. */
+struct ChaosPoint
+{
+    double fault_rate = 0.0;
+    /** Campaign recovery counters at this rate. */
+    sim::CampaignStats stats;
+    std::size_t expected_cells = 0;
+    /** Missing train-fleet cells before imputation. */
+    std::size_t missing_cells = 0;
+    std::size_t quarantined_devices = 0;
+    std::size_t dropout_devices = 0;
+    ImputationStats imputation;
+    /** R^2 on the clean holdout (see file comment). */
+    double r2_clean_holdout = 0.0;
+};
+
+/** Sweep configuration. */
+struct ChaosSweepConfig
+{
+    /** Dataset; campaign faults here are ignored (the sweep sets
+     *  them per point, and the baseline context is fault-free). */
+    ExperimentConfig experiment;
+    std::vector<double> fault_rates = {0.0, 0.1, 0.2, 0.3};
+    std::uint64_t fault_seed = 7021;
+    /** Clean-holdout split. */
+    double test_fraction = 0.3;
+    std::uint64_t split_seed = 17;
+    /** Cost-model recipe evaluated at every point. */
+    SignatureMethod method = SignatureMethod::MutualInformation;
+    SignatureConfig selection;
+    ml::GbtParams gbt;
+    ImputationConfig imputation;
+};
+
+/**
+ * Run the sweep. One clean baseline context is built once; each fault
+ * rate then re-runs only the campaign + imputation + training.
+ * The rate-0 point reproduces the fault-free model exactly, so
+ * points[i].r2_clean_holdout / points[0].r2_clean_holdout is the
+ * degradation factor at rate i.
+ */
+std::vector<ChaosPoint> runChaosSweep(const ChaosSweepConfig &config);
+
+} // namespace gcm::core
+
+#endif // GCM_CORE_CHAOS_HH

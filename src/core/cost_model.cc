@@ -34,6 +34,18 @@ SignatureCostModel::train(const std::vector<dnn::Graph> &suite,
     }
     if (num_devices == 0)
         fatal("SignatureCostModel: no training devices");
+    for (std::size_t n = 0; n < latencies.size(); ++n) {
+        for (std::size_t d = 0; d < num_devices; ++d) {
+            const double v = latencies[n][d];
+            if (!std::isfinite(v) || v <= 0.0) {
+                fatal("SignatureCostModel: latency of network ", n,
+                      " on device column ", d,
+                      " is not a positive finite value (", v,
+                      "); sparse matrices must be imputed first — "
+                      "see core/imputation.hh");
+            }
+        }
+    }
 
     SignatureCostModel model;
     model.signature_ =

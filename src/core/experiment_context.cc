@@ -8,7 +8,7 @@ namespace gcm::core
 {
 
 ExperimentContext
-ExperimentContext::build(const ExperimentConfig &config)
+ExperimentContext::assemble(const ExperimentConfig &config)
 {
     ExperimentContext ctx;
 
@@ -34,9 +34,19 @@ ExperimentContext::build(const ExperimentConfig &config)
         sim::DeviceDatabase::standard(config.fleet_seed,
                                       config.num_devices));
 
-    // 3. Measurement campaign (the crowd-sourced app, simulated).
+    // 3. The crowd-sourced measurement app, simulated (not yet run).
     ctx.campaign_ = std::make_unique<sim::CharacterizationCampaign>(
         *ctx.fleet_, ctx.model_, config.campaign);
+
+    // 4. Representation layout.
+    ctx.encoder_ = std::make_unique<NetworkEncoder>(ctx.suite_);
+    return ctx;
+}
+
+ExperimentContext
+ExperimentContext::build(const ExperimentConfig &config)
+{
+    ExperimentContext ctx = assemble(config);
     ctx.repo_ = ctx.campaign_->run(ctx.suite_);
     if (ctx.repo_.size() != ctx.suite_.size() * ctx.fleet_->size()) {
         fatal("ExperimentContext: campaign covered ", ctx.repo_.size(),
@@ -46,9 +56,43 @@ ExperimentContext::build(const ExperimentConfig &config)
               "CharacterizationCampaign directly (see "
               "bench_ext_gpu_target)");
     }
+    ctx.lat_.assign(ctx.fleet_->size(),
+                    std::vector<double>(ctx.names_.size()));
+    for (std::size_t d = 0; d < ctx.fleet_->size(); ++d) {
+        const std::int32_t id = ctx.fleet_->device(d).id;
+        for (std::size_t n = 0; n < ctx.names_.size(); ++n)
+            ctx.lat_[d][n] = ctx.repo_.latencyMs(id, ctx.names_[n]);
+    }
+    return ctx;
+}
 
-    // 4. Representation layout.
-    ctx.encoder_ = std::make_unique<NetworkEncoder>(ctx.suite_);
+ExperimentContext
+ExperimentContext::buildWithRepository(
+    const ExperimentConfig &config,
+    const sim::MeasurementRepository &repo, SparseBuildInfo *info)
+{
+    ExperimentContext ctx = assemble(config);
+    ctx.repo_ = repo;
+
+    std::vector<std::int32_t> ids;
+    ids.reserve(ctx.fleet_->size());
+    for (std::size_t d = 0; d < ctx.fleet_->size(); ++d)
+        ids.push_back(ctx.fleet_->device(d).id);
+
+    // matrix[n][d], NaN where the campaign never delivered the cell.
+    auto matrix = repo.sparseLatencyMatrix(ids, ctx.names_);
+    SparseBuildInfo local;
+    local.missing_cells = repo.missingCells(ids, ctx.names_);
+    local.imputation = imputeLatencyMatrix(matrix);
+    if (info != nullptr)
+        *info = local;
+
+    ctx.lat_.assign(ctx.fleet_->size(),
+                    std::vector<double>(ctx.names_.size()));
+    for (std::size_t d = 0; d < ctx.fleet_->size(); ++d) {
+        for (std::size_t n = 0; n < ctx.names_.size(); ++n)
+            ctx.lat_[d][n] = matrix[n][d];
+    }
     return ctx;
 }
 
@@ -60,8 +104,7 @@ ExperimentContext::latencyMs(std::size_t device_idx,
                "latencyMs: device index out of range");
     GCM_ASSERT(net_idx < names_.size(),
                "latencyMs: network index out of range");
-    return repo_.latencyMs(fleet_->device(device_idx).id,
-                           names_[net_idx]);
+    return lat_[device_idx][net_idx];
 }
 
 std::vector<std::vector<double>>

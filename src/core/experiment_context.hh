@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/imputation.hh"
 #include "core/net_encoder.hh"
 #include "dnn/generator.hh"
 #include "dnn/graph.hh"
@@ -36,12 +37,40 @@ struct ExperimentConfig
     dnn::SearchSpace search_space;
 };
 
+/** What buildWithRepository() had to repair (graceful degradation). */
+struct SparseBuildInfo
+{
+    /** (network, device) cells absent from the given repository. */
+    std::size_t missing_cells = 0;
+    ImputationStats imputation;
+};
+
 /** The assembled dataset plus derived utilities. */
 class ExperimentContext
 {
   public:
     /** Build the standard dataset (or a smaller one for tests). */
     static ExperimentContext build(const ExperimentConfig &config = {});
+
+    /**
+     * Build a context around an externally produced (possibly sparse)
+     * repository — e.g. the CampaignReport of a faulted
+     * runResilient() — instead of running a fresh campaign. The
+     * suite, fleet and encoder are constructed exactly as in build();
+     * missing latency cells are imputed (core/imputation.hh) so every
+     * downstream consumer of latencyMs() keeps working on a sparse
+     * repository. Repository entries for devices outside the
+     * configured fleet are ignored.
+     *
+     * @param config Construction parameters (the campaign inside is
+     *        instantiated but never run).
+     * @param repo The measurements actually collected.
+     * @param info Optional out-parameter: how much was imputed.
+     */
+    static ExperimentContext
+    buildWithRepository(const ExperimentConfig &config,
+                        const sim::MeasurementRepository &repo,
+                        SparseBuildInfo *info = nullptr);
 
     /** Deployment (int8) networks, zoo first then generated. */
     const std::vector<dnn::Graph> &suite() const { return suite_; }
@@ -80,6 +109,9 @@ class ExperimentContext
   private:
     ExperimentContext() = default;
 
+    /** Suite, fleet, campaign, encoder — everything but latencies. */
+    static ExperimentContext assemble(const ExperimentConfig &config);
+
     std::vector<dnn::Graph> fp32_;
     std::vector<dnn::Graph> suite_;
     std::vector<std::string> names_;
@@ -88,6 +120,8 @@ class ExperimentContext
     sim::MeasurementRepository repo_;
     std::unique_ptr<NetworkEncoder> encoder_;
     sim::LatencyModel model_;
+    /** Dense latency cache, lat_[d][n]; imputed cells included. */
+    std::vector<std::vector<double>> lat_;
 };
 
 } // namespace gcm::core

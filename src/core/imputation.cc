@@ -1,0 +1,221 @@
+#include "core/imputation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hh"
+
+namespace gcm::core
+{
+
+namespace
+{
+
+double
+medianOf(std::vector<double> v)
+{
+    GCM_ASSERT(!v.empty(), "imputation: median of empty set");
+    std::sort(v.begin(), v.end());
+    const std::size_t mid = v.size() / 2;
+    return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+/** Fit of a donor device to a target device on co-observed cells. */
+struct DonorFit
+{
+    std::size_t device = 0;
+    std::size_t overlap = 0;
+    /** Mean of log(target) - log(donor) over the overlap. */
+    double log_ratio = 0.0;
+    /** Dispersion of the log ratios: lower = better shape match. */
+    double dispersion = std::numeric_limits<double>::max();
+};
+
+} // namespace
+
+ImputationStats
+imputeLatencyMatrix(std::vector<std::vector<double>> &matrix,
+                    const ImputationConfig &config)
+{
+    GCM_ASSERT(!matrix.empty(), "imputeLatencyMatrix: empty matrix");
+    const std::size_t nets = matrix.size();
+    const std::size_t devices = matrix[0].size();
+    GCM_ASSERT(devices > 0, "imputeLatencyMatrix: no devices");
+    for (const auto &row : matrix) {
+        if (row.size() != devices)
+            fatal("imputeLatencyMatrix: ragged matrix");
+    }
+
+    ImputationStats stats;
+    stats.total_cells = nets * devices;
+
+    // Log-transform observed cells; devices differ mostly by a
+    // multiplicative speed factor, so all fitting happens in log.
+    std::vector<std::vector<double>> logm(
+        nets, std::vector<double>(
+                  devices, std::numeric_limits<double>::quiet_NaN()));
+    std::vector<double> row_median(nets);
+    for (std::size_t n = 0; n < nets; ++n) {
+        std::vector<double> observed;
+        for (std::size_t d = 0; d < devices; ++d) {
+            const double v = matrix[n][d];
+            if (std::isnan(v))
+                continue;
+            if (!std::isfinite(v) || v <= 0.0) {
+                fatal("imputeLatencyMatrix: observed cell (", n, ", ",
+                      d, ") is not a positive latency: ", v);
+            }
+            logm[n][d] = std::log(v);
+            observed.push_back(v);
+        }
+        if (observed.empty()) {
+            fatal("imputeLatencyMatrix: network ", n,
+                  " has no measurement on any device; nothing to "
+                  "impute from");
+        }
+        row_median[n] = medianOf(observed);
+    }
+
+    // Collect fills first and write them afterwards, so every imputed
+    // value derives from genuinely observed cells only.
+    std::vector<std::pair<std::pair<std::size_t, std::size_t>, double>>
+        fills;
+    for (std::size_t d = 0; d < devices; ++d) {
+        std::vector<std::size_t> missing;
+        for (std::size_t n = 0; n < nets; ++n) {
+            if (std::isnan(matrix[n][d]))
+                missing.push_back(n);
+        }
+        if (missing.empty())
+            continue;
+        stats.missing_cells += missing.size();
+
+        // Rank every other device by how well its observed latency
+        // profile matches this one on their co-observed networks.
+        std::vector<DonorFit> donors;
+        donors.reserve(devices - 1);
+        for (std::size_t e = 0; e < devices; ++e) {
+            if (e == d)
+                continue;
+            DonorFit fit;
+            fit.device = e;
+            double sum = 0.0, sum_sq = 0.0;
+            for (std::size_t n = 0; n < nets; ++n) {
+                if (std::isnan(logm[n][d]) || std::isnan(logm[n][e]))
+                    continue;
+                const double diff = logm[n][d] - logm[n][e];
+                sum += diff;
+                sum_sq += diff * diff;
+                ++fit.overlap;
+            }
+            if (fit.overlap < config.min_overlap)
+                continue;
+            const double k = static_cast<double>(fit.overlap);
+            fit.log_ratio = sum / k;
+            fit.dispersion = sum_sq / k - fit.log_ratio * fit.log_ratio;
+            donors.push_back(fit);
+        }
+        std::sort(donors.begin(), donors.end(),
+                  [](const DonorFit &a, const DonorFit &b) {
+                      if (a.dispersion != b.dispersion)
+                          return a.dispersion < b.dispersion;
+                      return a.device < b.device;
+                  });
+
+        // Median speed ratio for the fleet-median fallback.
+        double speed = 1.0;
+        {
+            std::vector<double> ratios;
+            for (std::size_t n = 0; n < nets; ++n) {
+                if (!std::isnan(logm[n][d]))
+                    ratios.push_back(logm[n][d]
+                                     - std::log(row_median[n]));
+            }
+            if (!ratios.empty())
+                speed = std::exp(medianOf(ratios));
+        }
+
+        for (std::size_t n : missing) {
+            double log_sum = 0.0;
+            std::size_t used = 0;
+            for (const DonorFit &fit : donors) {
+                if (std::isnan(logm[n][fit.device]))
+                    continue;
+                log_sum += logm[n][fit.device] + fit.log_ratio;
+                if (++used == config.neighbours)
+                    break;
+            }
+            double value;
+            if (used > 0) {
+                value = std::exp(log_sum / static_cast<double>(used));
+                ++stats.nn_imputed;
+            } else {
+                value = row_median[n] * speed;
+                ++stats.median_imputed;
+            }
+            fills.push_back({{n, d}, value});
+        }
+    }
+    for (const auto &fill : fills)
+        matrix[fill.first.first][fill.first.second] = fill.second;
+    return stats;
+}
+
+std::size_t
+imputeSignatureLatencies(
+    std::vector<double> &signature_latencies_ms,
+    const std::vector<std::vector<double>> &reference,
+    const ImputationConfig &config)
+{
+    const std::size_t k = signature_latencies_ms.size();
+    if (reference.size() != k) {
+        fatal("imputeSignatureLatencies: reference has ",
+              reference.size(), " rows for a signature of ", k);
+    }
+    GCM_ASSERT(k > 0, "imputeSignatureLatencies: empty signature");
+    const std::size_t devices = reference[0].size();
+    GCM_ASSERT(devices > 0,
+               "imputeSignatureLatencies: empty reference fleet");
+
+    std::vector<std::size_t> observed, missing;
+    for (std::size_t i = 0; i < k; ++i) {
+        const double v = signature_latencies_ms[i];
+        if (std::isnan(v)) {
+            missing.push_back(i);
+        } else if (!std::isfinite(v) || v <= 0.0) {
+            fatal("imputeSignatureLatencies: entry ", i,
+                  " is not a positive latency: ", v);
+        } else {
+            observed.push_back(i);
+        }
+    }
+    if (missing.empty())
+        return 0;
+    if (observed.empty()) {
+        fatal("imputeSignatureLatencies: every signature latency is "
+              "missing; the device has no hardware representation to "
+              "impute from");
+    }
+
+    // Build the (signature-rows x (reference devices + target)) matrix
+    // and reuse the matrix imputation: the target device is just one
+    // more sparse column against a dense fleet.
+    std::vector<std::vector<double>> m(
+        k, std::vector<double>(devices + 1));
+    for (std::size_t i = 0; i < k; ++i) {
+        if (reference[i].size() != devices)
+            fatal("imputeSignatureLatencies: ragged reference matrix");
+        std::copy(reference[i].begin(), reference[i].end(),
+                  m[i].begin());
+        m[i][devices] = signature_latencies_ms[i];
+    }
+    ImputationConfig cfg = config;
+    cfg.min_overlap = std::min(cfg.min_overlap, observed.size());
+    imputeLatencyMatrix(m, cfg);
+    for (std::size_t i : missing)
+        signature_latencies_ms[i] = m[i][devices];
+    return missing.size();
+}
+
+} // namespace gcm::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Graceful degradation on sparse repositories: imputation of missing
+ * latency cells.
+ *
+ * A faulted crowd-sourcing campaign leaves holes in the latency
+ * matrix — crashed sessions, device dropouts, quarantined phones.
+ * Rather than fall over (the dense latencyMatrix() throws on any
+ * missing cell), downstream consumers impute the missing hardware
+ * representation first:
+ *
+ *  - nearest-neighbour: a missing (network, device) cell is predicted
+ *    from the k donor devices whose observed latency profiles best
+ *    match the target device on their co-observed networks. Devices
+ *    differ mostly by a multiplicative speed factor (the insight
+ *    behind the paper's signature representation), so donors are
+ *    ranked by the dispersion of their pairwise log-latency ratios
+ *    and the transfer applies the fitted ratio;
+ *  - fleet median fallback: when no donor has enough overlap, the
+ *    cell falls back to the network's fleet-median latency scaled by
+ *    the device's median speed ratio (or used as-is for a device with
+ *    no observations at all).
+ *
+ * The imputation is deterministic (no Rng involvement) and pure: it
+ * reads the observed cells only.
+ */
+
+#ifndef GCM_CORE_IMPUTATION_HH
+#define GCM_CORE_IMPUTATION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace gcm::core
+{
+
+/** Imputation options. */
+struct ImputationConfig
+{
+    /** Minimum co-observed networks for a donor device. */
+    std::size_t min_overlap = 3;
+    /** Donor devices averaged per missing cell. */
+    std::size_t neighbours = 3;
+};
+
+/** What the imputation did. */
+struct ImputationStats
+{
+    std::size_t total_cells = 0;
+    std::size_t missing_cells = 0;
+    std::size_t nn_imputed = 0;
+    std::size_t median_imputed = 0;
+};
+
+/**
+ * Fill every NaN cell of a latency matrix in place.
+ *
+ * @param matrix matrix[n][d] = latency of network n on device d, with
+ *        NaN marking missing cells (see
+ *        MeasurementRepository::sparseLatencyMatrix). Observed cells
+ *        must be positive and finite.
+ * @param config Options.
+ * @return Imputation statistics.
+ *
+ * Throws GcmError when a network row has no observation on any
+ * device (nothing to anchor the fleet median on) or an observed cell
+ * is non-positive.
+ */
+ImputationStats
+imputeLatencyMatrix(std::vector<std::vector<double>> &matrix,
+                    const ImputationConfig &config = {});
+
+/**
+ * Impute the missing entries of one device's signature-latency
+ * vector against a reference matrix of devices that measured the
+ * full signature (e.g. the training fleet).
+ *
+ * @param signature_latencies_ms The device's signature measurements,
+ *        NaN where a session never completed. At least one entry must
+ *        be observed.
+ * @param reference reference[k][d] = latency of signature network k
+ *        on reference device d (dense).
+ * @param config Options.
+ * @return Number of entries imputed.
+ */
+std::size_t imputeSignatureLatencies(
+    std::vector<double> &signature_latencies_ms,
+    const std::vector<std::vector<double>> &reference,
+    const ImputationConfig &config = {});
+
+} // namespace gcm::core
+
+#endif // GCM_CORE_IMPUTATION_HH

@@ -1,5 +1,9 @@
 #include "sim/campaign.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "dnn/quantize.hh"
 #include "obs/obs.hh"
 #include "util/error.hh"
@@ -8,12 +12,44 @@
 namespace gcm::sim
 {
 
+void
+RetryPolicy::validate() const
+{
+    if (max_attempts == 0)
+        fatal("RetryPolicy: max_attempts must be positive");
+    if (!std::isfinite(base_backoff_ms) || base_backoff_ms < 0.0)
+        fatal("RetryPolicy: base_backoff_ms must be finite and "
+              "non-negative, got ",
+              base_backoff_ms);
+    if (!std::isfinite(backoff_multiplier) || backoff_multiplier < 1.0)
+        fatal("RetryPolicy: backoff_multiplier must be >= 1, got ",
+              backoff_multiplier);
+    if (!std::isfinite(max_backoff_ms) || max_backoff_ms < base_backoff_ms)
+        fatal("RetryPolicy: max_backoff_ms must be finite and >= "
+              "base_backoff_ms, got ",
+              max_backoff_ms);
+    if (!std::isfinite(session_timeout_ms) || session_timeout_ms <= 0.0)
+        fatal("RetryPolicy: session_timeout_ms must be positive, got ",
+              session_timeout_ms);
+    if (quarantine_after == 0)
+        fatal("RetryPolicy: quarantine_after must be positive");
+}
+
+void
+CampaignConfig::validate() const
+{
+    if (runs_per_network == 0)
+        fatal("CampaignConfig: runs_per_network must be positive");
+    noise.validate();
+    faults.validate();
+    retry.validate();
+}
+
 CharacterizationCampaign::CharacterizationCampaign(
     const DeviceDatabase &fleet, LatencyModel model, CampaignConfig config)
     : fleet_(fleet), model_(std::move(model)), config_(config)
 {
-    GCM_ASSERT(config_.runs_per_network > 0,
-               "CampaignConfig: zero runs per network");
+    config_.validate();
 }
 
 GpuDelegateStatus
@@ -68,10 +104,30 @@ CharacterizationCampaign::deployableSuite(
     return deployed;
 }
 
-std::vector<MeasurementRecord>
-CharacterizationCampaign::measureDevice(
+namespace
+{
+
+MeasurementRecord
+makeRecord(const DeviceSpec &device, const std::string &network,
+           double mean_ms, const MeasurementResult &res)
+{
+    MeasurementRecord rec;
+    rec.device_id = device.id;
+    rec.device_name = device.model_name;
+    rec.network = network;
+    rec.mean_ms = mean_ms;
+    rec.stddev_ms = res.stddev_ms;
+    rec.runs = static_cast<std::int32_t>(res.runs_ms.size());
+    return rec;
+}
+
+} // namespace
+
+CharacterizationCampaign::DeviceOutcome
+CharacterizationCampaign::measureDeviceResilient(
     std::size_t fleet_idx,
-    const std::vector<const dnn::Graph *> &deployed) const
+    const std::vector<const dnn::Graph *> &deployed,
+    const FaultInjector &injector) const
 {
     const obs::TraceSpan span("campaign.device");
     obs::counterAdd("campaign.devices");
@@ -83,25 +139,187 @@ CharacterizationCampaign::measureDevice(
             ^ (0x9e3779b97f4a7c15ULL
                * static_cast<std::uint64_t>(device.id + 1)),
         config_.noise);
-    std::vector<MeasurementRecord> records;
-    records.reserve(deployed.size());
-    for (const dnn::Graph *g : deployed) {
-        const MeasurementResult res = runtime.measure(
-            *g, config_.runs_per_network, config_.target);
-        MeasurementRecord rec;
-        rec.device_id = device.id;
-        rec.device_name = device.model_name;
-        rec.network = g->name();
-        rec.mean_ms = res.mean_ms;
-        rec.stddev_ms = res.stddev_ms;
-        rec.runs = static_cast<std::int32_t>(res.runs_ms.size());
-        records.push_back(std::move(rec));
+
+    DeviceOutcome out;
+    out.device_id = device.id;
+    out.records.reserve(deployed.size());
+    CampaignStats &st = out.stats;
+
+    // The device's campaign-wide fault disposition: how flaky it is
+    // and whether (and when) it disappears mid-campaign. session_idx
+    // counts attempts (retries included), so "never" must be an
+    // unreachable sentinel, not the suite size.
+    std::size_t dropout_session =
+        std::numeric_limits<std::size_t>::max();
+    if (injector.enabled()) {
+        const DeviceFaultProfile profile =
+            injector.deviceProfile(device.id);
+        if (profile.drops_out) {
+            dropout_session = std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       profile.dropout_fraction
+                       * static_cast<double>(deployed.size())));
+        }
     }
-    return records;
+
+    std::uint64_t session_idx = 0;
+    std::size_t consecutive_failures = 0;
+    for (std::size_t ni = 0;
+         ni < deployed.size() && !out.quarantined && !out.dropped_out;
+         ++ni) {
+        const dnn::Graph *g = deployed[ni];
+        bool stored = false;
+        for (std::size_t attempt = 0;
+             attempt < config_.retry.max_attempts && !stored; ++attempt) {
+            if (session_idx >= dropout_session) {
+                // The device went dark; nothing more will upload.
+                out.dropped_out = true;
+                break;
+            }
+            ++st.sessions_attempted;
+            const MeasurementResult res = runtime.measure(
+                *g, config_.runs_per_network, config_.target);
+            double clean_duration_ms = 0.0;
+            for (double t : res.runs_ms)
+                clean_duration_ms += t;
+            // The paper uploads the plain mean; robust aggregators
+            // shave off interference outliers before upload.
+            const double mean_ms =
+                config_.aggregator == Aggregator::Mean
+                    ? res.mean_ms
+                    : aggregateRuns(res.runs_ms, config_.aggregator);
+
+            SessionFault fault;
+            fault.duration_ms = clean_duration_ms;
+            if (injector.enabled()) {
+                fault = injector.sessionFault(device.id, session_idx,
+                                              mean_ms,
+                                              clean_duration_ms);
+            }
+            ++session_idx;
+            st.simulated_ms += fault.duration_ms;
+
+            switch (fault.kind) {
+              case FaultKind::None:
+                out.records.push_back(
+                    makeRecord(device, g->name(), mean_ms, res));
+                stored = true;
+                break;
+              case FaultKind::DuplicateUpload:
+                out.records.push_back(
+                    makeRecord(device, g->name(), mean_ms, res));
+                out.records.push_back(out.records.back());
+                ++st.duplicates;
+                stored = true;
+                break;
+              case FaultKind::Straggler:
+                if (fault.duration_ms
+                    <= config_.retry.session_timeout_ms) {
+                    // Slow but within budget: the upload still counts.
+                    out.records.push_back(
+                        makeRecord(device, g->name(), mean_ms, res));
+                    stored = true;
+                } else {
+                    ++st.stragglers;
+                }
+                break;
+              case FaultKind::SessionCrash:
+                ++st.crashes;
+                break;
+              case FaultKind::CorruptUpload: {
+                const MeasurementRecord rec = makeRecord(
+                    device, g->name(), fault.corrupted_ms, res);
+                if (MeasurementRepository::validRecord(rec)) {
+                    // Plausible-looking corruption slips through the
+                    // validator, exactly as in the field.
+                    out.records.push_back(rec);
+                    stored = true;
+                } else {
+                    ++st.corrupt_rejected;
+                }
+                break;
+              }
+            }
+
+            if (stored) {
+                ++st.sessions_ok;
+                ++st.completed_cells;
+                consecutive_failures = 0;
+                break;
+            }
+            ++consecutive_failures;
+            if (consecutive_failures >= config_.retry.quarantine_after) {
+                out.quarantined = true;
+                break;
+            }
+            if (attempt + 1 < config_.retry.max_attempts) {
+                ++st.retries;
+                const double backoff = std::min(
+                    config_.retry.max_backoff_ms,
+                    config_.retry.base_backoff_ms
+                        * std::pow(config_.retry.backoff_multiplier,
+                                   static_cast<double>(attempt)));
+                st.simulated_ms += backoff;
+                obs::histogramObserve("campaign.backoff_ms", backoff);
+            }
+        }
+    }
+
+    if (out.quarantined) {
+        // A repeat offender's earlier uploads are untrustworthy too:
+        // purge the device entirely, as the paper's manual session
+        // filtering did.
+        out.records.clear();
+        st.completed_cells = 0;
+        ++st.quarantined_devices;
+    }
+    if (out.dropped_out)
+        ++st.dropout_devices;
+    st.dropped_cells =
+        static_cast<std::uint64_t>(deployed.size()) - st.completed_cells;
+
+    if (injector.enabled()) {
+        obs::counterAdd("campaign.sessions", st.sessions_attempted);
+        obs::counterAdd("campaign.retries", st.retries);
+        obs::counterAdd("campaign.crashes", st.crashes);
+        obs::counterAdd("campaign.stragglers", st.stragglers);
+        obs::counterAdd("campaign.corrupt_rejected", st.corrupt_rejected);
+        obs::counterAdd("campaign.duplicates", st.duplicates);
+        obs::counterAdd("campaign.dropped_cells", st.dropped_cells);
+        if (out.quarantined)
+            obs::counterAdd("campaign.quarantined_devices");
+        if (out.dropped_out)
+            obs::counterAdd("campaign.dropout_devices");
+        obs::histogramObserve("campaign.device_sim_ms", st.simulated_ms);
+    }
+    return out;
 }
 
-MeasurementRepository
-CharacterizationCampaign::run(const std::vector<dnn::Graph> &suite) const
+namespace
+{
+
+void
+mergeStats(CampaignStats &into, const CampaignStats &from)
+{
+    into.sessions_attempted += from.sessions_attempted;
+    into.sessions_ok += from.sessions_ok;
+    into.retries += from.retries;
+    into.crashes += from.crashes;
+    into.stragglers += from.stragglers;
+    into.corrupt_rejected += from.corrupt_rejected;
+    into.duplicates += from.duplicates;
+    into.dropped_cells += from.dropped_cells;
+    into.completed_cells += from.completed_cells;
+    into.quarantined_devices += from.quarantined_devices;
+    into.dropout_devices += from.dropout_devices;
+    into.simulated_ms += from.simulated_ms;
+}
+
+} // namespace
+
+CampaignReport
+CharacterizationCampaign::runResilient(
+    const std::vector<dnn::Graph> &suite) const
 {
     GCM_ASSERT(!suite.empty(), "campaign: empty network suite");
     const obs::TraceSpan run_span("campaign.run");
@@ -110,28 +328,46 @@ CharacterizationCampaign::run(const std::vector<dnn::Graph> &suite) const
         const obs::TraceSpan deploy_span("campaign.deploy");
         return deployableSuite(suite, storage);
     }();
+    const FaultInjector injector(config_.faults, config_.fault_seed);
 
     // The measurement grid: devices are independent tasks (each owns
-    // its DeviceRuntime, whose noise stream is a function of the
+    // its DeviceRuntime and fault streams, both functions of the
     // device id alone), and within a device the networks run in suite
     // order, exactly as they did serially. Flattening the per-device
     // blocks in device order reproduces the serial repository
     // byte-for-byte at any thread count.
     const auto devices = measurableDevices();
-    auto blocks = [&] {
+    auto outcomes = [&] {
         const obs::TraceSpan grid_span("campaign.grid");
         return parallelMap(devices.size(), 1, [&](std::size_t k) {
-            return measureDevice(devices[k], deployed);
+            return measureDeviceResilient(devices[k], deployed,
+                                          injector);
         });
     }();
 
-    MeasurementRepository repo;
-    for (auto &block : blocks) {
-        for (auto &rec : block)
-            repo.add(std::move(rec));
+    CampaignReport report;
+    report.expected_cells = devices.size() * deployed.size();
+    for (auto &outcome : outcomes) {
+        mergeStats(report.stats, outcome.stats);
+        if (outcome.quarantined) {
+            report.quarantined.push_back(outcome.device_id);
+            report.repo.quarantine(outcome.device_id);
+        }
+        if (outcome.dropped_out)
+            report.dropouts.push_back(outcome.device_id);
+        for (auto &rec : outcome.records)
+            report.repo.add(std::move(rec));
     }
-    obs::counterAdd("campaign.records", repo.size());
-    return repo;
+    std::sort(report.quarantined.begin(), report.quarantined.end());
+    std::sort(report.dropouts.begin(), report.dropouts.end());
+    obs::counterAdd("campaign.records", report.repo.size());
+    return report;
+}
+
+MeasurementRepository
+CharacterizationCampaign::run(const std::vector<dnn::Graph> &suite) const
+{
+    return runResilient(suite).repo;
 }
 
 void

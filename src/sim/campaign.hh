@@ -15,12 +15,35 @@
 
 #include "dnn/graph.hh"
 #include "sim/device.hh"
+#include "sim/faults.hh"
 #include "sim/latency_model.hh"
 #include "sim/measurement.hh"
 #include "sim/repository.hh"
 
 namespace gcm::sim
 {
+
+/**
+ * Retry/backoff policy of the campaign scheduler, on the campaign's
+ * *simulated* clock (the same clock session durations accrue on — no
+ * wall-clock sleeping is involved).
+ */
+struct RetryPolicy
+{
+    /** Attempts per (device, network) cell before it is dropped. */
+    std::size_t max_attempts = 4;
+    /** Backoff before retry k is base * multiplier^k, capped. */
+    double base_backoff_ms = 500.0;
+    double backoff_multiplier = 2.0;
+    double max_backoff_ms = 8000.0;
+    /** Sessions running longer than this time out (stragglers). */
+    double session_timeout_ms = 60000.0;
+    /** Consecutive failed sessions before a device is quarantined. */
+    std::size_t quarantine_after = 8;
+
+    /** Throws GcmError on out-of-range values. */
+    void validate() const;
+};
 
 /** Campaign configuration. */
 struct CampaignConfig
@@ -36,6 +59,51 @@ struct CampaignConfig
      * filtering the paper had to do manually.
      */
     bool skip_unreliable_gpu_devices = true;
+    /** Fault model. All-zero (the default) disables injection. */
+    FaultParams faults;
+    std::uint64_t fault_seed = 7021;
+    RetryPolicy retry;
+    /** Session aggregator uploaded to the repository. */
+    Aggregator aggregator = Aggregator::Mean;
+
+    /** Throws GcmError on invalid members (see NoiseParams etc.). */
+    void validate() const;
+};
+
+/** Campaign-wide recovery counters. */
+struct CampaignStats
+{
+    std::uint64_t sessions_attempted = 0;
+    std::uint64_t sessions_ok = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t stragglers = 0;
+    std::uint64_t corrupt_rejected = 0;
+    std::uint64_t duplicates = 0;
+    /** Cells abandoned (max attempts, dropout, or quarantine purge). */
+    std::uint64_t dropped_cells = 0;
+    std::uint64_t completed_cells = 0;
+    std::uint64_t quarantined_devices = 0;
+    std::uint64_t dropout_devices = 0;
+    /** Total simulated time, sessions plus backoff, milliseconds. */
+    double simulated_ms = 0.0;
+};
+
+/**
+ * Result of a resilient campaign: a (possibly sparse) repository plus
+ * full accounting. Every planned cell is either completed or counted
+ * in dropped_cells:
+ *   completed_cells + dropped_cells == expected_cells.
+ */
+struct CampaignReport
+{
+    MeasurementRepository repo;
+    CampaignStats stats;
+    /** Device ids purged for repeated failures, ascending. */
+    std::vector<std::int32_t> quarantined;
+    /** Device ids that went dark mid-campaign, ascending. */
+    std::vector<std::int32_t> dropouts;
+    std::size_t expected_cells = 0;
 };
 
 /** Runs a measurement campaign over a device fleet. */
@@ -55,6 +123,17 @@ class CharacterizationCampaign
      *        pipeline in the paper's Fig. 1.
      */
     MeasurementRepository run(const std::vector<dnn::Graph> &suite) const;
+
+    /**
+     * Measure every network on every device under the configured
+     * fault model, with the retry scheduler recovering from crashes,
+     * stragglers and corrupt uploads (capped exponential backoff on
+     * the simulated clock, per-session timeout, quarantine of repeat
+     * offenders). With faults disabled the repository is
+     * byte-identical to run()'s. Deterministic at any thread count.
+     */
+    CampaignReport runResilient(const std::vector<dnn::Graph> &suite)
+        const;
 
     /**
      * Hoist the graph-invariant deployment work: quantize each fp32
@@ -93,10 +172,26 @@ class CharacterizationCampaign
     const CampaignConfig &config() const { return config_; }
 
   private:
-    /** One device's full measurement block, in suite order. */
-    std::vector<MeasurementRecord>
-    measureDevice(std::size_t fleet_idx,
-                  const std::vector<const dnn::Graph *> &deployed) const;
+    /** One device's campaign under the fault model. */
+    struct DeviceOutcome
+    {
+        /** Completed uploads, suite order (duplicates repeated). */
+        std::vector<MeasurementRecord> records;
+        CampaignStats stats;
+        std::int32_t device_id = -1;
+        bool quarantined = false;
+        bool dropped_out = false;
+    };
+
+    /**
+     * One device's full campaign block, in suite order, with fault
+     * injection, retry/backoff and quarantine applied. With faults
+     * disabled, exactly one clean session per network.
+     */
+    DeviceOutcome
+    measureDeviceResilient(std::size_t fleet_idx,
+                           const std::vector<const dnn::Graph *> &deployed,
+                           const FaultInjector &injector) const;
 
     const DeviceDatabase &fleet_;
     LatencyModel model_;

@@ -1,0 +1,171 @@
+#include "sim/faults.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hh"
+
+namespace gcm::sim
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::SessionCrash: return "crash";
+      case FaultKind::Straggler: return "straggler";
+      case FaultKind::CorruptUpload: return "corrupt";
+      case FaultKind::DuplicateUpload: return "duplicate";
+    }
+    GCM_ASSERT(false, "faultKindName: invalid kind");
+    return "?";
+}
+
+bool
+FaultParams::enabled() const
+{
+    return session_crash_prob > 0.0 || straggler_prob > 0.0
+        || corrupt_prob > 0.0 || duplicate_prob > 0.0
+        || dropout_prob > 0.0;
+}
+
+namespace
+{
+
+void
+checkProb(double p, const char *name)
+{
+    if (!std::isfinite(p) || p < 0.0 || p > 1.0)
+        fatal("FaultParams: ", name, " must be a probability, got ", p);
+}
+
+} // namespace
+
+void
+FaultParams::validate() const
+{
+    checkProb(session_crash_prob, "session_crash_prob");
+    checkProb(straggler_prob, "straggler_prob");
+    checkProb(corrupt_prob, "corrupt_prob");
+    checkProb(duplicate_prob, "duplicate_prob");
+    checkProb(dropout_prob, "dropout_prob");
+    if (session_crash_prob + straggler_prob + corrupt_prob
+            + duplicate_prob
+        > 1.0) {
+        fatal("FaultParams: session fault probabilities sum to more "
+              "than 1");
+    }
+    if (!std::isfinite(flakiness_spread) || flakiness_spread < 1.0)
+        fatal("FaultParams: flakiness_spread must be >= 1, got ",
+              flakiness_spread);
+    if (!std::isfinite(straggler_slowdown_min)
+        || !std::isfinite(straggler_slowdown_max)
+        || straggler_slowdown_min < 1.0
+        || straggler_slowdown_min > straggler_slowdown_max) {
+        fatal("FaultParams: straggler slowdown range [",
+              straggler_slowdown_min, ", ", straggler_slowdown_max,
+              "] is invalid");
+    }
+}
+
+FaultParams
+FaultParams::uniformRate(double rate)
+{
+    if (!std::isfinite(rate) || rate < 0.0 || rate >= 1.0)
+        fatal("FaultParams::uniformRate: rate out of [0, 1), got ",
+              rate);
+    FaultParams p;
+    p.session_crash_prob = 0.5 * rate;
+    p.corrupt_prob = 0.3 * rate;
+    p.straggler_prob = 0.2 * rate;
+    p.duplicate_prob = 0.1 * rate;
+    p.dropout_prob = 0.5 * rate;
+    return p;
+}
+
+FaultInjector::FaultInjector(const FaultParams &params,
+                             std::uint64_t seed)
+    : params_(params), root_(seed)
+{
+    params_.validate();
+}
+
+namespace
+{
+
+/** Decorrelated stream id for a (device, session) pair. */
+std::uint64_t
+sessionStream(std::int32_t device_id, std::uint64_t session_idx)
+{
+    const std::uint64_t dev =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(device_id));
+    return (dev + 1) * 0x9e3779b97f4a7c15ULL
+        ^ (session_idx + 1) * 0xbf58476d1ce4e5b9ULL;
+}
+
+} // namespace
+
+DeviceFaultProfile
+FaultInjector::deviceProfile(std::int32_t device_id) const
+{
+    const std::uint64_t dev =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(device_id));
+    Rng rng = root_.fork(0xFA017ULL ^ ((dev + 1) * 0x94d049bb133111ebULL));
+    DeviceFaultProfile profile;
+    const double log_spread = std::log(params_.flakiness_spread);
+    profile.fault_scale = std::exp(rng.uniform(-log_spread, log_spread));
+    profile.drops_out = rng.bernoulli(params_.dropout_prob);
+    profile.dropout_fraction = rng.uniform(0.1, 0.9);
+    return profile;
+}
+
+SessionFault
+FaultInjector::sessionFault(std::int32_t device_id,
+                            std::uint64_t session_idx,
+                            double clean_mean_ms,
+                            double clean_duration_ms) const
+{
+    SessionFault fault;
+    fault.duration_ms = clean_duration_ms;
+    if (!enabled())
+        return fault;
+    const double scale = deviceProfile(device_id).fault_scale;
+    Rng rng = root_.fork(sessionStream(device_id, session_idx));
+    const double u = rng.uniform();
+    double edge = params_.session_crash_prob * scale;
+    if (u < edge) {
+        fault.kind = FaultKind::SessionCrash;
+        // The crash lands partway through the session.
+        fault.duration_ms = clean_duration_ms * rng.uniform(0.05, 0.95);
+        return fault;
+    }
+    edge += params_.straggler_prob * scale;
+    if (u < edge) {
+        fault.kind = FaultKind::Straggler;
+        fault.duration_ms = clean_duration_ms
+            * rng.uniform(params_.straggler_slowdown_min,
+                          params_.straggler_slowdown_max);
+        return fault;
+    }
+    edge += params_.corrupt_prob * scale;
+    if (u < edge) {
+        fault.kind = FaultKind::CorruptUpload;
+        switch (rng.uniformInt(0, 3)) {
+          case 0:
+            fault.corrupted_ms =
+                std::numeric_limits<double>::quiet_NaN();
+            break;
+          case 1: fault.corrupted_ms = -clean_mean_ms; break;
+          case 2: fault.corrupted_ms = 0.0; break;
+          default: fault.corrupted_ms = clean_mean_ms * 1e6; break;
+        }
+        return fault;
+    }
+    edge += params_.duplicate_prob * scale;
+    if (u < edge)
+        fault.kind = FaultKind::DuplicateUpload;
+    return fault;
+}
+
+} // namespace gcm::sim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Deterministic fault injection for the crowd-sourcing pipeline.
+ *
+ * The paper's dataset was collected from 105 crowd-sourced phones and
+ * the authors note the pipeline was anything but clean: delegates
+ * were "prone to unexpected outcomes (very high latency) or crashes",
+ * sessions had to be filtered manually, and every device contributed
+ * only what it managed to upload. The FaultInjector reproduces those
+ * field conditions inside the simulator — session crashes, stragglers,
+ * corrupted uploads, duplicate uploads and mid-campaign device
+ * dropouts — from a seeded configuration, so the recovery machinery
+ * in CharacterizationCampaign can be exercised reproducibly.
+ *
+ * Determinism contract: every fault decision is drawn from an Rng
+ * forked from (seed, device, session) alone, never from shared
+ * mutable state, so an injected campaign is bit-identical at any
+ * thread count (the same discipline as the measurement noise streams;
+ * see util/parallel.hh and tests/test_faults.cc).
+ */
+
+#ifndef GCM_SIM_FAULTS_HH
+#define GCM_SIM_FAULTS_HH
+
+#include <cstdint>
+
+#include "util/rng.hh"
+
+namespace gcm::sim
+{
+
+/** What happened to one upload session. */
+enum class FaultKind : std::uint8_t
+{
+    None,            ///< session completed and uploaded cleanly
+    SessionCrash,    ///< app/delegate crashed mid-session, nothing uploaded
+    Straggler,       ///< session ran, but pathologically slowly
+    CorruptUpload,   ///< upload arrived with a garbage latency value
+    DuplicateUpload, ///< the same result was uploaded twice
+};
+
+/** Display name ("crash", "straggler", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** Fault-model configuration. All probabilities are per session. */
+struct FaultParams
+{
+    /** P(session crashes before uploading). */
+    double session_crash_prob = 0.0;
+    /** P(session straggles; may exceed the campaign session timeout). */
+    double straggler_prob = 0.0;
+    /** P(upload carries a NaN/negative/zero/absurd latency). */
+    double corrupt_prob = 0.0;
+    /** P(a successful upload is duplicated). Not a failure. */
+    double duplicate_prob = 0.0;
+    /** P(a device goes dark partway through the campaign). */
+    double dropout_prob = 0.0;
+    /**
+     * Device heterogeneity: each device's session fault probabilities
+     * are scaled by a per-device factor log-uniform in
+     * [1/spread, spread], mirroring the field observation that a few
+     * phones cause most of the trouble. 1.0 disables the spread.
+     */
+    double flakiness_spread = 4.0;
+    /** Straggler slowdown multiplier range. */
+    double straggler_slowdown_min = 5.0;
+    double straggler_slowdown_max = 20.0;
+
+    /** True when any fault can fire. */
+    bool enabled() const;
+
+    /** Throws GcmError on non-finite or out-of-range values. */
+    void validate() const;
+
+    /**
+     * Convenience profile for chaos sweeps: a total session-fault
+     * rate split across crash (50%), corrupt upload (30%) and
+     * straggler (20%), plus duplicates at rate/10 and a device
+     * dropout probability of rate/2.
+     *
+     * @param rate Session-fault rate in [0, 1).
+     */
+    static FaultParams uniformRate(double rate);
+};
+
+/** Per-device fault disposition, fixed for a whole campaign. */
+struct DeviceFaultProfile
+{
+    /** Multiplier on the session fault probabilities. */
+    double fault_scale = 1.0;
+    /** Whether this device disappears mid-campaign. */
+    bool drops_out = false;
+    /**
+     * Fraction of its planned sessions after which a dropout device
+     * goes dark (only meaningful when drops_out).
+     */
+    double dropout_fraction = 1.0;
+};
+
+/** Outcome of injecting faults into one session. */
+struct SessionFault
+{
+    FaultKind kind = FaultKind::None;
+    /** Latency payload of a corrupted upload (NaN/negative/absurd). */
+    double corrupted_ms = 0.0;
+    /** Simulated wall time the session consumed, milliseconds. */
+    double duration_ms = 0.0;
+};
+
+/**
+ * Seeded, stateless-per-query fault source. Thread-safe by
+ * construction: all queries are const and fork private Rng streams.
+ */
+class FaultInjector
+{
+  public:
+    /** @param params Validated on construction (throws GcmError). */
+    FaultInjector(const FaultParams &params, std::uint64_t seed);
+
+    const FaultParams &params() const { return params_; }
+    bool enabled() const { return params_.enabled(); }
+
+    /** A device's campaign-wide disposition (deterministic in id). */
+    DeviceFaultProfile deviceProfile(std::int32_t device_id) const;
+
+    /**
+     * Inject faults into one upload session.
+     *
+     * @param device_id Device the session ran on.
+     * @param session_idx Per-device session ordinal (attempts count).
+     * @param clean_mean_ms The session's uncorrupted mean latency.
+     * @param clean_duration_ms Simulated wall time of a clean session.
+     */
+    SessionFault sessionFault(std::int32_t device_id,
+                              std::uint64_t session_idx,
+                              double clean_mean_ms,
+                              double clean_duration_ms) const;
+
+  private:
+    FaultParams params_;
+    Rng root_;
+};
+
+} // namespace gcm::sim
+
+#endif // GCM_SIM_FAULTS_HH

@@ -8,6 +8,126 @@
 namespace gcm::sim
 {
 
+void
+NoiseParams::validate() const
+{
+    if (!std::isfinite(session_jitter_sigma) || session_jitter_sigma < 0.0
+        || !std::isfinite(run_jitter_sigma) || run_jitter_sigma < 0.0) {
+        fatal("NoiseParams: jitter sigmas must be finite and "
+              "non-negative (session ",
+              session_jitter_sigma, ", run ", run_jitter_sigma, ")");
+    }
+    if (!std::isfinite(thermal_ramp_max) || thermal_ramp_max < 0.0)
+        fatal("NoiseParams: thermal_ramp_max must be finite and "
+              "non-negative, got ",
+              thermal_ramp_max);
+    if (thermal_ramp_runs == 0)
+        fatal("NoiseParams: thermal_ramp_runs must be positive");
+    if (!std::isfinite(outlier_probability) || outlier_probability < 0.0
+        || outlier_probability > 1.0) {
+        fatal("NoiseParams: outlier_probability out of [0, 1], got ",
+              outlier_probability);
+    }
+    if (!std::isfinite(outlier_min) || !std::isfinite(outlier_max)
+        || outlier_min <= 0.0 || outlier_min > outlier_max) {
+        fatal("NoiseParams: outlier range [", outlier_min, ", ",
+              outlier_max, "] is invalid");
+    }
+}
+
+const char *
+aggregatorName(Aggregator aggregator)
+{
+    switch (aggregator) {
+      case Aggregator::Mean: return "mean";
+      case Aggregator::Median: return "median";
+      case Aggregator::TrimmedMean: return "trimmed";
+      case Aggregator::MadMean: return "mad";
+    }
+    GCM_ASSERT(false, "aggregatorName: invalid aggregator");
+    return "?";
+}
+
+Aggregator
+parseAggregator(const std::string &name)
+{
+    if (name == "mean")
+        return Aggregator::Mean;
+    if (name == "median")
+        return Aggregator::Median;
+    if (name == "trimmed")
+        return Aggregator::TrimmedMean;
+    if (name == "mad")
+        return Aggregator::MadMean;
+    fatal("unknown aggregator '", name,
+          "' (mean|median|trimmed|mad)");
+}
+
+namespace
+{
+
+double
+medianOf(std::vector<double> v)
+{
+    GCM_ASSERT(!v.empty(), "medianOf: empty");
+    std::sort(v.begin(), v.end());
+    const std::size_t mid = v.size() / 2;
+    return v.size() % 2 == 1 ? v[mid]
+                             : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+} // namespace
+
+double
+aggregateRuns(const std::vector<double> &runs, Aggregator aggregator)
+{
+    GCM_ASSERT(!runs.empty(), "aggregateRuns: no runs");
+    switch (aggregator) {
+      case Aggregator::Mean: {
+        double sum = 0.0;
+        for (double t : runs)
+            sum += t;
+        return sum / static_cast<double>(runs.size());
+      }
+      case Aggregator::Median:
+        return medianOf(runs);
+      case Aggregator::TrimmedMean: {
+        std::vector<double> sorted = runs;
+        std::sort(sorted.begin(), sorted.end());
+        const std::size_t trim = sorted.size() / 10;
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (std::size_t i = trim; i < sorted.size() - trim; ++i) {
+            sum += sorted[i];
+            ++count;
+        }
+        return sum / static_cast<double>(count);
+      }
+      case Aggregator::MadMean: {
+        const double med = medianOf(runs);
+        std::vector<double> dev;
+        dev.reserve(runs.size());
+        for (double t : runs)
+            dev.push_back(std::abs(t - med));
+        // 1.4826 scales the MAD to a Gaussian sigma estimate.
+        const double mad = 1.4826 * medianOf(dev);
+        if (mad <= 0.0)
+            return med;
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (double t : runs) {
+            if (std::abs(t - med) <= 3.0 * mad) {
+                sum += t;
+                ++count;
+            }
+        }
+        return count > 0 ? sum / static_cast<double>(count) : med;
+      }
+    }
+    GCM_ASSERT(false, "aggregateRuns: invalid aggregator");
+    return 0.0;
+}
+
 DeviceRuntime::DeviceRuntime(const DeviceSpec &device,
                              const Chipset &chipset, LatencyModel model,
                              std::uint64_t seed, NoiseParams noise)

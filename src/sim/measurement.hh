@@ -44,7 +44,43 @@ struct NoiseParams
     /** Outlier slowdown range (multiplier). */
     double outlier_min = 1.3;
     double outlier_max = 2.2;
+
+    /**
+     * Throws GcmError on non-finite sigmas, probabilities outside
+     * [0, 1], an empty thermal ramp, or an inverted outlier range —
+     * configurations that would otherwise surface as NaN means deep
+     * in the campaign.
+     */
+    void validate() const;
 };
+
+/**
+ * How a session's per-run latencies are folded into the uploaded
+ * value. The paper uploads the plain mean; the robust variants guard
+ * against the interference outliers and corrupted runs that
+ * crowd-sourced sessions accumulate.
+ */
+enum class Aggregator
+{
+    Mean,        ///< arithmetic mean (the paper's choice)
+    Median,      ///< middle order statistic
+    TrimmedMean, ///< mean after dropping the top/bottom 10%
+    MadMean,     ///< mean of runs within 3 MADs of the median
+};
+
+/** Display name ("mean" / "median" / "trimmed" / "mad"). */
+const char *aggregatorName(Aggregator aggregator);
+
+/** Parse an aggregatorName() string. Throws GcmError when unknown. */
+Aggregator parseAggregator(const std::string &name);
+
+/**
+ * Fold a session's runs into one latency with the chosen aggregator.
+ * @pre runs is non-empty. Mean reproduces the paper's arithmetic
+ * exactly (same accumulation order as DeviceRuntime::measure).
+ */
+double aggregateRuns(const std::vector<double> &runs,
+                     Aggregator aggregator);
 
 /** Result of one measurement session (N runs of one network). */
 struct MeasurementResult

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -28,12 +29,49 @@ struct MeasurementRecord
     std::int32_t runs = 0;
 };
 
-/** In-memory measurement database keyed by (device, network). */
+/**
+ * In-memory measurement database keyed by (device, network).
+ *
+ * The repository is the trust boundary of the crowd-sourcing
+ * pipeline: add() rejects garbage uploads (non-finite, non-positive
+ * or absurd latencies — the values corrupted sessions produce in the
+ * field) with GcmError instead of silently storing them, and devices
+ * on the quarantine list cannot contribute at all. The store is
+ * naturally sparse: cells that were never measured are simply absent
+ * (see sparseLatencyMatrix) and stay absent through a CSV round-trip.
+ */
 class MeasurementRepository
 {
   public:
-    /** Insert or overwrite a record. */
+    /**
+     * Whether a record would be accepted: finite positive mean below
+     * the plausibility bound (kMaxPlausibleMs), finite non-negative
+     * stddev, positive run count.
+     */
+    static bool validRecord(const MeasurementRecord &record);
+
+    /**
+     * No real network-on-phone session lasts an hour per inference;
+     * anything above this is a corrupted upload.
+     */
+    static constexpr double kMaxPlausibleMs = 3.6e6;
+
+    /**
+     * Insert or overwrite a record. Throws GcmError when the record
+     * is invalid (see validRecord) or its device is quarantined.
+     */
     void add(MeasurementRecord record);
+
+    /** Bar a device from contributing; its id lands in quarantined(). */
+    void quarantine(std::int32_t device_id);
+
+    bool isQuarantined(std::int32_t device_id) const;
+
+    /** Quarantined device ids, ascending. */
+    const std::set<std::int32_t> &quarantined() const
+    {
+        return quarantined_;
+    }
 
     bool has(std::int32_t device_id, const std::string &network) const;
 
@@ -55,16 +93,40 @@ class MeasurementRepository
     latencyMatrix(const std::vector<std::int32_t> &device_ids,
                   const std::vector<std::string> &networks) const;
 
-    /** Serialize to CSV text (device_id,device,network,mean,std,runs). */
+    /**
+     * Sparse latency matrix: like latencyMatrix, but missing cells
+     * are NaN instead of an error (see core/imputation.hh for how
+     * downstream consumers fill them).
+     */
+    std::vector<std::vector<double>>
+    sparseLatencyMatrix(const std::vector<std::int32_t> &device_ids,
+                        const std::vector<std::string> &networks) const;
+
+    /** Cells absent from a device_ids x networks grid. */
+    std::size_t
+    missingCells(const std::vector<std::int32_t> &device_ids,
+                 const std::vector<std::string> &networks) const;
+
+    /**
+     * Serialize to CSV text (device_id,device,network,mean,std,runs).
+     * Latencies are written with full double precision so a
+     * round-trip through fromCsv() is exact; absent cells produce no
+     * row, so a sparse repository stays sparse.
+     */
     std::string toCsv() const;
 
-    /** Parse a repository back from toCsv() output. */
+    /**
+     * Parse a repository back from toCsv() output. Rows with
+     * malformed numbers or latencies that fail validRecord() raise
+     * GcmError naming the offending row.
+     */
     static MeasurementRepository fromCsv(const std::string &text);
 
   private:
     std::vector<MeasurementRecord> records_;
     /** (device_id, network) -> index into records_. */
     std::map<std::pair<std::int32_t, std::string>, std::size_t> index_;
+    std::set<std::int32_t> quarantined_;
 };
 
 } // namespace gcm::sim

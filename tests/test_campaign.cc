@@ -10,6 +10,7 @@
 #include <set>
 
 #include "sim/campaign.hh"
+#include "util/error.hh"
 
 using namespace gcm::sim;
 using namespace gcm::dnn;
@@ -82,6 +83,24 @@ TEST(Campaign, MeasureOnDeviceAddsSingleRecord)
     campaign.measureOnDevice(g, fleet.device(2), repo);
     EXPECT_EQ(repo.size(), 1u);
     EXPECT_TRUE(repo.has(fleet.device(2).id, "squeezenet_1.1"));
+}
+
+TEST(Campaign, InvalidConfigRaisesGcmError)
+{
+    const auto fleet = DeviceDatabase::standard(1, 2);
+    CampaignConfig cfg;
+    cfg.runs_per_network = 0;
+    EXPECT_THROW(CharacterizationCampaign(fleet, LatencyModel{}, cfg),
+                 gcm::GcmError);
+    cfg = CampaignConfig{};
+    cfg.noise.run_jitter_sigma = -1.0;
+    EXPECT_THROW(CharacterizationCampaign(fleet, LatencyModel{}, cfg),
+                 gcm::GcmError);
+    cfg = CampaignConfig{};
+    cfg.noise.outlier_min = 5.0;
+    cfg.noise.outlier_max = 2.0;
+    EXPECT_THROW(CharacterizationCampaign(fleet, LatencyModel{}, cfg),
+                 gcm::GcmError);
 }
 
 TEST(Campaign, ConfigurableRunCount)

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Fault-injection and recovery tests: deterministic chaos.
+ *
+ * The resilient campaign must (a) be byte-identical to the fault-free
+ * path when injection is off, (b) produce bit-identical output at any
+ * thread count even under heavy fault load, (c) account for every
+ * planned cell, and (d) degrade gracefully end-to-end: a model
+ * trained on an imputed 20%-faulted repository keeps most of its
+ * clean-holdout accuracy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/chaos.hh"
+#include "core/collaborative.hh"
+#include "core/cross_validation.hh"
+#include "core/evaluation.hh"
+#include "core/experiment_context.hh"
+#include "core/imputation.hh"
+#include "dnn/zoo.hh"
+#include "sim/campaign.hh"
+#include "sim/faults.hh"
+#include "testing_support.hh"
+#include "util/error.hh"
+#include "util/parallel.hh"
+
+using namespace gcm;
+using namespace gcm::sim;
+
+namespace
+{
+
+std::vector<dnn::Graph>
+tinySuite()
+{
+    return {dnn::buildZooModel("squeezenet_1.1"),
+            dnn::buildZooModel("mobilenet_v3_small"),
+            dnn::buildZooModel("mnasnet_a1")};
+}
+
+CampaignConfig
+faultedConfig(double rate)
+{
+    CampaignConfig cfg;
+    cfg.runs_per_network = 5;
+    cfg.faults = FaultParams::uniformRate(rate);
+    return cfg;
+}
+
+void
+expectSameStats(const CampaignStats &a, const CampaignStats &b)
+{
+    EXPECT_EQ(a.sessions_attempted, b.sessions_attempted);
+    EXPECT_EQ(a.sessions_ok, b.sessions_ok);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.stragglers, b.stragglers);
+    EXPECT_EQ(a.corrupt_rejected, b.corrupt_rejected);
+    EXPECT_EQ(a.duplicates, b.duplicates);
+    EXPECT_EQ(a.dropped_cells, b.dropped_cells);
+    EXPECT_EQ(a.completed_cells, b.completed_cells);
+    EXPECT_EQ(a.quarantined_devices, b.quarantined_devices);
+    EXPECT_EQ(a.dropout_devices, b.dropout_devices);
+    EXPECT_DOUBLE_EQ(a.simulated_ms, b.simulated_ms);
+}
+
+} // namespace
+
+TEST(FaultParams, ValidateRejectsBadProbabilities)
+{
+    FaultParams p;
+    p.session_crash_prob = -0.1;
+    EXPECT_THROW(p.validate(), GcmError);
+    p = FaultParams{};
+    p.corrupt_prob = 1.5;
+    EXPECT_THROW(p.validate(), GcmError);
+    p = FaultParams{};
+    p.session_crash_prob = 0.6;
+    p.straggler_prob = 0.6;
+    EXPECT_THROW(p.validate(), GcmError);
+    p = FaultParams{};
+    p.flakiness_spread = 0.5;
+    EXPECT_THROW(p.validate(), GcmError);
+    p = FaultParams{};
+    p.straggler_slowdown_min = 10.0;
+    p.straggler_slowdown_max = 5.0;
+    EXPECT_THROW(p.validate(), GcmError);
+    EXPECT_NO_THROW(FaultParams::uniformRate(0.3).validate());
+    EXPECT_FALSE(FaultParams{}.enabled());
+    EXPECT_TRUE(FaultParams::uniformRate(0.1).enabled());
+}
+
+TEST(FaultInjector, DeterministicAndPure)
+{
+    const FaultParams params = FaultParams::uniformRate(0.5);
+    const FaultInjector a(params, 42), b(params, 42);
+    const FaultInjector c(params, 43);
+    bool any_fault = false, any_seed_difference = false;
+    for (std::int32_t dev = 0; dev < 8; ++dev) {
+        const auto pa = a.deviceProfile(dev);
+        const auto pb = b.deviceProfile(dev);
+        EXPECT_DOUBLE_EQ(pa.fault_scale, pb.fault_scale);
+        EXPECT_EQ(pa.drops_out, pb.drops_out);
+        for (std::size_t s = 0; s < 32; ++s) {
+            const auto fa = a.sessionFault(dev, s, 10.0, 50.0);
+            const auto fb = b.sessionFault(dev, s, 10.0, 50.0);
+            EXPECT_EQ(fa.kind, fb.kind);
+            if (fa.kind != FaultKind::None)
+                any_fault = true;
+            const auto fc = c.sessionFault(dev, s, 10.0, 50.0);
+            if (fc.kind != fa.kind)
+                any_seed_difference = true;
+        }
+    }
+    EXPECT_TRUE(any_fault);
+    EXPECT_TRUE(any_seed_difference);
+    // Repeated queries are pure: same answer the second time around.
+    const auto f1 = a.sessionFault(3, 7, 10.0, 50.0);
+    const auto f2 = a.sessionFault(3, 7, 10.0, 50.0);
+    EXPECT_EQ(f1.kind, f2.kind);
+    EXPECT_DOUBLE_EQ(f1.duration_ms, f2.duration_ms);
+}
+
+TEST(CampaignConfig, ValidationRaisesGcmError)
+{
+    const auto fleet = DeviceDatabase::standard(1, 2);
+    CampaignConfig cfg;
+    cfg.runs_per_network = 0;
+    EXPECT_THROW(CharacterizationCampaign(fleet, LatencyModel{}, cfg),
+                 GcmError);
+    cfg = CampaignConfig{};
+    cfg.noise.session_jitter_sigma = std::nan("");
+    EXPECT_THROW(CharacterizationCampaign(fleet, LatencyModel{}, cfg),
+                 GcmError);
+    cfg = CampaignConfig{};
+    cfg.noise.outlier_min = 3.0;
+    cfg.noise.outlier_max = 2.0;
+    EXPECT_THROW(CharacterizationCampaign(fleet, LatencyModel{}, cfg),
+                 GcmError);
+    cfg = CampaignConfig{};
+    cfg.retry.max_attempts = 0;
+    EXPECT_THROW(CharacterizationCampaign(fleet, LatencyModel{}, cfg),
+                 GcmError);
+    cfg = CampaignConfig{};
+    cfg.faults.session_crash_prob = 2.0;
+    EXPECT_THROW(CharacterizationCampaign(fleet, LatencyModel{}, cfg),
+                 GcmError);
+}
+
+TEST(ResilientCampaign, FaultFreeMatchesLegacyRun)
+{
+    const auto fleet = DeviceDatabase::standard(1, 6);
+    CampaignConfig cfg;
+    cfg.runs_per_network = 5;
+    const CharacterizationCampaign campaign(fleet, LatencyModel{}, cfg);
+    const auto suite = tinySuite();
+    const auto legacy = campaign.run(suite);
+    const auto report = campaign.runResilient(suite);
+    EXPECT_EQ(report.repo.toCsv(), legacy.toCsv());
+    EXPECT_EQ(report.stats.completed_cells, report.expected_cells);
+    EXPECT_EQ(report.stats.dropped_cells, 0u);
+    EXPECT_EQ(report.stats.retries, 0u);
+    EXPECT_TRUE(report.quarantined.empty());
+    EXPECT_TRUE(report.dropouts.empty());
+}
+
+TEST(ResilientCampaign, ChaosIsThreadCountInvariant)
+{
+    const auto fleet = DeviceDatabase::standard(1, 12);
+    const CharacterizationCampaign campaign(fleet, LatencyModel{},
+                                            faultedConfig(0.25));
+    const auto suite = tinySuite();
+    setThreads(1);
+    const auto seq = campaign.runResilient(suite);
+    setThreads(8);
+    const auto par = campaign.runResilient(suite);
+    setThreads(0);
+    EXPECT_EQ(seq.repo.toCsv(), par.repo.toCsv());
+    EXPECT_EQ(seq.quarantined, par.quarantined);
+    EXPECT_EQ(seq.dropouts, par.dropouts);
+    expectSameStats(seq.stats, par.stats);
+}
+
+TEST(ResilientCampaign, TwentyPercentChaosAccountsForEveryCell)
+{
+    const auto fleet = DeviceDatabase::standard(1, 16);
+    const CharacterizationCampaign campaign(fleet, LatencyModel{},
+                                            faultedConfig(0.2));
+    const auto suite = tinySuite();
+    CampaignReport report;
+    ASSERT_NO_THROW(report = campaign.runResilient(suite));
+
+    // Faults actually happened and were recovered from.
+    EXPECT_GT(report.stats.crashes + report.stats.stragglers
+                  + report.stats.corrupt_rejected,
+              0u);
+    EXPECT_GT(report.stats.retries, 0u);
+    EXPECT_GT(report.stats.simulated_ms, 0.0);
+
+    // Accounting identity: every planned cell completed or dropped.
+    EXPECT_EQ(report.expected_cells, suite.size() * fleet.size());
+    EXPECT_EQ(report.stats.completed_cells + report.stats.dropped_cells,
+              report.expected_cells);
+    EXPECT_EQ(report.repo.size(), report.stats.completed_cells);
+
+    // Zero invalid cells made it past the trust boundary.
+    for (const auto &r : report.repo.records()) {
+        EXPECT_TRUE(MeasurementRepository::validRecord(r));
+        EXPECT_FALSE(report.repo.isQuarantined(r.device_id));
+    }
+    for (std::int32_t q : report.quarantined)
+        EXPECT_TRUE(report.repo.isQuarantined(q));
+}
+
+TEST(Aggregators, RobustToOutliers)
+{
+    // Enough runs that the trimmed mean actually trims (size/10 per
+    // end needs >= 10 samples).
+    const std::vector<double> clean = {10.0, 10.2, 9.8, 10.1, 9.9,
+                                       10.3, 9.7,  10.0, 9.9, 10.1,
+                                       10.2};
+    std::vector<double> poisoned = clean;
+    poisoned.push_back(1000.0);
+
+    const double mean = aggregateRuns(poisoned, Aggregator::Mean);
+    const double median = aggregateRuns(poisoned, Aggregator::Median);
+    const double trimmed =
+        aggregateRuns(poisoned, Aggregator::TrimmedMean);
+    const double mad = aggregateRuns(poisoned, Aggregator::MadMean);
+    EXPECT_GT(mean, 90.0);
+    EXPECT_NEAR(median, 10.0, 0.5);
+    EXPECT_NEAR(mad, 10.0, 0.5);
+    EXPECT_NEAR(trimmed, 10.0, 0.5);
+
+    // Mean reproduces ordered-sum arithmetic exactly.
+    double sum = 0.0;
+    for (double v : clean)
+        sum += v;
+    EXPECT_DOUBLE_EQ(aggregateRuns(clean, Aggregator::Mean),
+                     sum / clean.size());
+    EXPECT_EQ(parseAggregator("median"), Aggregator::Median);
+    EXPECT_THROW(parseAggregator("bogus"), GcmError);
+}
+
+TEST(Imputation, FillsSparseMatrixDeterministically)
+{
+    // Three devices with multiplicative speed factors, one hole.
+    const double nan = std::nan("");
+    std::vector<std::vector<double>> m = {
+        {10.0, 20.0, 40.0},
+        {5.0, 10.0, 20.0},
+        {8.0, 16.0, nan},
+        {2.0, 4.0, 8.0},
+    };
+    auto copy = m;
+    const auto st = gcm::core::imputeLatencyMatrix(m);
+    EXPECT_EQ(st.missing_cells, 1u);
+    EXPECT_EQ(st.nn_imputed, 1u);
+    // Device 2 runs everything 4x slower than device 0.
+    EXPECT_NEAR(m[2][2], 32.0, 1.0);
+    const auto st2 = gcm::core::imputeLatencyMatrix(copy);
+    EXPECT_DOUBLE_EQ(copy[2][2], m[2][2]);
+    EXPECT_EQ(st2.nn_imputed, 1u);
+
+    // A fully missing network row cannot be imputed.
+    std::vector<std::vector<double>> empty_row = {
+        {1.0, 2.0},
+        {nan, nan},
+    };
+    EXPECT_THROW(gcm::core::imputeLatencyMatrix(empty_row), GcmError);
+}
+
+TEST(Imputation, SignatureVectorAgainstReference)
+{
+    const double nan = std::nan("");
+    // Reference: 4 signature networks x 3 devices (speed 1x, 2x, 4x).
+    const std::vector<std::vector<double>> reference = {
+        {10.0, 20.0, 40.0},
+        {5.0, 10.0, 20.0},
+        {8.0, 16.0, 32.0},
+        {2.0, 4.0, 8.0},
+    };
+    // Target device is ~2x device 0, missing two entries.
+    std::vector<double> sig = {20.0, nan, 16.0, nan};
+    const std::size_t filled =
+        gcm::core::imputeSignatureLatencies(sig, reference);
+    EXPECT_EQ(filled, 2u);
+    EXPECT_NEAR(sig[1], 10.0, 1.0);
+    EXPECT_NEAR(sig[3], 4.0, 0.5);
+
+    std::vector<double> all_missing = {nan, nan, nan, nan};
+    EXPECT_THROW(
+        gcm::core::imputeSignatureLatencies(all_missing, reference),
+        GcmError);
+}
+
+TEST(ChaosSweep, GracefulDegradationOnCleanHoldout)
+{
+    gcm::core::ChaosSweepConfig cfg;
+    cfg.experiment.num_random_networks = 6;
+    cfg.experiment.num_devices = 20;
+    cfg.experiment.campaign.runs_per_network = 3;
+    cfg.fault_rates = {0.0, 0.2};
+    cfg.gbt = gcm::gcmtest::fastGbt();
+    const auto points = gcm::core::runChaosSweep(cfg);
+    ASSERT_EQ(points.size(), 2u);
+
+    // Fault-free baseline trains a decent model.
+    EXPECT_EQ(points[0].missing_cells, 0u);
+    EXPECT_GT(points[0].r2_clean_holdout, 0.5);
+
+    // 20% faults: campaign completed, cells went missing, imputation
+    // repaired them, and the holdout R^2 keeps most of the baseline.
+    EXPECT_GT(points[1].missing_cells, 0u);
+    EXPECT_EQ(points[1].imputation.missing_cells,
+              points[1].missing_cells);
+    EXPECT_GT(points[1].r2_clean_holdout,
+              0.6 * points[0].r2_clean_holdout);
+}
+
+TEST(SparseContext, DownstreamConsumersKeepWorking)
+{
+    gcm::core::ExperimentConfig cfg;
+    cfg.num_random_networks = 6;
+    cfg.num_devices = 16;
+    cfg.campaign.runs_per_network = 3;
+    cfg.campaign.faults = FaultParams::uniformRate(0.2);
+
+    // Run the faulted campaign by hand, then rebuild a context around
+    // its sparse repository.
+    gcm::core::ExperimentConfig clean = cfg;
+    clean.campaign.faults = FaultParams{};
+    const auto probe = gcm::core::ExperimentContext::build(clean);
+    const CharacterizationCampaign campaign(
+        probe.fleet(), probe.campaign().model(), cfg.campaign);
+    const auto report = campaign.runResilient(probe.suite());
+    ASSERT_GT(report.expected_cells, report.repo.size());
+
+    gcm::core::SparseBuildInfo info;
+    const auto ctx = gcm::core::ExperimentContext::buildWithRepository(
+        clean, report.repo, &info);
+    EXPECT_GT(info.missing_cells, 0u);
+    EXPECT_EQ(info.imputation.missing_cells, info.missing_cells);
+    for (std::size_t d = 0; d < ctx.fleet().size(); ++d) {
+        for (std::size_t n = 0; n < ctx.numNetworks(); ++n) {
+            const double v = ctx.latencyMs(d, n);
+            EXPECT_TRUE(std::isfinite(v) && v > 0.0);
+        }
+    }
+
+    // Cross-validation and the collaborative loop run on the imputed
+    // context without throwing.
+    const gcm::core::EvaluationHarness harness(ctx);
+    gcm::core::SignatureConfig sel;
+    sel.size = 5;
+    const auto cv = gcm::core::crossValidateSignatureModel(
+        harness, ctx.fleet().size(), 3,
+        gcm::core::SignatureMethod::MutualInformation, sel,
+        gcm::gcmtest::fastGbt());
+    EXPECT_EQ(cv.fold_r2.size(), 3u);
+
+    gcm::core::CollaborativeSimulation collab(ctx, 5);
+    gcm::core::CollaborativeConfig ccfg;
+    ccfg.signature_size = 5;
+    ccfg.max_devices = 4;
+    ccfg.gbt = gcm::gcmtest::fastGbt();
+    const auto steps = collab.run(ccfg);
+    EXPECT_EQ(steps.size(), 4u);
+}

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/repository.hh"
 #include "util/error.hh"
 
@@ -85,4 +87,83 @@ TEST(Repository, CsvRoundtrip)
     EXPECT_DOUBLE_EQ(back.latencyMs(0, "net,with,commas"), 12.5);
     EXPECT_DOUBLE_EQ(back.latencyMs(3, "plain"), 42.0);
     EXPECT_EQ(back.records()[1].runs, 30);
+}
+
+TEST(Repository, AddRejectsInvalidRecords)
+{
+    MeasurementRepository repo;
+    EXPECT_THROW(repo.add(rec(0, "a", std::nan(""))), GcmError);
+    EXPECT_THROW(repo.add(rec(0, "a", -3.0)), GcmError);
+    EXPECT_THROW(repo.add(rec(0, "a", 0.0)), GcmError);
+    EXPECT_THROW(
+        repo.add(rec(0, "a", MeasurementRepository::kMaxPlausibleMs * 2)),
+        GcmError);
+    auto bad_std = rec(0, "a", 10.0);
+    bad_std.stddev_ms = -1.0;
+    EXPECT_THROW(repo.add(bad_std), GcmError);
+    auto bad_runs = rec(0, "a", 10.0);
+    bad_runs.runs = 0;
+    EXPECT_THROW(repo.add(bad_runs), GcmError);
+    EXPECT_EQ(repo.size(), 0u);
+}
+
+TEST(Repository, QuarantineBlocksUploads)
+{
+    MeasurementRepository repo;
+    repo.add(rec(1, "a", 10.0));
+    repo.quarantine(2);
+    EXPECT_TRUE(repo.isQuarantined(2));
+    EXPECT_FALSE(repo.isQuarantined(1));
+    EXPECT_THROW(repo.add(rec(2, "a", 10.0)), GcmError);
+    EXPECT_EQ(repo.quarantined().size(), 1u);
+    EXPECT_EQ(repo.size(), 1u);
+}
+
+TEST(Repository, SparseCsvRoundtripPreservesMissingCells)
+{
+    // 2 devices x 3 networks with two holes; full double precision.
+    MeasurementRepository repo;
+    repo.add(rec(0, "a", 10.0 / 3.0));
+    repo.add(rec(0, "c", 7.123456789012345));
+    repo.add(rec(1, "b", 20.0));
+    repo.quarantine(9);
+    const auto back = MeasurementRepository::fromCsv(repo.toCsv());
+    EXPECT_EQ(back.size(), 3u);
+    EXPECT_FALSE(back.has(0, "b"));
+    EXPECT_FALSE(back.has(1, "a"));
+    EXPECT_FALSE(back.has(1, "c"));
+    EXPECT_DOUBLE_EQ(back.latencyMs(0, "a"), 10.0 / 3.0);
+    EXPECT_DOUBLE_EQ(back.latencyMs(0, "c"), 7.123456789012345);
+    EXPECT_EQ(back.missingCells({0, 1}, {"a", "b", "c"}), 3u);
+}
+
+TEST(Repository, FromCsvRejectsCorruptRows)
+{
+    EXPECT_THROW(
+        MeasurementRepository::fromCsv("0,dev0,net,nan,0.5,30\n"),
+        GcmError);
+    EXPECT_THROW(
+        MeasurementRepository::fromCsv("0,dev0,net,-2.0,0.5,30\n"),
+        GcmError);
+    EXPECT_THROW(
+        MeasurementRepository::fromCsv("0,dev0,net,banana,0.5,30\n"),
+        GcmError);
+    EXPECT_THROW(
+        MeasurementRepository::fromCsv("0,dev0,net,10.0,0.5,zero\n"),
+        GcmError);
+}
+
+TEST(Repository, SparseLatencyMatrixMarksMissingAsNaN)
+{
+    MeasurementRepository repo;
+    repo.add(rec(0, "a", 10.0));
+    repo.add(rec(1, "a", 12.0));
+    repo.add(rec(1, "b", 22.0));
+    const auto m = repo.sparseLatencyMatrix({0, 1}, {"a", "b"});
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_DOUBLE_EQ(m[0][0], 10.0);
+    EXPECT_DOUBLE_EQ(m[0][1], 12.0);
+    EXPECT_TRUE(std::isnan(m[1][0]));
+    EXPECT_DOUBLE_EQ(m[1][1], 22.0);
+    EXPECT_EQ(repo.missingCells({0, 1}, {"a", "b"}), 1u);
 }

@@ -3,8 +3,11 @@
  * gcm — command-line driver for the cost-model library.
  *
  *   gcm dataset --out repo.csv            export the 118x105 dataset
+ *   gcm dataset --faults 0.2 ...          same, through a faulted
+ *                                         campaign (sparse CSV)
  *   gcm train --data repo.csv --out m.txt train + serialize a model
  *   gcm predict --model m.txt --network <name> --signature a,b,c,...
+ *   gcm chaos --rates 0,0.1,0.2,0.3       fault-rate sweep report
  *   gcm profile --network <name> --device <model-name>
  *   gcm list-networks | gcm list-devices
  *
@@ -12,16 +15,20 @@
  * one machine trains to an identical model anywhere.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/chaos.hh"
 #include "core/cost_model.hh"
 #include "core/experiment_context.hh"
+#include "core/imputation.hh"
 #include "dnn/quantize.hh"
 #include "dnn/zoo.hh"
 #include "obs/obs.hh"
@@ -65,15 +72,54 @@ int
 cmdDataset(const std::map<std::string, std::string> &flags)
 {
     const std::string out = flagOr(flags, "out", "gcm_dataset.csv");
-    const auto ctx = core::ExperimentContext::build();
+    const double fault_rate =
+        std::stod(flagOr(flags, "faults", "0"));
+    core::ExperimentConfig cfg;
+    cfg.campaign.aggregator =
+        sim::parseAggregator(flagOr(flags, "aggregator", "mean"));
+    const auto ctx = core::ExperimentContext::build(cfg);
+
     std::ofstream os(out);
     if (!os)
         fatal("cannot open ", out, " for writing");
-    os << ctx.repo().toCsv();
-    std::printf("wrote %zu measurements (%zu networks x %zu devices) "
-                "to %s\n",
-                ctx.repo().size(), ctx.numNetworks(), ctx.fleet().size(),
-                out.c_str());
+    if (fault_rate <= 0.0) {
+        os << ctx.repo().toCsv();
+        std::printf("wrote %zu measurements (%zu networks x %zu "
+                    "devices) to %s\n",
+                    ctx.repo().size(), ctx.numNetworks(),
+                    ctx.fleet().size(), out.c_str());
+        return 0;
+    }
+
+    // Re-run the campaign under the fault model; the export is then
+    // the sparse repository a real flaky crowd would have produced.
+    sim::CampaignConfig cc = cfg.campaign;
+    cc.faults = sim::FaultParams::uniformRate(fault_rate);
+    cc.fault_seed = static_cast<std::uint64_t>(
+        std::stoull(flagOr(flags, "fault-seed", "7021")));
+    const sim::CharacterizationCampaign campaign(
+        ctx.fleet(), ctx.campaign().model(), cc);
+    const sim::CampaignReport report =
+        campaign.runResilient(ctx.suite());
+    os << report.repo.toCsv();
+    std::printf("wrote %zu of %zu cells to %s (fault rate %.2f)\n",
+                report.repo.size(), report.expected_cells, out.c_str(),
+                fault_rate);
+    std::printf("  sessions %llu (ok %llu, retries %llu), crashes "
+                "%llu, stragglers %llu, corrupt %llu, duplicates "
+                "%llu\n",
+                (unsigned long long)report.stats.sessions_attempted,
+                (unsigned long long)report.stats.sessions_ok,
+                (unsigned long long)report.stats.retries,
+                (unsigned long long)report.stats.crashes,
+                (unsigned long long)report.stats.stragglers,
+                (unsigned long long)report.stats.corrupt_rejected,
+                (unsigned long long)report.stats.duplicates);
+    std::printf("  dropped cells %llu, quarantined devices %zu, "
+                "dropouts %zu, simulated %.1f s\n",
+                (unsigned long long)report.stats.dropped_cells,
+                report.quarantined.size(), report.dropouts.size(),
+                report.stats.simulated_ms / 1000.0);
     return 0;
 }
 
@@ -107,8 +153,20 @@ cmdTrain(const std::map<std::string, std::string> &flags)
         if (device_ids.empty() || rec.device_id != device_ids.back())
             device_ids.push_back(rec.device_id);
     }
-    const auto matrix = repo.latencyMatrix(device_ids,
+
+    // A repository from a faulted campaign is sparse; impute the
+    // missing cells so training still goes through.
+    auto matrix = repo.sparseLatencyMatrix(device_ids,
                                            ctx.networkNames());
+    const std::size_t missing =
+        repo.missingCells(device_ids, ctx.networkNames());
+    if (missing > 0) {
+        const auto st = core::imputeLatencyMatrix(matrix);
+        std::printf("sparse repository: imputed %zu of %zu cells "
+                    "(%zu nearest-neighbour, %zu fleet-median)\n",
+                    st.missing_cells, st.total_cells, st.nn_imputed,
+                    st.median_imputed);
+    }
 
     core::SignatureCostModel::Config cfg;
     cfg.selection.size = size;
@@ -152,12 +210,108 @@ cmdPredict(const std::map<std::string, std::string> &flags)
     std::vector<double> sig;
     std::stringstream ss(signature);
     std::string item;
-    while (std::getline(ss, item, ','))
-        sig.push_back(std::stod(item));
+    while (std::getline(ss, item, ',')) {
+        if (item.empty() || item == "nan" || item == "NaN") {
+            sig.push_back(std::numeric_limits<double>::quiet_NaN());
+        } else {
+            sig.push_back(std::stod(item));
+        }
+    }
+
+    bool imputed_any = false;
+    for (double v : sig)
+        imputed_any = imputed_any || std::isnan(v);
+    if (imputed_any) {
+        if (flags.count("impute") == 0) {
+            fatal("signature has missing (nan) entries; pass "
+                  "--impute to fill them from the reference fleet");
+        }
+        // Reference matrix: the signature networks' clean latencies
+        // across the standard fleet.
+        const auto ctx = core::ExperimentContext::build();
+        std::vector<std::vector<double>> reference(
+            model.signatureNames().size(),
+            std::vector<double>(ctx.fleet().size()));
+        for (std::size_t k = 0; k < model.signatureNames().size();
+             ++k) {
+            const std::size_t n =
+                ctx.networkIndex(model.signatureNames()[k]);
+            for (std::size_t d = 0; d < ctx.fleet().size(); ++d)
+                reference[k][d] = ctx.latencyMs(d, n);
+        }
+        const std::size_t filled =
+            core::imputeSignatureLatencies(sig, reference);
+        std::printf("imputed %zu missing signature entries\n", filled);
+    }
 
     const dnn::Graph net = dnn::quantize(dnn::buildZooModel(network));
     std::printf("%s: predicted %.1f ms\n", network.c_str(),
                 model.predictMs(net, sig));
+    return 0;
+}
+
+int
+cmdChaos(const std::map<std::string, std::string> &flags)
+{
+    core::ChaosSweepConfig cfg;
+    // Reduced scale by default: the sweep re-runs the campaign and
+    // trains a model per fault rate.
+    cfg.experiment.num_random_networks = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "networks", "12")));
+    cfg.experiment.num_devices = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "devices", "24")));
+    cfg.experiment.campaign.runs_per_network =
+        static_cast<std::size_t>(
+            std::stoul(flagOr(flags, "runs", "5")));
+    cfg.experiment.campaign.aggregator =
+        sim::parseAggregator(flagOr(flags, "aggregator", "mean"));
+    cfg.fault_seed = static_cast<std::uint64_t>(
+        std::stoull(flagOr(flags, "fault-seed", "7021")));
+    cfg.gbt.n_estimators = 40;
+
+    const std::string rates = flagOr(flags, "rates", "0,0.1,0.2,0.3");
+    cfg.fault_rates.clear();
+    std::stringstream ss(rates);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        cfg.fault_rates.push_back(std::stod(item));
+    if (cfg.fault_rates.empty())
+        fatal("chaos: --rates parsed to nothing");
+
+    const auto points = core::runChaosSweep(cfg);
+    std::printf("%6s %9s %8s %8s %6s %8s %8s %7s %7s\n", "rate",
+                "sessions", "retries", "crashes", "drops", "missing",
+                "imputed", "quar", "R2");
+    for (const auto &pt : points) {
+        std::printf("%6.2f %9llu %8llu %8llu %6llu %8zu %8zu %7zu "
+                    "%7.4f\n",
+                    pt.fault_rate,
+                    (unsigned long long)pt.stats.sessions_attempted,
+                    (unsigned long long)pt.stats.retries,
+                    (unsigned long long)pt.stats.crashes,
+                    (unsigned long long)pt.stats.dropped_cells,
+                    pt.missing_cells, pt.imputation.missing_cells,
+                    pt.quarantined_devices, pt.r2_clean_holdout);
+    }
+
+    const std::string out = flagOr(flags, "out", "");
+    if (!out.empty()) {
+        std::ofstream os(out);
+        if (!os)
+            fatal("cannot open ", out, " for writing");
+        os << "fault_rate,sessions,retries,crashes,dropped_cells,"
+              "missing_cells,imputed_cells,quarantined,r2\n";
+        for (const auto &pt : points) {
+            os << pt.fault_rate << ','
+               << pt.stats.sessions_attempted << ','
+               << pt.stats.retries << ',' << pt.stats.crashes << ','
+               << pt.stats.dropped_cells << ',' << pt.missing_cells
+               << ',' << pt.imputation.missing_cells << ','
+               << pt.quarantined_devices << ','
+               << pt.r2_clean_holdout << '\n';
+        }
+        std::printf("sweep written to %s\n", out.c_str());
+    }
     return 0;
 }
 
@@ -205,9 +359,19 @@ usage()
     std::printf(
         "usage: gcm <command> [flags]\n"
         "  dataset  --out FILE                    export dataset CSV\n"
+        "           [--faults RATE] [--fault-seed N]  run the campaign\n"
+        "                under a fault model; the CSV is then sparse\n"
+        "           [--aggregator mean|median|trimmed|mad]\n"
         "  train    [--data FILE] --out FILE      train + save model\n"
         "           [--method mis|sccs|rs] [--size N]\n"
+        "           sparse CSVs are imputed automatically\n"
         "  predict  --model FILE --network NAME --signature a,b,...\n"
+        "           [--impute]   allow nan entries in --signature,\n"
+        "                filled from the reference fleet\n"
+        "  chaos    [--rates r1,r2,...] [--devices N] [--networks N]\n"
+        "           [--runs N] [--fault-seed N] [--out FILE]\n"
+        "                fault-rate sweep: campaign recovery counters\n"
+        "                and clean-holdout R^2 per rate\n"
         "  profile  [--network NAME] [--device NAME]\n"
         "  list-networks | list-devices\n"
         "global flags:\n"
@@ -248,6 +412,8 @@ main(int argc, char **argv)
             rc = cmdTrain(flags);
         else if (cmd == "predict")
             rc = cmdPredict(flags);
+        else if (cmd == "chaos")
+            rc = cmdChaos(flags);
         else if (cmd == "profile")
             rc = cmdProfile(flags);
         else if (cmd == "list-networks")
