@@ -7,11 +7,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
+#include "core/cost_model.hh"
+#include "core/experiment_context.hh"
 #include "core/net_encoder.hh"
 #include "core/signature.hh"
 #include "dnn/quantize.hh"
 #include "dnn/zoo.hh"
 #include "ml/gbt.hh"
+#include "serve/registry.hh"
+#include "serve/service.hh"
 #include "sim/campaign.hh"
 #include "stats/correlation.hh"
 #include "stats/kmeans.hh"
@@ -285,6 +291,85 @@ BM_SccsSelection(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SccsSelection)->Unit(benchmark::kMillisecond);
+
+namespace
+{
+
+/** Registry with one published cost model (reduced training scale). */
+const serve::ModelRegistry &
+serveRegistry()
+{
+    static const serve::ModelRegistry *registry = [] {
+        core::ExperimentConfig cfg;
+        cfg.num_random_networks = 12;
+        cfg.num_devices = 24;
+        cfg.campaign.runs_per_network = 5;
+        const auto ctx = core::ExperimentContext::build(cfg);
+        std::vector<std::size_t> devices(ctx.fleet().size());
+        for (std::size_t i = 0; i < devices.size(); ++i)
+            devices[i] = i;
+        core::SignatureCostModel::Config mcfg;
+        mcfg.gbt.n_estimators = 40;
+        const auto model = core::SignatureCostModel::train(
+            ctx.suite(), ctx.latencyMatrix(devices), mcfg);
+        std::stringstream ss;
+        model.serialize(ss);
+        auto *r = new serve::ModelRegistry;
+        r->publish(serve::ModelSnapshot::fromStream(ss));
+        return r;
+    }();
+    return *registry;
+}
+
+std::vector<serve::ServeRequest>
+serveBatch()
+{
+    const auto &registry = serveRegistry();
+    const std::size_t width = registry.active()
+                                  .snapshot->costModel()
+                                  .signatureNames()
+                                  .size();
+    serve::ServeRequest req;
+    req.id = "bench";
+    req.network = "mobilenet_v2_1.0";
+    for (std::size_t k = 0; k < width; ++k)
+        req.signature.push_back(5.0 + static_cast<double>(k));
+    req.has_signature = true;
+    return {req};
+}
+
+} // namespace
+
+/** Cold path: cache disabled, every request runs encode + predict. */
+static void
+BM_ServePredict(benchmark::State &state)
+{
+    serve::ServiceConfig cfg;
+    cfg.cache_capacity = 0;
+    serve::PredictionService service(serveRegistry(), {}, cfg);
+    const auto batch = serveBatch();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(service.processBatch(batch).size());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_ServePredict);
+
+/** Warm path: every request after the first is a cache hit. */
+static void
+BM_ServeCacheHit(benchmark::State &state)
+{
+    serve::PredictionService service(serveRegistry(), {}, {});
+    const auto batch = serveBatch();
+    (void)service.processBatch(batch); // warm the cache
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(service.processBatch(batch).size());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_ServeCacheHit);
 
 static void
 BM_KMeansDevices(benchmark::State &state)

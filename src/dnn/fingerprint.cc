@@ -1,0 +1,66 @@
+#include "dnn/fingerprint.hh"
+
+namespace gcm::dnn
+{
+
+namespace
+{
+
+/** 64-bit FNV-1a over a stream of 64-bit words. */
+class Fnv64
+{
+  public:
+    void
+    mix(std::uint64_t word)
+    {
+        // Feed one byte at a time so words with equal low bytes but
+        // different lengths of history cannot collide trivially.
+        for (int i = 0; i < 8; ++i) {
+            state_ ^= (word >> (i * 8)) & 0xffu;
+            state_ *= 0x100000001b3ULL;
+        }
+    }
+
+    std::uint64_t value() const { return state_; }
+
+  private:
+    std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+} // namespace
+
+std::uint64_t
+graphFingerprint(const Graph &graph)
+{
+    Fnv64 h;
+    h.mix(static_cast<std::uint64_t>(graph.precision()));
+    h.mix(graph.numNodes());
+    for (const auto &n : graph.nodes()) {
+        h.mix(static_cast<std::uint64_t>(n.kind));
+        h.mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(n.params.kernel)));
+        h.mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(n.params.stride)));
+        h.mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(n.params.padding)));
+        h.mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(n.params.out_channels)));
+        h.mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(n.params.groups)));
+        h.mix(static_cast<std::uint64_t>(n.params.fused_activation));
+        h.mix(n.inputs.size());
+        for (const NodeId in : n.inputs)
+            h.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(in)));
+        h.mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(n.shape.n)));
+        h.mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(n.shape.h)));
+        h.mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(n.shape.w)));
+        h.mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(n.shape.c)));
+    }
+    return h.value();
+}
+
+} // namespace gcm::dnn

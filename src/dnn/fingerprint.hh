@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Canonical 64-bit structural fingerprint of a DNN graph.
+ *
+ * The fingerprint feeds the prediction-cache key of the serving layer
+ * (src/serve): two requests may share a cache entry exactly when their
+ * graphs would produce the same encoder features and therefore the
+ * same prediction. It hashes the fields that determine the graph's
+ * structure — precision, and per node the operator kind, parameters,
+ * input ids and resolved output shape — and deliberately excludes the
+ * graph *name*, so a renamed copy of a network still hits the cache.
+ *
+ * Stability contract: the fingerprint is a pure function of the
+ * structural fields above, so it survives serializeGraph /
+ * deserializeGraph round trips (the format is exact) and is identical
+ * across platforms and thread counts. tests/test_serve.cc pins this.
+ */
+
+#ifndef GCM_DNN_FINGERPRINT_HH
+#define GCM_DNN_FINGERPRINT_HH
+
+#include <cstdint>
+
+#include "dnn/graph.hh"
+
+namespace gcm::dnn
+{
+
+/** Structural 64-bit fingerprint (FNV-1a over canonical fields). */
+std::uint64_t graphFingerprint(const Graph &graph);
+
+} // namespace gcm::dnn
+
+#endif // GCM_DNN_FINGERPRINT_HH

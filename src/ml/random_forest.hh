@@ -9,6 +9,7 @@
 #define GCM_ML_RANDOM_FOREST_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "ml/dataset.hh"
@@ -43,6 +44,17 @@ class RandomForest
 
     std::size_t numTrees() const { return trees_.size(); }
     const RandomForestParams &params() const { return params_; }
+
+    /**
+     * Serialize the trained forest to a self-describing text format
+     * ("gcm-rf v1"), mirroring GradientBoostedTrees::serialize so the
+     * serving-layer ModelRegistry can snapshot either backend. Exact
+     * round trip (floats written with full precision).
+     */
+    void serialize(std::ostream &os) const;
+
+    /** Load a forest written by serialize(). Throws GcmError. */
+    static RandomForest deserialize(std::istream &is);
 
   private:
     RandomForestParams params_;

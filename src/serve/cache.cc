@@ -1,0 +1,148 @@
+#include "serve/cache.hh"
+
+#include <cstring>
+
+#include "obs/obs.hh"
+
+namespace gcm::serve
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer — strong 64-bit avalanche mixer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+cacheKeyHash(const CacheKey &key)
+{
+    std::uint64_t h = mix64(key.graph_fp);
+    h = mix64(h ^ key.device_fp);
+    h = mix64(h ^ key.model_version);
+    return h;
+}
+
+std::uint64_t
+signatureFingerprint(const std::vector<double> &sig)
+{
+    std::uint64_t h = mix64(sig.size());
+    for (double v : sig) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        h = mix64(h ^ bits);
+    }
+    return h;
+}
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity)
+{
+    std::size_t n = 1;
+    while (n < shards)
+        n <<= 1;
+    // Never spread the budget thinner than one entry per shard.
+    if (capacity > 0 && n > capacity)
+        n = 1;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    // Floor division (n <= capacity when capacity > 0), so the sum of
+    // shard budgets never exceeds the requested total.
+    per_shard_capacity_ = capacity / n;
+}
+
+ShardedLruCache::Shard &
+ShardedLruCache::shardOf(const CacheKey &key)
+{
+    return *shards_[cacheKeyHash(key) & (shards_.size() - 1)];
+}
+
+std::optional<double>
+ShardedLruCache::get(const CacheKey &key)
+{
+    Shard &shard = shardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        ++shard.stats.misses;
+        obs::counterAdd("serve.cache.miss");
+        return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.stats.hits;
+    obs::counterAdd("serve.cache.hit");
+    return it->second->second;
+}
+
+void
+ShardedLruCache::put(const CacheKey &key, double value)
+{
+    if (capacity_ == 0)
+        return;
+    Shard &shard = shardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        it->second->second = value;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    if (shard.lru.size() >= per_shard_capacity_) {
+        const auto &victim = shard.lru.back();
+        shard.index.erase(victim.first);
+        shard.lru.pop_back();
+        ++shard.stats.evictions;
+        obs::counterAdd("serve.cache.evict");
+    }
+    shard.lru.emplace_front(key, value);
+    shard.index.emplace(key, shard.lru.begin());
+    ++shard.stats.insertions;
+    obs::counterAdd("serve.cache.insert");
+}
+
+void
+ShardedLruCache::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->lru.clear();
+        shard->index.clear();
+    }
+}
+
+std::size_t
+ShardedLruCache::size() const
+{
+    std::size_t n = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        n += shard->lru.size();
+    }
+    return n;
+}
+
+ShardedLruCache::Stats
+ShardedLruCache::stats() const
+{
+    Stats total;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        total.hits += shard->stats.hits;
+        total.misses += shard->stats.misses;
+        total.insertions += shard->stats.insertions;
+        total.evictions += shard->stats.evictions;
+    }
+    return total;
+}
+
+} // namespace gcm::serve

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Sharded LRU prediction cache.
+ *
+ * The cache memoizes finished predictions under a canonical key:
+ *
+ *   (graph fingerprint) x (device-signature fingerprint) x (model
+ *   version)
+ *
+ * The graph fingerprint is dnn::graphFingerprint (structural, stable
+ * across serialization round trips); the device fingerprint hashes
+ * the exact bit patterns of the resolved signature-latency vector, so
+ * two devices hit the same entry only when the model would see
+ * byte-identical inputs; the model version isolates entries across
+ * hot-swaps, so a swap never serves stale predictions and a rollback
+ * re-hits the old version's still-resident entries.
+ *
+ * Keys are distributed over independently locked shards (shard count
+ * rounded up to a power of two) so concurrent lookups from different
+ * request loops rarely contend. Each shard runs exact LRU over its
+ * own entries: capacity is split evenly across shards, which bounds
+ * total residency at `capacity` while keeping eviction decisions
+ * shard-local. A capacity of 0 disables the cache (every lookup
+ * misses, nothing is stored) — used by the cold-path benchmarks.
+ *
+ * Observability: hits, misses, evictions and insertions are counted
+ * locally (stats(), always on) and mirrored into src/obs counters
+ * (serve.cache.*) when collection is enabled.
+ */
+
+#ifndef GCM_SERVE_CACHE_HH
+#define GCM_SERVE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace gcm::serve
+{
+
+/** Canonical cache key; see the file comment for the derivation. */
+struct CacheKey
+{
+    std::uint64_t graph_fp = 0;
+    std::uint64_t device_fp = 0;
+    std::uint64_t model_version = 0;
+
+    bool operator==(const CacheKey &) const = default;
+};
+
+/** Mix of the three key components, used for sharding and hashing. */
+std::uint64_t cacheKeyHash(const CacheKey &key);
+
+/** Fingerprint of a resolved signature-latency vector (bit-exact). */
+std::uint64_t signatureFingerprint(const std::vector<double> &sig);
+
+/** std::hash adapter over cacheKeyHash. */
+struct CacheKeyHasher
+{
+    std::size_t
+    operator()(const CacheKey &key) const
+    {
+        return static_cast<std::size_t>(cacheKeyHash(key));
+    }
+};
+
+class ShardedLruCache
+{
+  public:
+    /**
+     * @param capacity Total entry budget across all shards; 0
+     *        disables the cache.
+     * @param shards Requested shard count (>= 1; rounded up to a
+     *        power of two).
+     */
+    explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8);
+
+    /**
+     * Look up a key; refreshes the entry's LRU position on hit.
+     * Counts a hit or a miss.
+     */
+    std::optional<double> get(const CacheKey &key);
+
+    /**
+     * Insert or refresh an entry, evicting the shard's LRU victim at
+     * capacity.
+     */
+    void put(const CacheKey &key, double value);
+
+    /** Drop every entry (counters are kept). */
+    void clear();
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    std::size_t numShards() const { return shards_.size(); }
+
+    /** Monotonic operation counters (always collected). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+
+        double
+        hitRate() const
+        {
+            const std::uint64_t total = hits + misses;
+            return total == 0
+                       ? 0.0
+                       : static_cast<double>(hits)
+                             / static_cast<double>(total);
+        }
+    };
+
+    /** Aggregated counters across shards. */
+    Stats stats() const;
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        /** Front = most recently used. */
+        std::list<std::pair<CacheKey, double>> lru;
+        std::unordered_map<
+            CacheKey,
+            std::list<std::pair<CacheKey, double>>::iterator,
+            CacheKeyHasher>
+            index;
+        Stats stats;
+    };
+
+    Shard &shardOf(const CacheKey &key);
+
+    std::size_t capacity_ = 0;
+    std::size_t per_shard_capacity_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace gcm::serve
+
+#endif // GCM_SERVE_CACHE_HH

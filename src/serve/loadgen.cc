@@ -1,0 +1,263 @@
+#include "serve/loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "dnn/zoo.hh"
+#include "obs/obs.hh"
+#include "util/error.hh"
+#include "util/json.hh"
+#include "util/rng.hh"
+
+namespace gcm::serve
+{
+
+LoadMix
+parseLoadMix(const std::string &name)
+{
+    if (name == "duplicate")
+        return LoadMix::DuplicateHeavy;
+    if (name == "unique")
+        return LoadMix::UniqueHeavy;
+    fatal("loadgen: unknown mix '", name, "' (duplicate|unique)");
+}
+
+void
+LoadGenConfig::validate() const
+{
+    if (requests == 0)
+        fatal("loadgen: requests must be >= 1");
+    if (burst == 0)
+        fatal("loadgen: burst must be >= 1");
+    if (pool_size == 0)
+        fatal("loadgen: pool_size must be >= 1");
+    if (target_qps < 0.0)
+        fatal("loadgen: target_qps must be >= 0");
+    validateLoopConfig(loop);
+}
+
+namespace
+{
+
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+std::vector<std::string>
+generateRequests(const PredictionService &service,
+                 const LoadGenConfig &config)
+{
+    config.validate();
+    const auto active = service.registry().active();
+    if (!active || active.snapshot->kind() != SnapshotKind::CostModel)
+        fatal("loadgen: the registry has no active cost-model snapshot");
+    const std::size_t sig_width =
+        active.snapshot->costModel().signatureNames().size();
+
+    const std::vector<std::string> &zoo = dnn::zooModelNames();
+    std::vector<std::string> device_names;
+    device_names.reserve(service.deviceTable().size());
+    for (const auto &[name, sig] : service.deviceTable())
+        device_names.push_back(name);
+
+    Rng rng(config.seed);
+    std::vector<std::string> lines;
+    lines.reserve(config.requests);
+
+    if (config.mix == LoadMix::DuplicateHeavy) {
+        if (device_names.empty()) {
+            fatal("loadgen: the duplicate-heavy mix needs a non-empty "
+                  "device table");
+        }
+        // A fixed pool of (network, device) pairs, drawn with a
+        // skewed weighting so a few pairs dominate — the typical NAS
+        // search hammering one device with candidate re-queries.
+        struct Pair
+        {
+            std::string network;
+            std::string device;
+        };
+        std::vector<Pair> pool;
+        std::vector<double> weights;
+        pool.reserve(config.pool_size);
+        for (std::size_t p = 0; p < config.pool_size; ++p) {
+            pool.push_back(
+                {zoo[static_cast<std::size_t>(rng.uniformInt(
+                     0, static_cast<std::int64_t>(zoo.size()) - 1))],
+                 device_names[static_cast<std::size_t>(rng.uniformInt(
+                     0,
+                     static_cast<std::int64_t>(device_names.size())
+                         - 1))]});
+            weights.push_back(1.0 / static_cast<double>(p + 1));
+        }
+        for (std::size_t i = 0; i < config.requests; ++i) {
+            const Pair &pick = pool[rng.weightedIndex(weights)];
+            std::string line = "{\"id\": ";
+            json::appendJsonString(line, "q" + std::to_string(i));
+            line += ", \"network\": ";
+            json::appendJsonString(line, pick.network);
+            line += ", \"device\": ";
+            json::appendJsonString(line, pick.device);
+            line += "}";
+            lines.push_back(std::move(line));
+        }
+        return lines;
+    }
+
+    // Unique-heavy: every request carries a fresh raw signature
+    // vector, so no two requests can share a cache entry.
+    std::ostringstream num;
+    num.precision(std::numeric_limits<double>::max_digits10);
+    for (std::size_t i = 0; i < config.requests; ++i) {
+        const std::string &network =
+            zoo[static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(zoo.size()) - 1))];
+        std::string line = "{\"id\": ";
+        json::appendJsonString(line, "q" + std::to_string(i));
+        line += ", \"network\": ";
+        json::appendJsonString(line, network);
+        line += ", \"signature\": [";
+        for (std::size_t k = 0; k < sig_width; ++k) {
+            num.str("");
+            num << rng.uniform(0.5, 50.0);
+            if (k)
+                line += ", ";
+            line += num.str();
+        }
+        line += "]}";
+        lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+LoadGenReport
+runLoadGen(PredictionService &service, const LoadGenConfig &config,
+           std::ostream *responses_out)
+{
+    using Clock = std::chrono::steady_clock;
+
+    const std::vector<std::string> lines =
+        generateRequests(service, config);
+    RequestLoop loop(service, config.loop);
+
+    LoadGenReport report;
+    report.issued = lines.size();
+    std::vector<std::string> responses(lines.size());
+    std::vector<double> latencies;
+    latencies.reserve(lines.size());
+
+    const auto run_t0 = Clock::now();
+    std::size_t next = 0;
+    while (next < lines.size()) {
+        const std::size_t burst_end =
+            std::min(next + config.burst, lines.size());
+        const auto burst_t0 = Clock::now();
+
+        // Offer the whole burst; a full queue sheds the overflow with
+        // explicit rejections instead of blocking.
+        std::vector<std::size_t> accepted;
+        accepted.reserve(burst_end - next);
+        for (std::size_t i = next; i < burst_end; ++i) {
+            if (loop.offer(lines[i])) {
+                accepted.push_back(i);
+            } else {
+                responses[i] = RequestLoop::renderOverloaded(lines[i]);
+                ++report.rejected;
+            }
+        }
+        std::vector<std::string> drained;
+        loop.drainAll(drained);
+        GCM_ASSERT(drained.size() == accepted.size(),
+                   "loadgen: drained responses != accepted requests");
+        for (std::size_t k = 0; k < accepted.size(); ++k)
+            responses[accepted[k]] = std::move(drained[k]);
+
+        const std::chrono::duration<double, std::milli> burst_ms =
+            Clock::now() - burst_t0;
+        const double per_request =
+            burst_ms.count()
+            / static_cast<double>(burst_end - next);
+        for (std::size_t k = 0; k < accepted.size(); ++k)
+            latencies.push_back(per_request);
+        if (obs::enabled())
+            obs::histogramObserve("serve.loadgen.burst_ms",
+                                  burst_ms.count());
+
+        next = burst_end;
+        if (config.target_qps > 0.0 && next < lines.size()) {
+            // Closed-loop pacing: sleep off any lead over the target
+            // offered load.
+            const double target_elapsed_s =
+                static_cast<double>(next) / config.target_qps;
+            const std::chrono::duration<double> elapsed =
+                Clock::now() - run_t0;
+            const double lead_s = target_elapsed_s - elapsed.count();
+            if (lead_s > 0.0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(lead_s));
+            }
+        }
+    }
+
+    const std::chrono::duration<double, std::milli> wall =
+        Clock::now() - run_t0;
+    report.wall_ms = wall.count();
+    report.achieved_qps =
+        report.wall_ms > 0.0
+            ? static_cast<double>(report.issued) * 1000.0
+                  / report.wall_ms
+            : 0.0;
+    for (const auto &r : responses) {
+        if (r.find("\"ok\": true") != std::string::npos)
+            ++report.ok;
+        else
+            ++report.errors;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    report.p50_ms = percentile(latencies, 0.50);
+    report.p95_ms = percentile(latencies, 0.95);
+    report.p99_ms = percentile(latencies, 0.99);
+    report.cache = service.cache().stats();
+
+    if (responses_out) {
+        for (const auto &r : responses)
+            *responses_out << r << '\n';
+        responses_out->flush();
+    }
+    return report;
+}
+
+std::string
+LoadGenReport::summary() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "loadgen: %zu requests (%zu ok, %zu errors, %zu rejected)\n"
+        "  wall %.1f ms, throughput %.0f req/s\n"
+        "  latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n"
+        "  cache: %llu hits, %llu misses, %llu evictions "
+        "(hit rate %.1f%%)",
+        issued, ok, errors, rejected, wall_ms, achieved_qps, p50_ms,
+        p95_ms, p99_ms, (unsigned long long)cache.hits,
+        (unsigned long long)cache.misses,
+        (unsigned long long)cache.evictions, cache.hitRate() * 100.0);
+    return buf;
+}
+
+} // namespace gcm::serve

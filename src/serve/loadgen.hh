@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Seeded closed-loop load generator for the serving subsystem.
+ *
+ * Synthesizes a deterministic gcm-serve/v1 request stream from a
+ * seed and a mix profile, drives it through a RequestLoop in bursts,
+ * and reports throughput, per-request latency percentiles
+ * (p50/p95/p99, measured per burst on the wall clock) and the cache
+ * hit/miss profile.
+ *
+ * Mixes:
+ *  - DuplicateHeavy: requests are drawn (with a skewed weighting)
+ *    from a small pool of (network, device) pairs, so the steady
+ *    state is almost all cache hits — the serving fast path.
+ *  - UniqueHeavy: every request perturbs its raw signature vector,
+ *    so every key is new and the cold path runs end to end.
+ *
+ * Determinism: the request *stream* and the response *stream* are
+ * pure functions of (seed, config, model); timing numbers are not.
+ * Responses are collected in request order, so two runs with the
+ * same seed are byte-identical at any GCM_THREADS — the acceptance
+ * check of PR 5 and a test in tests/test_serve.cc.
+ *
+ * Closed loop with optional pacing: with target_qps > 0 the
+ * generator sleeps between bursts to approximate the target offered
+ * load; with 0 it runs back-to-back (peak throughput mode). Bursts
+ * larger than the admission queue exercise explicit rejection.
+ */
+
+#ifndef GCM_SERVE_LOADGEN_HH
+#define GCM_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hh"
+#include "serve/protocol.hh"
+#include "serve/service.hh"
+
+namespace gcm::serve
+{
+
+/** Request-mix profiles. */
+enum class LoadMix
+{
+    DuplicateHeavy,
+    UniqueHeavy,
+};
+
+/** Parse "duplicate" / "unique". Throws GcmError. */
+LoadMix parseLoadMix(const std::string &name);
+
+struct LoadGenConfig
+{
+    std::size_t requests = 2000;
+    /** Requests offered per burst before draining. */
+    std::size_t burst = 32;
+    /** Offered load; 0 = unpaced (as fast as the loop drains). */
+    double target_qps = 0.0;
+    std::uint64_t seed = 42;
+    LoadMix mix = LoadMix::DuplicateHeavy;
+    /** Distinct (network, device) pairs of the duplicate-heavy pool. */
+    std::size_t pool_size = 16;
+    LoopConfig loop;
+
+    /** Throws GcmError on invalid parameters. */
+    void validate() const;
+};
+
+/** What one load-generation run measured. */
+struct LoadGenReport
+{
+    std::size_t issued = 0;
+    std::size_t rejected = 0;
+    std::size_t ok = 0;
+    std::size_t errors = 0;
+    double wall_ms = 0.0;
+    double achieved_qps = 0.0;
+    /** Per-request latency percentiles (burst-attributed), ms. */
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    ShardedLruCache::Stats cache;
+
+    /** Human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+/**
+ * Generate the deterministic request stream for a config against a
+ * service's device table and model signature width. Exposed so tests
+ * can replay the exact stream the generator drives.
+ */
+std::vector<std::string>
+generateRequests(const PredictionService &service,
+                 const LoadGenConfig &config);
+
+/**
+ * Run the load generator against a service. When `responses_out` is
+ * non-null, every response line is written to it in request order
+ * (rejections included, at their request's position).
+ */
+LoadGenReport runLoadGen(PredictionService &service,
+                         const LoadGenConfig &config,
+                         std::ostream *responses_out);
+
+} // namespace gcm::serve
+
+#endif // GCM_SERVE_LOADGEN_HH

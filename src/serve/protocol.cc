@@ -1,0 +1,228 @@
+#include "serve/protocol.hh"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/json.hh"
+
+namespace gcm::serve
+{
+
+namespace
+{
+
+/**
+ * Parse one line into `out`. Returns an empty string on success, the
+ * error message otherwise. Fills out.id whenever the line was valid
+ * JSON with a string id, so even schema-violating requests get their
+ * id echoed in the error response.
+ */
+std::string
+tryParseRequestLine(const std::string &line, ServeRequest &out)
+{
+    if (line.size() > kMaxRequestLineBytes) {
+        return "request line of " + std::to_string(line.size())
+               + " bytes exceeds the " ""
+               + std::to_string(kMaxRequestLineBytes) + "-byte limit";
+    }
+    json::Value doc;
+    try {
+        doc = json::parseJson(line);
+    } catch (const GcmError &e) {
+        return e.what();
+    }
+    if (!doc.isObject())
+        return "request must be a JSON object";
+    if (doc.has("id") && doc.at("id").isString())
+        out.id = doc.at("id").str;
+
+    for (const auto &[key, value] : doc.object) {
+        if (key == "id") {
+            if (!value.isString())
+                return "field 'id' must be a string";
+        } else if (key == "network") {
+            if (!value.isString() || value.str.empty())
+                return "field 'network' must be a non-empty string";
+            out.network = value.str;
+        } else if (key == "graph") {
+            if (!value.isString() || value.str.empty())
+                return "field 'graph' must be a non-empty string";
+            out.graph_text = value.str;
+        } else if (key == "device") {
+            if (!value.isString() || value.str.empty())
+                return "field 'device' must be a non-empty string";
+            out.device = value.str;
+        } else if (key == "signature") {
+            if (!value.isArray())
+                return "field 'signature' must be an array of numbers";
+            out.signature.reserve(value.array.size());
+            for (const auto &v : value.array) {
+                if (!v.isNumber())
+                    return "field 'signature' must contain only "
+                           "numbers";
+                out.signature.push_back(v.number);
+            }
+            out.has_signature = true;
+        } else {
+            return "unknown field '" + key + "'";
+        }
+    }
+    return "";
+}
+
+} // namespace
+
+ServeRequest
+parseRequestLine(const std::string &line)
+{
+    ServeRequest request;
+    const std::string err = tryParseRequestLine(line, request);
+    if (!err.empty())
+        fatal("gcm-serve/v1: ", err);
+    return request;
+}
+
+std::string
+renderResponse(const ServeResponse &response)
+{
+    std::string out = "{\"id\": ";
+    json::appendJsonString(out, response.id);
+    if (response.ok) {
+        std::ostringstream num;
+        num.precision(std::numeric_limits<double>::max_digits10);
+        num << response.latency_ms;
+        out += ", \"ok\": true, \"latency_ms\": " + num.str()
+               + ", \"model_version\": "
+               + std::to_string(response.model_version) + "}";
+    } else {
+        out += ", \"ok\": false, \"error\": {\"code\": \"";
+        out += serveErrorCodeName(response.error_code);
+        out += "\", \"message\": ";
+        json::appendJsonString(out, response.error_message);
+        out += "}}";
+    }
+    return out;
+}
+
+void
+validateLoopConfig(const LoopConfig &config)
+{
+    if (config.batch_size == 0)
+        fatal("LoopConfig: batch_size must be >= 1");
+    if (config.queue_capacity < config.batch_size) {
+        fatal("LoopConfig: queue_capacity (", config.queue_capacity,
+              ") must be >= batch_size (", config.batch_size, ")");
+    }
+}
+
+RequestLoop::RequestLoop(PredictionService &service, LoopConfig config)
+    : service_(service), config_(config)
+{
+    validateLoopConfig(config_);
+}
+
+bool
+RequestLoop::offer(std::string line)
+{
+    if (queue_.size() >= config_.queue_capacity)
+        return false;
+    queue_.push_back(std::move(line));
+    return true;
+}
+
+std::string
+RequestLoop::renderOverloaded(const std::string &line)
+{
+    // Best-effort id echo: a rejected line may still be valid JSON.
+    std::string id;
+    try {
+        const json::Value doc = json::parseJson(line);
+        if (doc.isObject() && doc.has("id") && doc.at("id").isString())
+            id = doc.at("id").str;
+    } catch (const GcmError &) {
+        // Malformed line: the rejection wins over the parse error.
+    }
+    return renderResponse(ServeResponse::failure(
+        id, ServeErrorCode::Overloaded, "admission queue full"));
+}
+
+void
+RequestLoop::drainBatch(std::vector<std::string> &responses_out)
+{
+    const std::size_t n = std::min(config_.batch_size, queue_.size());
+    if (n == 0)
+        return;
+
+    // Parse the drained lines; parse failures keep their position.
+    std::vector<ServeResponse> parse_errors(n);
+    std::vector<std::ptrdiff_t> slot(n, -1); // index into `requests`
+    std::vector<ServeRequest> requests;
+    requests.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ServeRequest request;
+        const std::string err =
+            tryParseRequestLine(queue_.front(), request);
+        queue_.pop_front();
+        if (err.empty()) {
+            slot[i] = static_cast<std::ptrdiff_t>(requests.size());
+            requests.push_back(std::move(request));
+        } else {
+            parse_errors[i] = ServeResponse::failure(
+                std::move(request.id), ServeErrorCode::BadRequest, err);
+        }
+    }
+
+    const std::vector<ServeResponse> served =
+        service_.processBatch(requests);
+    for (std::size_t i = 0; i < n; ++i) {
+        const ServeResponse &r = slot[i] >= 0
+                                     ? served[static_cast<std::size_t>(
+                                           slot[i])]
+                                     : parse_errors[i];
+        responses_out.push_back(renderResponse(r));
+    }
+}
+
+void
+RequestLoop::drainAll(std::vector<std::string> &responses_out)
+{
+    while (!queue_.empty())
+        drainBatch(responses_out);
+}
+
+std::size_t
+runServeLoop(PredictionService &service, std::istream &in,
+             std::ostream &out, LoopConfig config)
+{
+    RequestLoop loop(service, config);
+    std::vector<std::string> responses;
+    const auto flush = [&] {
+        for (const auto &r : responses)
+            out << r << '\n';
+        responses.clear();
+    };
+
+    std::string line;
+    std::size_t consumed = 0;
+    while (std::getline(in, line)) {
+        ++consumed;
+        if (!loop.offer(line)) {
+            // Queue full: drain one batch, then shed if still full.
+            loop.drainBatch(responses);
+            if (!loop.offer(line))
+                responses.push_back(RequestLoop::renderOverloaded(line));
+        }
+        if (loop.queued() >= config.batch_size)
+            loop.drainBatch(responses);
+        flush();
+    }
+    loop.drainAll(responses);
+    flush();
+    out.flush();
+    return consumed;
+}
+
+} // namespace gcm::serve

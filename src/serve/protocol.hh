@@ -1,0 +1,123 @@
+/**
+ * @file
+ * gcm-serve/v1 — line-delimited JSON serving protocol.
+ *
+ * Requests, one JSON object per line:
+ *
+ *   {"id": "r1", "network": "mobilenet_v2_1.0", "device": "Mi-9"}
+ *   {"id": "r2", "graph": "gcm-graph v1\n...", "signature": [3.1, 8.2]}
+ *
+ * Fields: `id` (optional string, echoed back), exactly one of
+ * `network` (zoo name) / `graph` (inline gcm-graph v1 document), and
+ * exactly one of `device` (device-table name) / `signature` (array of
+ * finite positive numbers, in model signature order).
+ *
+ * Responses, one JSON object per request line, in request order:
+ *
+ *   {"id": "r1", "ok": true, "latency_ms": 42.25, "model_version": 1}
+ *   {"id": "r2", "ok": false, "error": {"code": "bad_request",
+ *    "message": "..."}}
+ *
+ * The response line carries no cache or timing detail, so byte-equal
+ * request streams produce byte-equal response streams at any thread
+ * count and any cache temperature; hit/miss accounting is observable
+ * through ShardedLruCache::stats() and the serve.cache.* counters.
+ *
+ * Untrusted-input contract: any line — malformed JSON, unknown
+ * fields, wrong types, oversized lines (> kMaxRequestLineBytes),
+ * non-finite numbers — yields a structured error *response*, never an
+ * exception out of the loop and never a crash.
+ *
+ * Admission control: RequestLoop holds a bounded FIFO of raw request
+ * lines. offer() rejects once the queue is full (the caller emits the
+ * "overloaded" response — explicit load shedding in the PR-4 spirit
+ * of graceful degradation), and drainBatch() feeds at most one
+ * micro-batch at a time into PredictionService::processBatch.
+ */
+
+#ifndef GCM_SERVE_PROTOCOL_HH
+#define GCM_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/service.hh"
+
+namespace gcm::serve
+{
+
+/** Hard cap on one request line; beyond it the line is rejected. */
+inline constexpr std::size_t kMaxRequestLineBytes = 1u << 20;
+
+/**
+ * Parse one request line. Throws GcmError with a human-readable
+ * message for any schema violation (the loop converts that into a
+ * structured "bad_request" response).
+ */
+ServeRequest parseRequestLine(const std::string &line);
+
+/** Render a response as one JSON line (no trailing newline). */
+std::string renderResponse(const ServeResponse &response);
+
+/** Micro-batching loop configuration. */
+struct LoopConfig
+{
+    /** Requests handed to one processBatch() call. */
+    std::size_t batch_size = 32;
+    /** Admission-queue capacity; offers beyond it are rejected. */
+    std::size_t queue_capacity = 256;
+};
+
+/** Validate loop parameters. Throws GcmError. */
+void validateLoopConfig(const LoopConfig &config);
+
+class RequestLoop
+{
+  public:
+    RequestLoop(PredictionService &service, LoopConfig config = {});
+
+    /**
+     * Try to admit one raw request line. Returns false — and touches
+     * nothing — when the queue is full; the caller must then emit an
+     * "overloaded" rejection for the line.
+     */
+    bool offer(std::string line);
+
+    /**
+     * Drain at most one batch from the queue: parse each admitted
+     * line (parse failures become error responses in place), serve
+     * the parsed requests, and append one rendered response line per
+     * drained request, in admission order.
+     */
+    void drainBatch(std::vector<std::string> &responses_out);
+
+    /** Drain until the queue is empty. */
+    void drainAll(std::vector<std::string> &responses_out);
+
+    std::size_t queued() const { return queue_.size(); }
+    const LoopConfig &config() const { return config_; }
+
+    /** The rejection line for a request that could not be admitted. */
+    static std::string renderOverloaded(const std::string &line);
+
+  private:
+    PredictionService &service_;
+    LoopConfig config_;
+    std::deque<std::string> queue_;
+};
+
+/**
+ * Run the full serve loop: read request lines from `in`, admit them
+ * through a RequestLoop (draining whenever a batch is ready), and
+ * write one response line per request to `out`. Returns the number
+ * of request lines consumed. Never throws on malformed input.
+ */
+std::size_t runServeLoop(PredictionService &service, std::istream &in,
+                         std::ostream &out, LoopConfig config = {});
+
+} // namespace gcm::serve
+
+#endif // GCM_SERVE_PROTOCOL_HH

@@ -1,0 +1,151 @@
+#include "serve/registry.hh"
+
+#include <istream>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace gcm::serve
+{
+
+const char *
+snapshotKindName(SnapshotKind kind)
+{
+    switch (kind) {
+      case SnapshotKind::CostModel: return "cost-model";
+      case SnapshotKind::Gbt: return "gbt";
+      case SnapshotKind::RandomForest: return "random-forest";
+    }
+    return "?";
+}
+
+ModelSnapshot
+ModelSnapshot::fromStream(std::istream &is)
+{
+    // Buffer the stream so the header can be sniffed without
+    // disturbing what the per-backend deserializer consumes.
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+
+    ModelSnapshot snap;
+    std::istringstream model_is(text);
+    if (text.rfind("gcm-cost-model v1", 0) == 0) {
+        snap.kind_ = SnapshotKind::CostModel;
+        snap.cost_model_ = std::make_unique<core::SignatureCostModel>(
+            core::SignatureCostModel::deserialize(model_is));
+    } else if (text.rfind("gcm-gbt v1", 0) == 0) {
+        snap.kind_ = SnapshotKind::Gbt;
+        snap.gbt_ = std::make_unique<ml::GradientBoostedTrees>(
+            ml::GradientBoostedTrees::deserialize(model_is));
+    } else if (text.rfind("gcm-rf v1", 0) == 0) {
+        snap.kind_ = SnapshotKind::RandomForest;
+        snap.forest_ = std::make_unique<ml::RandomForest>(
+            ml::RandomForest::deserialize(model_is));
+    } else {
+        fatal("ModelSnapshot: unrecognized model header (expected "
+              "'gcm-cost-model v1', 'gcm-gbt v1' or 'gcm-rf v1')");
+    }
+    return snap;
+}
+
+ModelSnapshot
+ModelSnapshot::fromCostModel(core::SignatureCostModel model)
+{
+    ModelSnapshot snap;
+    snap.kind_ = SnapshotKind::CostModel;
+    snap.cost_model_ = std::make_unique<core::SignatureCostModel>(
+        std::move(model));
+    return snap;
+}
+
+const core::SignatureCostModel &
+ModelSnapshot::costModel() const
+{
+    GCM_ASSERT(kind_ == SnapshotKind::CostModel,
+               "ModelSnapshot: not a cost-model snapshot");
+    return *cost_model_;
+}
+
+double
+ModelSnapshot::predictRow(const float *x) const
+{
+    switch (kind_) {
+      case SnapshotKind::Gbt: return gbt_->predictRow(x);
+      case SnapshotKind::RandomForest: return forest_->predictRow(x);
+      case SnapshotKind::CostModel: break;
+    }
+    GCM_ASSERT(false, "ModelSnapshot::predictRow: cost-model snapshots "
+                      "serve (network, device) queries, not rows");
+    return 0.0;
+}
+
+ModelRegistry::Version
+ModelRegistry::publish(ModelSnapshot snapshot)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const Version v = next_++;
+    snapshots_.emplace(
+        v, std::make_shared<const ModelSnapshot>(std::move(snapshot)));
+    previous_ = active_;
+    active_ = v;
+    return v;
+}
+
+ModelRegistry::ActiveModel
+ModelRegistry::active() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_ == 0)
+        return {};
+    return {active_, snapshots_.at(active_)};
+}
+
+ModelRegistry::Version
+ModelRegistry::activeVersion() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_;
+}
+
+void
+ModelRegistry::activate(Version version)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (snapshots_.count(version) == 0)
+        fatal("ModelRegistry::activate: unknown version ", version);
+    if (version == active_)
+        return;
+    previous_ = active_;
+    active_ = version;
+}
+
+void
+ModelRegistry::rollback()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (previous_ == 0)
+        fatal("ModelRegistry::rollback: no previous version");
+    std::swap(active_, previous_);
+}
+
+std::shared_ptr<const ModelSnapshot>
+ModelRegistry::snapshot(Version version) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = snapshots_.find(version);
+    return it == snapshots_.end() ? nullptr : it->second;
+}
+
+std::vector<ModelRegistry::Version>
+ModelRegistry::versions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Version> out;
+    out.reserve(snapshots_.size());
+    for (const auto &[v, snap] : snapshots_)
+        out.push_back(v);
+    return out;
+}
+
+} // namespace gcm::serve

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Versioned model registry for the prediction serving layer.
+ *
+ * A ModelSnapshot is an immutable, fully-loaded model: once published
+ * it is never mutated, so request threads can keep predicting against
+ * the snapshot they pinned while an operator publishes, activates or
+ * rolls back other versions concurrently. The registry hands out
+ * snapshots as shared_ptr<const>, which is the whole hot-swap
+ * mechanism: activation replaces which pointer active() returns;
+ * in-flight batches finish on the version they started with and the
+ * old snapshot is freed when its last batch drops the reference.
+ *
+ * Snapshots are backend-agnostic. Loading sniffs the self-describing
+ * header of the stream:
+ *
+ *   gcm-cost-model v1  -> core::SignatureCostModel (the servable kind
+ *                         PredictionService requires)
+ *   gcm-gbt v1         -> bare ml::GradientBoostedTrees regressor
+ *   gcm-rf v1          -> bare ml::RandomForest regressor
+ *
+ * Bare regressors predict feature rows (predictRow) rather than
+ * (network, device) queries; they exist so retraining pipelines can
+ * stage any learner through the same registry/rollback machinery.
+ */
+
+#ifndef GCM_SERVE_REGISTRY_HH
+#define GCM_SERVE_REGISTRY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "ml/gbt.hh"
+#include "ml/random_forest.hh"
+
+namespace gcm::serve
+{
+
+/** Which learner a snapshot wraps. */
+enum class SnapshotKind
+{
+    CostModel,    // end-to-end SignatureCostModel (servable)
+    Gbt,          // bare gradient-boosted-trees regressor
+    RandomForest, // bare random-forest regressor
+};
+
+/** Display name of a snapshot kind. */
+const char *snapshotKindName(SnapshotKind kind);
+
+/** One immutable loaded model. */
+class ModelSnapshot
+{
+  public:
+    /**
+     * Load a snapshot from a serialized model stream, dispatching on
+     * the header magic (see file comment). Throws GcmError for
+     * unrecognized or malformed content.
+     */
+    static ModelSnapshot fromStream(std::istream &is);
+
+    /** Wrap an already-constructed cost model. */
+    static ModelSnapshot fromCostModel(core::SignatureCostModel model);
+
+    SnapshotKind kind() const { return kind_; }
+
+    /** @pre kind() == SnapshotKind::CostModel */
+    const core::SignatureCostModel &costModel() const;
+
+    /**
+     * Predict one raw feature row with a bare regressor snapshot.
+     * @pre kind() is Gbt or RandomForest.
+     */
+    double predictRow(const float *x) const;
+
+  private:
+    ModelSnapshot() = default;
+
+    SnapshotKind kind_ = SnapshotKind::CostModel;
+    std::unique_ptr<const core::SignatureCostModel> cost_model_;
+    std::unique_ptr<const ml::GradientBoostedTrees> gbt_;
+    std::unique_ptr<const ml::RandomForest> forest_;
+};
+
+/**
+ * Thread-safe registry of versioned snapshots with atomic hot-swap
+ * and rollback. Versions are monotonically increasing, starting at 1;
+ * version 0 means "none".
+ */
+class ModelRegistry
+{
+  public:
+    using Version = std::uint64_t;
+
+    /** The pinned (version, snapshot) pair a batch predicts against. */
+    struct ActiveModel
+    {
+        Version version = 0;
+        std::shared_ptr<const ModelSnapshot> snapshot;
+
+        explicit operator bool() const { return snapshot != nullptr; }
+    };
+
+    /**
+     * Register a snapshot and atomically make it the active version.
+     * Returns the assigned version id.
+     */
+    Version publish(ModelSnapshot snapshot);
+
+    /**
+     * The currently active (version, snapshot) pair; {0, nullptr}
+     * before the first publish. Callers pin one ActiveModel per batch
+     * so every request in the batch sees one consistent model.
+     */
+    ActiveModel active() const;
+
+    Version activeVersion() const;
+
+    /** Hot-swap to a previously published version. Throws GcmError. */
+    void activate(Version version);
+
+    /**
+     * Revert to the version that was active before the most recent
+     * publish()/activate() swap. Throws GcmError when there is no
+     * previous version to return to.
+     */
+    void rollback();
+
+    /** Fetch a specific version (nullptr when unknown). */
+    std::shared_ptr<const ModelSnapshot> snapshot(Version version) const;
+
+    /** All published versions, ascending. */
+    std::vector<Version> versions() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<Version, std::shared_ptr<const ModelSnapshot>> snapshots_;
+    Version active_ = 0;
+    Version previous_ = 0;
+    Version next_ = 1;
+};
+
+} // namespace gcm::serve
+
+#endif // GCM_SERVE_REGISTRY_HH

@@ -1,0 +1,264 @@
+#include "serve/service.hh"
+
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "dnn/fingerprint.hh"
+#include "dnn/quantize.hh"
+#include "dnn/serialize.hh"
+#include "dnn/zoo.hh"
+#include "obs/obs.hh"
+#include "util/error.hh"
+#include "util/parallel.hh"
+
+namespace gcm::serve
+{
+
+const char *
+serveErrorCodeName(ServeErrorCode code)
+{
+    switch (code) {
+      case ServeErrorCode::BadRequest: return "bad_request";
+      case ServeErrorCode::UnknownNetwork: return "unknown_network";
+      case ServeErrorCode::UnknownDevice: return "unknown_device";
+      case ServeErrorCode::BadGraph: return "bad_graph";
+      case ServeErrorCode::NoModel: return "no_model";
+      case ServeErrorCode::Overloaded: return "overloaded";
+      case ServeErrorCode::Internal: return "internal";
+    }
+    return "?";
+}
+
+PredictionService::PredictionService(const ModelRegistry &registry,
+                                     DeviceTable device_table,
+                                     ServiceConfig config)
+    : registry_(registry), device_table_(std::move(device_table)),
+      cache_(config.cache_capacity, config.cache_shards)
+{
+}
+
+PredictionService::Resolved
+PredictionService::resolve(const ServeRequest &request,
+                           const core::SignatureCostModel &model,
+                           ModelRegistry::Version version)
+{
+    Resolved r;
+    const auto failWith = [&r](ServeErrorCode code, std::string msg) {
+        r.error_code = code;
+        r.error_message = std::move(msg);
+    };
+
+    // --- network -> deployment graph + structural fingerprint.
+    const bool has_network = !request.network.empty();
+    const bool has_graph = !request.graph_text.empty();
+    if (has_network == has_graph) {
+        failWith(ServeErrorCode::BadRequest,
+                 "exactly one of 'network' and 'graph' is required");
+        return r;
+    }
+    if (has_network) {
+        auto memo = graph_memo_.find(request.network);
+        if (memo == graph_memo_.end()) {
+            dnn::Graph g;
+            try {
+                g = dnn::quantize(dnn::buildZooModel(request.network));
+            } catch (const GcmError &) {
+                failWith(ServeErrorCode::UnknownNetwork,
+                         "unknown network '" + request.network + "'");
+                return r;
+            }
+            const std::uint64_t fp = dnn::graphFingerprint(g);
+            memo = graph_memo_
+                       .emplace(request.network,
+                                std::make_pair(std::move(g), fp))
+                       .first;
+        }
+        r.graph = &memo->second.first;
+        r.key.graph_fp = memo->second.second;
+    } else {
+        try {
+            dnn::Graph g = dnn::graphFromText(request.graph_text);
+            if (g.precision() != dnn::Precision::Int8)
+                g = dnn::quantize(g);
+            r.owned_graph = std::make_unique<dnn::Graph>(std::move(g));
+        } catch (const GcmError &e) {
+            failWith(ServeErrorCode::BadGraph,
+                     std::string("inline graph rejected: ") + e.what());
+            return r;
+        }
+        r.graph = r.owned_graph.get();
+        r.key.graph_fp = dnn::graphFingerprint(*r.graph);
+    }
+
+    // --- device -> signature-latency vector + fingerprint.
+    const bool has_device = !request.device.empty();
+    if (has_device == request.has_signature) {
+        failWith(ServeErrorCode::BadRequest,
+                 "exactly one of 'device' and 'signature' is required");
+        return r;
+    }
+    if (has_device) {
+        const auto it = device_table_.find(request.device);
+        if (it == device_table_.end()) {
+            failWith(ServeErrorCode::UnknownDevice,
+                     "unknown device '" + request.device + "'");
+            return r;
+        }
+        r.signature = it->second;
+    } else {
+        r.signature = request.signature;
+    }
+    const std::size_t want = model.signatureNames().size();
+    if (r.signature.size() != want) {
+        failWith(has_device ? ServeErrorCode::Internal
+                            : ServeErrorCode::BadRequest,
+                 "signature has " + std::to_string(r.signature.size())
+                     + " latencies, the model expects "
+                     + std::to_string(want));
+        return r;
+    }
+    for (double v : r.signature) {
+        if (!std::isfinite(v) || v <= 0.0) {
+            failWith(ServeErrorCode::BadRequest,
+                     "signature latencies must be finite and positive");
+            return r;
+        }
+    }
+    r.key.device_fp = signatureFingerprint(r.signature);
+    r.key.model_version = version;
+    return r;
+}
+
+std::vector<ServeResponse>
+PredictionService::processBatch(const std::vector<ServeRequest> &requests)
+{
+    const obs::TraceSpan span("serve.batch");
+    const bool timed = obs::enabled();
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+    obs::counterAdd("serve.requests", requests.size());
+
+    std::vector<ServeResponse> responses(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        responses[i].id = requests[i].id;
+
+    // Pin one snapshot for the whole batch: a concurrent hot-swap
+    // lands between batches, never inside one.
+    const ModelRegistry::ActiveModel active = registry_.active();
+    if (!active
+        || active.snapshot->kind() != SnapshotKind::CostModel) {
+        const std::string msg =
+            !active ? "no model published"
+                    : std::string("active snapshot is a bare '")
+                          + snapshotKindName(active.snapshot->kind())
+                          + "' regressor, not servable";
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            responses[i] = ServeResponse::failure(
+                requests[i].id, ServeErrorCode::NoModel, msg);
+        }
+        obs::counterAdd("serve.responses.error", requests.size());
+        return responses;
+    }
+    const core::SignatureCostModel &model = active.snapshot->costModel();
+
+    // Serial phase: resolve and probe the cache in request order, so
+    // LRU movement and hit/miss accounting are schedule-independent.
+    enum class State { Error, Hit, Compute };
+    struct Plan
+    {
+        State state = State::Error;
+        std::size_t compute_slot = 0;
+    };
+    std::vector<Plan> plan(requests.size());
+    std::vector<Resolved> resolved;
+    // Compute tasks keep pointers into this vector; the reserve keeps
+    // them stable across the push_backs below.
+    resolved.reserve(requests.size());
+    struct ComputeTask
+    {
+        const dnn::Graph *graph;
+        const std::vector<double> *signature;
+        CacheKey key;
+    };
+    std::vector<ComputeTask> compute;
+    std::unordered_map<CacheKey, std::size_t, CacheKeyHasher> pending;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        resolved.push_back(resolve(requests[i], model, active.version));
+        Resolved &r = resolved.back();
+        if (!r.ok()) {
+            responses[i] = ServeResponse::failure(
+                requests[i].id, r.error_code, r.error_message);
+            continue;
+        }
+        if (const auto hit = cache_.get(r.key)) {
+            plan[i].state = State::Hit;
+            responses[i].ok = true;
+            responses[i].latency_ms = *hit;
+            responses[i].model_version = active.version;
+            continue;
+        }
+        // Coalesce duplicate keys within the batch into one compute.
+        const auto [it, inserted] =
+            pending.emplace(r.key, compute.size());
+        if (inserted)
+            compute.push_back({r.graph, &r.signature, r.key});
+        plan[i].state = State::Compute;
+        plan[i].compute_slot = it->second;
+    }
+
+    // Parallel phase: one pure predictMs per unique missing key.
+    // Errors are carried in-band so a poisoned request cannot abort
+    // its batch siblings.
+    struct ComputeResult
+    {
+        double value = 0.0;
+        std::string error;
+    };
+    const std::vector<ComputeResult> results =
+        parallelMap(compute.size(), 1, [&](std::size_t j) {
+            ComputeResult out;
+            try {
+                out.value = model.predictMs(*compute[j].graph,
+                                            *compute[j].signature);
+            } catch (const GcmError &e) {
+                out.error = e.what();
+            }
+            return out;
+        });
+
+    // Serial epilogue: publish results to the cache in slot order and
+    // fill the remaining responses.
+    for (std::size_t j = 0; j < compute.size(); ++j) {
+        if (results[j].error.empty())
+            cache_.put(compute[j].key, results[j].value);
+    }
+    std::uint64_t ok_count = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (plan[i].state == State::Compute) {
+            const ComputeResult &res = results[plan[i].compute_slot];
+            if (res.error.empty()) {
+                responses[i].ok = true;
+                responses[i].latency_ms = res.value;
+                responses[i].model_version = active.version;
+            } else {
+                responses[i] = ServeResponse::failure(
+                    requests[i].id, ServeErrorCode::Internal,
+                    "prediction failed: " + res.error);
+            }
+        }
+        ok_count += responses[i].ok ? 1 : 0;
+    }
+    obs::counterAdd("serve.responses.ok", ok_count);
+    obs::counterAdd("serve.responses.error",
+                    requests.size() - ok_count);
+    if (timed) {
+        const std::chrono::duration<double, std::milli> dt =
+            std::chrono::steady_clock::now() - t0;
+        obs::histogramObserve("serve.batch_ms", dt.count());
+    }
+    return responses;
+}
+
+} // namespace gcm::serve

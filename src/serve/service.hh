@@ -1,0 +1,163 @@
+/**
+ * @file
+ * PredictionService — resolves typed serve requests against the
+ * active registry snapshot through the sharded prediction cache.
+ *
+ * A request names its network (zoo name, or an inline gcm-graph v1
+ * text) and its device (a name in the service's device table, or a
+ * raw signature-latency vector). Resolution turns that into
+ * (deployment graph, signature vector, cache key); prediction then
+ * either hits the cache or computes through the pinned snapshot's
+ * SignatureCostModel.
+ *
+ * Determinism contract (the serving extension of the PR-2 rule):
+ * processBatch() output is bit-identical at any thread count.
+ *  - The batch pins one registry snapshot up front, so a concurrent
+ *    hot-swap lands between batches, never inside one.
+ *  - Resolution and every cache probe/update run serially in request
+ *    order; only the pure predictMs() calls for the batch's unique
+ *    missing keys fan out, via parallelMap, one task per key.
+ *  - Duplicate keys within a batch are coalesced into one compute,
+ *    so results (and cache contents) cannot depend on a race between
+ *    identical requests.
+ * The cache is version-keyed and stores exact doubles, so a cache
+ * hit returns the byte-identical value the cold path produced.
+ */
+
+#ifndef GCM_SERVE_SERVICE_HH
+#define GCM_SERVE_SERVICE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dnn/graph.hh"
+#include "serve/cache.hh"
+#include "serve/registry.hh"
+
+namespace gcm::serve
+{
+
+/** One parsed gcm-serve/v1 request (see protocol.hh for the wire). */
+struct ServeRequest
+{
+    std::string id;
+    /** Zoo network name; empty when graph_text is used. */
+    std::string network;
+    /** Inline gcm-graph v1 document; empty when network is used. */
+    std::string graph_text;
+    /** Device-table name; empty when a raw signature is given. */
+    std::string device;
+    /** Raw signature latencies (ms); valid when has_signature. */
+    std::vector<double> signature;
+    bool has_signature = false;
+};
+
+/** Machine-readable error categories of the serve protocol. */
+enum class ServeErrorCode
+{
+    BadRequest,     // malformed JSON / schema violation / bad values
+    UnknownNetwork, // network name not in the zoo
+    UnknownDevice,  // device name not in the device table
+    BadGraph,       // inline graph failed to parse/verify
+    NoModel,        // registry has no active servable snapshot
+    Overloaded,     // admission queue full (emitted by RequestLoop)
+    Internal,       // prediction failed after admission
+};
+
+const char *serveErrorCodeName(ServeErrorCode code);
+
+/** One serve response; rendered to the wire by protocol.cc. */
+struct ServeResponse
+{
+    std::string id;
+    bool ok = false;
+    double latency_ms = 0.0;
+    ModelRegistry::Version model_version = 0;
+    ServeErrorCode error_code = ServeErrorCode::BadRequest;
+    std::string error_message;
+
+    static ServeResponse
+    failure(std::string id, ServeErrorCode code, std::string message)
+    {
+        ServeResponse r;
+        r.id = std::move(id);
+        r.error_code = code;
+        r.error_message = std::move(message);
+        return r;
+    }
+};
+
+/** Serving-side tunables. */
+struct ServiceConfig
+{
+    std::size_t cache_capacity = 4096;
+    std::size_t cache_shards = 8;
+};
+
+class PredictionService
+{
+  public:
+    /** Signature latencies per device name, in model signature order. */
+    using DeviceTable = std::map<std::string, std::vector<double>>;
+
+    /**
+     * @param registry Model source; the service keeps a reference, so
+     *        the registry must outlive it. Hot-swaps take effect at
+     *        the next batch.
+     * @param device_table Known devices (may be empty: requests must
+     *        then carry raw signatures).
+     */
+    PredictionService(const ModelRegistry &registry,
+                      DeviceTable device_table, ServiceConfig config = {});
+
+    /**
+     * Serve one batch. Responses are index-aligned with the requests.
+     * Never throws for malformed requests — every failure becomes a
+     * structured error response.
+     */
+    std::vector<ServeResponse>
+    processBatch(const std::vector<ServeRequest> &requests);
+
+    const ShardedLruCache &cache() const { return cache_; }
+    const DeviceTable &deviceTable() const { return device_table_; }
+    const ModelRegistry &registry() const { return registry_; }
+
+  private:
+    /** Outcome of resolving one request (error_message empty = ok). */
+    struct Resolved
+    {
+        /** Points into graph_memo_ or at owned_graph. */
+        const dnn::Graph *graph = nullptr;
+        /** Owner for inline graphs (memo-backed entries stay there). */
+        std::unique_ptr<dnn::Graph> owned_graph;
+        std::vector<double> signature;
+        CacheKey key;
+        ServeErrorCode error_code = ServeErrorCode::BadRequest;
+        std::string error_message;
+
+        bool ok() const { return error_message.empty(); }
+    };
+
+    Resolved resolve(const ServeRequest &request,
+                     const core::SignatureCostModel &model,
+                     ModelRegistry::Version version);
+
+    const ModelRegistry &registry_;
+    DeviceTable device_table_;
+    ShardedLruCache cache_;
+    /**
+     * Zoo-name -> (deployment graph, fingerprint) memo. The zoo is a
+     * fixed finite set, so this is bounded; it lets a cache hit skip
+     * rebuilding and re-quantizing the network entirely.
+     */
+    std::map<std::string, std::pair<dnn::Graph, std::uint64_t>>
+        graph_memo_;
+};
+
+} // namespace gcm::serve
+
+#endif // GCM_SERVE_SERVICE_HH

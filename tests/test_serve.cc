@@ -1,0 +1,662 @@
+/**
+ * @file
+ * Tests for the serving subsystem: graph fingerprint stability,
+ * registry hot-swap/rollback, sharded LRU cache correctness,
+ * batch determinism at any thread count, protocol hardening against
+ * untrusted input, and load-generator determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "dnn/fingerprint.hh"
+#include "dnn/quantize.hh"
+#include "dnn/serialize.hh"
+#include "dnn/zoo.hh"
+#include "ml/gbt.hh"
+#include "ml/random_forest.hh"
+#include "serve/cache.hh"
+#include "serve/loadgen.hh"
+#include "serve/protocol.hh"
+#include "serve/registry.hh"
+#include "serve/service.hh"
+#include "testing_support.hh"
+#include "util/error.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+
+using namespace gcm;
+
+namespace
+{
+
+/** One trained cost model over the reduced test context. */
+const core::SignatureCostModel &
+testModel()
+{
+    static const core::SignatureCostModel model = [] {
+        const auto &ctx = gcmtest::smallContext();
+        std::vector<std::size_t> devices(ctx.fleet().size());
+        for (std::size_t i = 0; i < devices.size(); ++i)
+            devices[i] = i;
+        core::SignatureCostModel::Config cfg;
+        cfg.gbt = gcmtest::fastGbt();
+        return core::SignatureCostModel::train(
+            ctx.suite(), ctx.latencyMatrix(devices), cfg);
+    }();
+    return model;
+}
+
+/** Registry with the test model published (version 1, active). */
+const serve::ModelRegistry &
+testRegistry()
+{
+    // The registry holds a mutex, so it is built in place and leaked
+    // (it must outlive every service in the test binary anyway).
+    static const serve::ModelRegistry *registry = [] {
+        auto *r = new serve::ModelRegistry;
+        std::stringstream ss;
+        testModel().serialize(ss);
+        r->publish(serve::ModelSnapshot::fromStream(ss));
+        return r;
+    }();
+    return *registry;
+}
+
+/** Fleet device names -> signature latencies, from the clean runs. */
+serve::PredictionService::DeviceTable
+testDeviceTable()
+{
+    const auto &ctx = gcmtest::smallContext();
+    const auto &model = testModel();
+    serve::PredictionService::DeviceTable table;
+    for (std::size_t d = 0; d < ctx.fleet().size(); ++d) {
+        std::vector<double> sig;
+        for (const auto &name : model.signatureNames())
+            sig.push_back(ctx.latencyMs(d, ctx.networkIndex(name)));
+        table[ctx.fleet().devices()[d].model_name] = std::move(sig);
+    }
+    return table;
+}
+
+std::string
+firstDeviceName()
+{
+    return testDeviceTable().begin()->first;
+}
+
+serve::ServeRequest
+networkRequest(const std::string &id, const std::string &network,
+               const std::string &device)
+{
+    serve::ServeRequest r;
+    r.id = id;
+    r.network = network;
+    r.device = device;
+    return r;
+}
+
+} // namespace
+
+// --- graph fingerprint -------------------------------------------------
+
+TEST(Fingerprint, StableAcrossSerializationRoundTrip)
+{
+    for (const char *name : {"mobilenet_v2_1.0", "mnasnet_a1"}) {
+        const dnn::Graph g = dnn::quantize(dnn::buildZooModel(name));
+        const std::uint64_t before = dnn::graphFingerprint(g);
+        const dnn::Graph back =
+            dnn::graphFromText(dnn::graphToText(g));
+        EXPECT_EQ(dnn::graphFingerprint(back), before) << name;
+    }
+}
+
+TEST(Fingerprint, IgnoresGraphName)
+{
+    const dnn::Graph g =
+        dnn::quantize(dnn::buildZooModel("squeezenet_1.1"));
+    const dnn::Graph renamed("totally-different-name", g.nodes(),
+                             g.precision());
+    EXPECT_EQ(dnn::graphFingerprint(renamed), dnn::graphFingerprint(g));
+}
+
+TEST(Fingerprint, DistinguishesStructures)
+{
+    const auto fp = [](const char *name) {
+        return dnn::graphFingerprint(
+            dnn::quantize(dnn::buildZooModel(name)));
+    };
+    EXPECT_NE(fp("mobilenet_v2_1.0"), fp("mnasnet_a1"));
+    EXPECT_NE(fp("mobilenet_v2_1.0"), fp("mobilenet_v2_0.75"));
+}
+
+TEST(Fingerprint, SensitiveToPrecision)
+{
+    const dnn::Graph fp32 = dnn::buildZooModel("squeezenet_1.1");
+    const dnn::Graph int8 = dnn::quantize(fp32);
+    EXPECT_NE(dnn::graphFingerprint(fp32), dnn::graphFingerprint(int8));
+}
+
+// --- model registry ----------------------------------------------------
+
+TEST(Registry, PublishActivateRollback)
+{
+    serve::ModelRegistry registry;
+    EXPECT_FALSE(registry.active());
+    EXPECT_THROW(registry.rollback(), GcmError);
+
+    std::stringstream s1, s2;
+    testModel().serialize(s1);
+    testModel().serialize(s2);
+    const auto v1 =
+        registry.publish(serve::ModelSnapshot::fromStream(s1));
+    const auto v2 =
+        registry.publish(serve::ModelSnapshot::fromStream(s2));
+    EXPECT_EQ(v1, 1u);
+    EXPECT_EQ(v2, 2u);
+    EXPECT_EQ(registry.activeVersion(), v2);
+    EXPECT_EQ(registry.versions(), (std::vector<std::uint64_t>{1, 2}));
+
+    registry.rollback(); // back to v1
+    EXPECT_EQ(registry.activeVersion(), v1);
+    registry.activate(v2);
+    EXPECT_EQ(registry.activeVersion(), v2);
+    EXPECT_THROW(registry.activate(99), GcmError);
+    EXPECT_NE(registry.snapshot(v1), nullptr);
+}
+
+TEST(Registry, SniffsAllThreeModelKinds)
+{
+    // Cost model.
+    std::stringstream cm;
+    testModel().serialize(cm);
+    EXPECT_EQ(serve::ModelSnapshot::fromStream(cm).kind(),
+              serve::SnapshotKind::CostModel);
+
+    // Bare GBT and RF regressors stage through the same registry.
+    Rng rng(11);
+    ml::Dataset ds(2);
+    for (int i = 0; i < 200; ++i) {
+        const float a = static_cast<float>(rng.uniform(0, 4));
+        const float b = static_cast<float>(rng.uniform(0, 4));
+        ds.addRow({a, b}, a * 2.0 + b);
+    }
+    ml::GradientBoostedTrees gbt(gcmtest::fastGbt());
+    gbt.train(ds);
+    std::stringstream gs;
+    gbt.serialize(gs);
+    const auto gbt_snap = serve::ModelSnapshot::fromStream(gs);
+    EXPECT_EQ(gbt_snap.kind(), serve::SnapshotKind::Gbt);
+    const float row[] = {1.0F, 2.0F};
+    EXPECT_TRUE(std::isfinite(gbt_snap.predictRow(row)));
+
+    ml::RandomForest rf;
+    rf.train(ds);
+    std::stringstream rs;
+    rf.serialize(rs);
+    const auto rf_snap = serve::ModelSnapshot::fromStream(rs);
+    EXPECT_EQ(rf_snap.kind(), serve::SnapshotKind::RandomForest);
+    EXPECT_TRUE(std::isfinite(rf_snap.predictRow(row)));
+
+    std::stringstream garbage("not a model at all");
+    EXPECT_THROW((void)serve::ModelSnapshot::fromStream(garbage),
+                 GcmError);
+}
+
+TEST(Registry, HotSwapUnderConcurrentServing)
+{
+    // A writer thread flips between two versions while a reader
+    // serves batches; every batch must see a complete snapshot
+    // (version 1 or 2, never a torn state). Run under TSan.
+    serve::ModelRegistry registry;
+    std::stringstream s1, s2;
+    testModel().serialize(s1);
+    testModel().serialize(s2);
+    registry.publish(serve::ModelSnapshot::fromStream(s1));
+    registry.publish(serve::ModelSnapshot::fromStream(s2));
+
+    serve::PredictionService service(registry, testDeviceTable(), {});
+    const std::vector<serve::ServeRequest> batch = {
+        networkRequest("a", "mobilenet_v2_1.0", firstDeviceName())};
+
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        for (int i = 0; i < 200; ++i) {
+            registry.activate(1 + (i % 2));
+            std::this_thread::yield();
+        }
+        stop.store(true);
+    });
+    std::size_t served = 0;
+    while (!stop.load()) {
+        const auto responses = service.processBatch(batch);
+        ASSERT_EQ(responses.size(), 1u);
+        ASSERT_TRUE(responses[0].ok) << responses[0].error_message;
+        ASSERT_TRUE(responses[0].model_version == 1
+                    || responses[0].model_version == 2);
+        ++served;
+    }
+    writer.join();
+    EXPECT_GT(served, 0u);
+}
+
+// --- sharded LRU cache -------------------------------------------------
+
+TEST(Cache, LruEvictionAtCapacity)
+{
+    serve::ShardedLruCache cache(2, 1); // one shard: strict LRU
+    const serve::CacheKey k1{1, 1, 1}, k2{2, 2, 1}, k3{3, 3, 1};
+    cache.put(k1, 10.0);
+    cache.put(k2, 20.0);
+    ASSERT_TRUE(cache.get(k1).has_value()); // k1 becomes MRU
+    cache.put(k3, 30.0);                    // evicts k2 (LRU)
+
+    EXPECT_FALSE(cache.get(k2).has_value());
+    EXPECT_EQ(cache.get(k1), 10.0);
+    EXPECT_EQ(cache.get(k3), 30.0);
+    const auto st = cache.stats();
+    EXPECT_EQ(st.evictions, 1u);
+    EXPECT_EQ(st.insertions, 3u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(Cache, ZeroCapacityDisablesCaching)
+{
+    serve::ShardedLruCache cache(0);
+    cache.put({1, 1, 1}, 10.0);
+    EXPECT_FALSE(cache.get({1, 1, 1}).has_value());
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Cache, TotalResidencyNeverExceedsCapacity)
+{
+    serve::ShardedLruCache cache(10, 8);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        cache.put({i, i * 7919, 1}, static_cast<double>(i));
+    EXPECT_LE(cache.size(), 10u);
+}
+
+TEST(Cache, SignatureFingerprintSeparatesVectors)
+{
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> b{1.0, 2.0, 3.0000000001};
+    EXPECT_EQ(serve::signatureFingerprint(a),
+              serve::signatureFingerprint({1.0, 2.0, 3.0}));
+    EXPECT_NE(serve::signatureFingerprint(a),
+              serve::signatureFingerprint(b));
+    EXPECT_NE(serve::signatureFingerprint({1.0}),
+              serve::signatureFingerprint({1.0, 1.0}));
+}
+
+// --- prediction service ------------------------------------------------
+
+TEST(Service, CacheHitIsByteIdenticalToColdPath)
+{
+    const auto &registry = testRegistry();
+    serve::ServiceConfig cold_cfg;
+    cold_cfg.cache_capacity = 0; // cold path every time
+    serve::PredictionService cold(registry, testDeviceTable(),
+                                  cold_cfg);
+    serve::PredictionService cached(registry, testDeviceTable(), {});
+
+    const std::vector<serve::ServeRequest> batch = {
+        networkRequest("x", "mobilenet_v2_1.0", firstDeviceName())};
+    const std::string cold_line =
+        serve::renderResponse(cold.processBatch(batch)[0]);
+
+    const std::string miss_line =
+        serve::renderResponse(cached.processBatch(batch)[0]);
+    const std::string hit_line =
+        serve::renderResponse(cached.processBatch(batch)[0]);
+    EXPECT_EQ(cached.cache().stats().hits, 1u);
+    EXPECT_EQ(hit_line, miss_line);
+    EXPECT_EQ(hit_line, cold_line);
+}
+
+TEST(Service, CoalescesDuplicateKeysWithinBatch)
+{
+    serve::PredictionService service(testRegistry(), testDeviceTable(),
+                                     {});
+    const auto req =
+        networkRequest("d", "squeezenet_1.1", firstDeviceName());
+    const auto responses = service.processBatch({req, req, req});
+    ASSERT_EQ(responses.size(), 3u);
+    for (const auto &r : responses) {
+        EXPECT_TRUE(r.ok) << r.error_message;
+        EXPECT_EQ(r.latency_ms, responses[0].latency_ms);
+    }
+    // One unique key -> one insertion, even though all three missed.
+    EXPECT_EQ(service.cache().stats().insertions, 1u);
+    EXPECT_EQ(service.cache().stats().misses, 3u);
+}
+
+TEST(Service, BatchIsThreadCountInvariant)
+{
+    const auto run = [](std::size_t threads) {
+        setThreads(threads);
+        serve::PredictionService service(testRegistry(),
+                                         testDeviceTable(), {});
+        std::vector<serve::ServeRequest> batch;
+        const auto &table = testDeviceTable();
+        int i = 0;
+        for (const auto &[device, sig] : table) {
+            batch.push_back(networkRequest(
+                "r" + std::to_string(i),
+                i % 2 ? "mobilenet_v2_1.0" : "mnasnet_a1", device));
+            ++i;
+        }
+        std::string out;
+        for (const auto &r : service.processBatch(batch))
+            out += serve::renderResponse(r) + "\n";
+        return out;
+    };
+    const std::string one = run(1);
+    const std::string eight = run(8);
+    setThreads(0); // restore default
+    EXPECT_EQ(one, eight);
+}
+
+TEST(Service, RawSignatureRequestsServe)
+{
+    serve::PredictionService service(testRegistry(), testDeviceTable(),
+                                     {});
+    serve::ServeRequest req;
+    req.id = "raw";
+    req.network = "squeezenet_1.1";
+    req.signature = testDeviceTable().begin()->second;
+    req.has_signature = true;
+    const auto responses = service.processBatch({req});
+    ASSERT_TRUE(responses[0].ok) << responses[0].error_message;
+
+    // Same signature via the device name -> same cache key -> hit.
+    const auto again = service.processBatch(
+        {networkRequest("byname", "squeezenet_1.1", firstDeviceName())});
+    EXPECT_TRUE(again[0].ok);
+    EXPECT_EQ(again[0].latency_ms, responses[0].latency_ms);
+    EXPECT_EQ(service.cache().stats().hits, 1u);
+}
+
+TEST(Service, EmptyRegistryYieldsNoModel)
+{
+    serve::ModelRegistry empty;
+    serve::PredictionService service(empty, testDeviceTable(), {});
+    const auto responses = service.processBatch(
+        {networkRequest("x", "mobilenet_v2_1.0", firstDeviceName())});
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_FALSE(responses[0].ok);
+    EXPECT_EQ(responses[0].error_code, serve::ServeErrorCode::NoModel);
+}
+
+// --- protocol hardening ------------------------------------------------
+
+namespace
+{
+
+/** Run one line through a fresh serve loop; return the response. */
+std::string
+serveOneLine(const std::string &line)
+{
+    serve::PredictionService service(testRegistry(), testDeviceTable(),
+                                     {});
+    std::istringstream in(line + "\n");
+    std::ostringstream out;
+    serve::runServeLoop(service, in, out);
+    return out.str();
+}
+
+} // namespace
+
+TEST(Protocol, MalformedJsonBecomesStructuredError)
+{
+    for (const char *line :
+         {"not json at all", "{\"id\": \"x\"", "[1,2,3]", "42", "",
+          "{\"id\": \"x\", \"id\": \"y\"}"}) {
+        const std::string response = serveOneLine(line);
+        EXPECT_NE(response.find("\"ok\": false"), std::string::npos)
+            << line;
+        EXPECT_NE(response.find("bad_request"), std::string::npos)
+            << line;
+    }
+}
+
+TEST(Protocol, RejectsUnknownFieldsAndWrongTypes)
+{
+    const char *cases[] = {
+        "{\"id\": \"x\", \"network\": \"a\", \"device\": \"d\", "
+        "\"exploit\": 1}",
+        "{\"id\": \"x\", \"network\": 7, \"device\": \"d\"}",
+        "{\"id\": \"x\", \"network\": \"a\", \"signature\": \"oops\"}",
+        "{\"id\": \"x\", \"network\": \"a\", \"signature\": [1, "
+        "\"two\"]}",
+        "{\"id\": 9}",
+    };
+    for (const char *line : cases) {
+        const std::string response = serveOneLine(line);
+        EXPECT_NE(response.find("bad_request"), std::string::npos)
+            << line;
+    }
+}
+
+TEST(Protocol, RejectsNonFiniteNumbers)
+{
+    // 1e999 overflows to inf; NaN / Infinity are not JSON at all.
+    for (const char *line :
+         {"{\"id\": \"x\", \"network\": \"a\", \"signature\": "
+          "[1e999]}",
+          "{\"id\": \"x\", \"network\": \"a\", \"signature\": [NaN]}",
+          "{\"id\": \"x\", \"network\": \"a\", \"signature\": "
+          "[Infinity]}"}) {
+        const std::string response = serveOneLine(line);
+        EXPECT_NE(response.find("bad_request"), std::string::npos)
+            << line;
+    }
+    // Zero and negative latencies parse but fail validation.
+    const std::string zero = serveOneLine(
+        "{\"id\": \"x\", \"network\": \"mobilenet_v2_1.0\", "
+        "\"signature\": [0, 0, 0, 0, 0, 0, 0, 0, 0, 0]}");
+    EXPECT_NE(zero.find("bad_request"), std::string::npos);
+}
+
+TEST(Protocol, RejectsOversizedLines)
+{
+    std::string line = "{\"id\": \"big\", \"network\": \"";
+    line.append(serve::kMaxRequestLineBytes, 'a');
+    line += "\", \"device\": \"d\"}";
+    const std::string response = serveOneLine(line);
+    EXPECT_NE(response.find("bad_request"), std::string::npos);
+    EXPECT_NE(response.find("byte limit"), std::string::npos);
+}
+
+TEST(Protocol, RequiresExactlyOneNetworkAndOneDevice)
+{
+    const char *cases[] = {
+        "{\"id\": \"x\", \"device\": \"d\"}",
+        "{\"id\": \"x\", \"network\": \"a\", \"graph\": \"g\", "
+        "\"device\": \"d\"}",
+        // Valid network, but neither / both of device and signature
+        // (an unknown network would win otherwise: the graph side of
+        // the request resolves first).
+        "{\"id\": \"x\", \"network\": \"mobilenet_v2_1.0\"}",
+        "{\"id\": \"x\", \"network\": \"mobilenet_v2_1.0\", "
+        "\"device\": \"d\", \"signature\": [1]}",
+    };
+    for (const char *line : cases) {
+        const std::string response = serveOneLine(line);
+        EXPECT_NE(response.find("bad_request"), std::string::npos)
+            << line;
+    }
+}
+
+TEST(Protocol, UnknownNamesGetSpecificCodes)
+{
+    EXPECT_NE(serveOneLine("{\"id\": \"x\", \"network\": \"nope\", "
+                           "\"device\": \""
+                           + firstDeviceName() + "\"}")
+                  .find("unknown_network"),
+              std::string::npos);
+    EXPECT_NE(serveOneLine("{\"id\": \"x\", \"network\": "
+                           "\"mobilenet_v2_1.0\", \"device\": "
+                           "\"not-a-phone\"}")
+                  .find("unknown_device"),
+              std::string::npos);
+    EXPECT_NE(serveOneLine("{\"id\": \"x\", \"graph\": \"garbage\", "
+                           "\"device\": \""
+                           + firstDeviceName() + "\"}")
+                  .find("bad_graph"),
+              std::string::npos);
+}
+
+TEST(Protocol, InlineGraphServesAndMatchesZooFingerprint)
+{
+    serve::PredictionService service(testRegistry(), testDeviceTable(),
+                                     {});
+    const dnn::Graph g =
+        dnn::quantize(dnn::buildZooModel("mobilenet_v2_1.0"));
+    serve::ServeRequest inline_req;
+    inline_req.id = "inline";
+    inline_req.graph_text = dnn::graphToText(g);
+    inline_req.device = firstDeviceName();
+
+    const auto cold = service.processBatch({inline_req});
+    ASSERT_TRUE(cold[0].ok) << cold[0].error_message;
+
+    // The same network by zoo name must hit the inline graph's cache
+    // entry: the fingerprint is stable across serialization.
+    const auto by_name = service.processBatch(
+        {networkRequest("name", "mobilenet_v2_1.0", firstDeviceName())});
+    ASSERT_TRUE(by_name[0].ok);
+    EXPECT_EQ(service.cache().stats().hits, 1u);
+    EXPECT_EQ(by_name[0].latency_ms, cold[0].latency_ms);
+}
+
+TEST(Protocol, ResponsesKeepRequestOrderAcrossParseFailures)
+{
+    serve::PredictionService service(testRegistry(), testDeviceTable(),
+                                     {});
+    std::istringstream in(
+        "{\"id\": \"a\", \"network\": \"mobilenet_v2_1.0\", "
+        "\"device\": \""
+        + firstDeviceName()
+        + "\"}\n"
+          "garbage\n"
+          "{\"id\": \"c\", \"network\": \"mnasnet_a1\", \"device\": \""
+        + firstDeviceName() + "\"}\n");
+    std::ostringstream out;
+    const std::size_t consumed = serve::runServeLoop(service, in, out);
+    EXPECT_EQ(consumed, 3u);
+
+    std::vector<std::string> lines;
+    std::istringstream split(out.str());
+    for (std::string line; std::getline(split, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[0].find("\"id\": \"a\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"ok\": false"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"id\": \"c\""), std::string::npos);
+    EXPECT_NE(lines[2].find("\"ok\": true"), std::string::npos);
+}
+
+TEST(Protocol, BoundedQueueRejectsWithOverloaded)
+{
+    serve::PredictionService service(testRegistry(), testDeviceTable(),
+                                     {});
+    serve::LoopConfig cfg;
+    cfg.batch_size = 2;
+    cfg.queue_capacity = 2;
+    serve::RequestLoop loop(service, cfg);
+    EXPECT_TRUE(loop.offer("{\"id\": \"1\"}"));
+    EXPECT_TRUE(loop.offer("{\"id\": \"2\"}"));
+    EXPECT_FALSE(loop.offer("{\"id\": \"3\"}"));
+
+    const std::string rejection =
+        serve::RequestLoop::renderOverloaded("{\"id\": \"3\"}");
+    EXPECT_NE(rejection.find("\"id\": \"3\""), std::string::npos);
+    EXPECT_NE(rejection.find("overloaded"), std::string::npos);
+
+    std::vector<std::string> responses;
+    loop.drainAll(responses);
+    EXPECT_EQ(responses.size(), 2u);
+    EXPECT_EQ(loop.queued(), 0u);
+    EXPECT_THROW(serve::validateLoopConfig({4, 2}), GcmError);
+}
+
+// --- load generator ----------------------------------------------------
+
+TEST(Loadgen, DuplicateHeavyIsDeterministicAndCacheBound)
+{
+    serve::LoadGenConfig cfg;
+    cfg.requests = 400;
+    cfg.seed = 7;
+    const auto run = [&cfg](std::size_t threads) {
+        setThreads(threads);
+        serve::PredictionService service(testRegistry(),
+                                         testDeviceTable(), {});
+        std::ostringstream out;
+        const auto report = serve::runLoadGen(service, cfg, &out);
+        return std::make_pair(report, out.str());
+    };
+    const auto [r1, s1] = run(1);
+    const auto [r8, s8] = run(8);
+    setThreads(0);
+
+    EXPECT_EQ(s1, s8); // byte-identical at any thread count
+    EXPECT_FALSE(s1.empty());
+    EXPECT_EQ(r1.ok, cfg.requests);
+    EXPECT_EQ(r1.errors, 0u);
+    // The duplicate-heavy steady state is nearly all cache hits.
+    EXPECT_GT(r8.cache.hitRate(), 0.9);
+}
+
+TEST(Loadgen, UniqueHeavyNeverHitsTheCache)
+{
+    serve::LoadGenConfig cfg;
+    cfg.requests = 64;
+    cfg.mix = serve::LoadMix::UniqueHeavy;
+    serve::PredictionService service(testRegistry(), testDeviceTable(),
+                                     {});
+    const auto report = serve::runLoadGen(service, cfg, nullptr);
+    EXPECT_EQ(report.ok, cfg.requests);
+    EXPECT_EQ(report.cache.hits, 0u);
+    EXPECT_EQ(report.cache.misses, cfg.requests);
+}
+
+TEST(Loadgen, BurstsBeyondQueueCapacityShedExplicitly)
+{
+    serve::LoadGenConfig cfg;
+    cfg.requests = 64;
+    cfg.burst = 64;
+    cfg.loop.batch_size = 8;
+    cfg.loop.queue_capacity = 16; // < burst -> deterministic shedding
+    serve::PredictionService service(testRegistry(), testDeviceTable(),
+                                     {});
+    std::ostringstream out;
+    const auto report = serve::runLoadGen(service, cfg, &out);
+    EXPECT_EQ(report.rejected, cfg.requests - cfg.loop.queue_capacity);
+    EXPECT_EQ(report.ok + report.errors, report.issued);
+    // Every rejection is a structured overloaded response in-stream.
+    std::size_t overloaded = 0;
+    std::istringstream split(out.str());
+    for (std::string line; std::getline(split, line);)
+        overloaded += line.find("overloaded") != std::string::npos;
+    EXPECT_EQ(overloaded, report.rejected);
+}
+
+TEST(Loadgen, GeneratedStreamsReplayThroughTheLoop)
+{
+    serve::LoadGenConfig cfg;
+    cfg.requests = 50;
+    cfg.seed = 99;
+    serve::PredictionService service(testRegistry(), testDeviceTable(),
+                                     {});
+    const auto lines = serve::generateRequests(service, cfg);
+    ASSERT_EQ(lines.size(), cfg.requests);
+    for (const auto &line : lines)
+        EXPECT_NO_THROW((void)serve::parseRequestLine(line)) << line;
+    EXPECT_THROW((void)serve::parseLoadMix("bogus"), GcmError);
+}

@@ -6,8 +6,9 @@
 #   2. rebuild the parallel-path tests under TSan (address and thread
 #      sanitizers are mutually exclusive, hence the second build tree)
 #      and run them with a worker pool forced on via GCM_THREADS;
-#   3. rebuild with gcov instrumentation, run the observability tests
-#      and enforce a 70% line-coverage floor on src/obs.
+#   3. rebuild with gcov instrumentation, run the observability and
+#      serving tests and enforce a 70% line-coverage floor on src/obs
+#      and src/serve.
 # Any warning, test failure, sanitizer report or coverage shortfall
 # fails the script.
 #
@@ -40,7 +41,7 @@ echo "check.sh: clean under ASan+UBSan with -Wall -Wextra -Werror"
 # --- TSan lane: the tests that exercise the parallel execution layer.
 PARALLEL_TESTS=(test_parallel test_tree test_gbt test_baselines
                 test_campaign test_cross_validation test_signature
-                test_obs test_obs_determinism test_faults)
+                test_obs test_obs_determinism test_faults test_serve)
 
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
     -DGCM_SANITIZE=thread \
@@ -56,11 +57,12 @@ done
 
 echo "check.sh: parallel-path tests clean under TSan (GCM_THREADS=8)"
 
-# --- Coverage lane: gcov-instrumented build of the observability
-# tests; src/obs must stay above the 70% line-coverage floor. The
-# container ships raw gcov (no gcovr/lcov), so per-directory numbers
-# are aggregated from `gcov` summary lines directly.
-COVERAGE_TESTS=(test_obs test_obs_determinism)
+# --- Coverage lane: gcov-instrumented build of the observability and
+# serving tests; src/obs and src/serve must stay above the 70%
+# line-coverage floor. The container ships raw gcov (no gcovr/lcov),
+# so per-directory numbers are aggregated from `gcov` summary lines
+# directly.
+COVERAGE_TESTS=(test_obs test_obs_determinism test_serve)
 COVERAGE_FLOOR=70
 
 if ! command -v gcov >/dev/null 2>&1; then
@@ -117,14 +119,18 @@ echo "check.sh: per-directory line coverage (obs test binaries)"
 COVERAGE_TABLE="$(report_coverage)"
 echo "$COVERAGE_TABLE"
 
-OBS_PCT="$(echo "$COVERAGE_TABLE" | awk '$1 == "obs" { print int($2) }')"
-if [ -z "$OBS_PCT" ]; then
-    echo "check.sh: FAIL no coverage data collected for src/obs"
-    exit 1
-fi
-if [ "$OBS_PCT" -lt "$COVERAGE_FLOOR" ]; then
-    echo "check.sh: FAIL src/obs coverage ${OBS_PCT}% is below the" \
-         "${COVERAGE_FLOOR}% floor"
-    exit 1
-fi
-echo "check.sh: src/obs coverage ${OBS_PCT}% >= ${COVERAGE_FLOOR}% floor"
+for dir in obs serve; do
+    DIR_PCT="$(echo "$COVERAGE_TABLE" \
+        | awk -v d="$dir" '$1 == d { print int($2) }')"
+    if [ -z "$DIR_PCT" ]; then
+        echo "check.sh: FAIL no coverage data collected for src/$dir"
+        exit 1
+    fi
+    if [ "$DIR_PCT" -lt "$COVERAGE_FLOOR" ]; then
+        echo "check.sh: FAIL src/$dir coverage ${DIR_PCT}% is below" \
+             "the ${COVERAGE_FLOOR}% floor"
+        exit 1
+    fi
+    echo "check.sh: src/$dir coverage ${DIR_PCT}%" \
+         ">= ${COVERAGE_FLOOR}% floor"
+done

@@ -9,6 +9,9 @@
  *   gcm predict --model m.txt --network <name> --signature a,b,c,...
  *   gcm chaos --rates 0,0.1,0.2,0.3       fault-rate sweep report
  *   gcm profile --network <name> --device <model-name>
+ *   gcm serve --model m.txt                gcm-serve/v1 loop on
+ *                                          stdin/stdout (or files)
+ *   gcm loadgen --model m.txt --mix duplicate|unique
  *   gcm list-networks | gcm list-devices
  *
  * The standard suite/fleet are deterministic, so a dataset exported on
@@ -19,6 +22,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -32,6 +36,10 @@
 #include "dnn/quantize.hh"
 #include "dnn/zoo.hh"
 #include "obs/obs.hh"
+#include "serve/loadgen.hh"
+#include "serve/protocol.hh"
+#include "serve/registry.hh"
+#include "serve/service.hh"
 #include "sim/profiler.hh"
 #include "util/error.hh"
 #include "util/parallel.hh"
@@ -331,6 +339,152 @@ cmdProfile(const std::map<std::string, std::string> &flags)
     return 0;
 }
 
+/**
+ * Load --model into a registry and fail early unless it is a
+ * servable gcm-cost-model v1 snapshot.
+ */
+void
+publishModelOrDie(const std::map<std::string, std::string> &flags,
+                  serve::ModelRegistry &registry)
+{
+    const std::string model_path = flagOr(flags, "model", "");
+    if (model_path.empty())
+        fatal("--model FILE is required (train one with 'gcm train')");
+    std::ifstream is(model_path);
+    if (!is)
+        fatal("cannot open ", model_path);
+    registry.publish(serve::ModelSnapshot::fromStream(is));
+    const auto active = registry.active();
+    if (active.snapshot->kind() != serve::SnapshotKind::CostModel) {
+        fatal("--model must be a gcm-cost-model v1 file; '", model_path,
+              "' holds a bare ",
+              serve::snapshotKindName(active.snapshot->kind()),
+              " regressor");
+    }
+}
+
+/**
+ * Device table for the standard fleet: each device's latencies on
+ * the model's signature networks, from the clean reference campaign.
+ */
+serve::PredictionService::DeviceTable
+buildDeviceTable(const core::SignatureCostModel &model)
+{
+    const auto ctx = core::ExperimentContext::build();
+    serve::PredictionService::DeviceTable table;
+    for (std::size_t d = 0; d < ctx.fleet().size(); ++d) {
+        std::vector<double> sig;
+        sig.reserve(model.signatureNames().size());
+        for (const auto &name : model.signatureNames())
+            sig.push_back(ctx.latencyMs(d, ctx.networkIndex(name)));
+        table[ctx.fleet().devices()[d].model_name] = std::move(sig);
+    }
+    return table;
+}
+
+serve::ServiceConfig
+serviceConfigFromFlags(const std::map<std::string, std::string> &flags)
+{
+    serve::ServiceConfig cfg;
+    cfg.cache_capacity = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "cache", "4096")));
+    cfg.cache_shards = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "shards", "8")));
+    return cfg;
+}
+
+serve::LoopConfig
+loopConfigFromFlags(const std::map<std::string, std::string> &flags)
+{
+    serve::LoopConfig cfg;
+    cfg.batch_size = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "batch", "32")));
+    cfg.queue_capacity = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "queue", "256")));
+    return cfg;
+}
+
+int
+cmdServe(const std::map<std::string, std::string> &flags)
+{
+    serve::ModelRegistry registry;
+    publishModelOrDie(flags, registry);
+    const auto active = registry.active();
+    serve::PredictionService service(
+        registry, buildDeviceTable(active.snapshot->costModel()),
+        serviceConfigFromFlags(flags));
+
+    const std::string in_path = flagOr(flags, "in", "");
+    const std::string out_path = flagOr(flags, "out", "");
+    std::ifstream fin;
+    std::ofstream fout;
+    std::istream *in = &std::cin;
+    std::ostream *out = &std::cout;
+    if (!in_path.empty()) {
+        fin.open(in_path);
+        if (!fin)
+            fatal("cannot open ", in_path);
+        in = &fin;
+    }
+    if (!out_path.empty()) {
+        fout.open(out_path);
+        if (!fout)
+            fatal("cannot open ", out_path, " for writing");
+        out = &fout;
+    }
+
+    const std::size_t consumed =
+        serve::runServeLoop(service, *in, *out, loopConfigFromFlags(flags));
+    const auto st = service.cache().stats();
+    std::fprintf(stderr,
+                 "served %zu requests (model version %llu)\n"
+                 "cache: %llu hits, %llu misses, %llu evictions "
+                 "(hit rate %.1f%%)\n",
+                 consumed, (unsigned long long)active.version,
+                 (unsigned long long)st.hits,
+                 (unsigned long long)st.misses,
+                 (unsigned long long)st.evictions, st.hitRate() * 100.0);
+    return 0;
+}
+
+int
+cmdLoadgen(const std::map<std::string, std::string> &flags)
+{
+    serve::ModelRegistry registry;
+    publishModelOrDie(flags, registry);
+    const auto active = registry.active();
+    serve::PredictionService service(
+        registry, buildDeviceTable(active.snapshot->costModel()),
+        serviceConfigFromFlags(flags));
+
+    serve::LoadGenConfig cfg;
+    cfg.requests = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "requests", "2000")));
+    cfg.burst = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "burst", "32")));
+    cfg.target_qps = std::stod(flagOr(flags, "qps", "0"));
+    cfg.seed = static_cast<std::uint64_t>(
+        std::stoull(flagOr(flags, "seed", "42")));
+    cfg.mix = serve::parseLoadMix(flagOr(flags, "mix", "duplicate"));
+    cfg.pool_size = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "pool", "16")));
+    cfg.loop = loopConfigFromFlags(flags);
+
+    const std::string out_path = flagOr(flags, "out", "");
+    std::ofstream fout;
+    if (!out_path.empty()) {
+        fout.open(out_path);
+        if (!fout)
+            fatal("cannot open ", out_path, " for writing");
+    }
+    const serve::LoadGenReport report = serve::runLoadGen(
+        service, cfg, out_path.empty() ? nullptr : &fout);
+    std::printf("%s\n", report.summary().c_str());
+    if (!out_path.empty())
+        std::printf("responses written to %s\n", out_path.c_str());
+    return 0;
+}
+
 int
 cmdListNetworks()
 {
@@ -373,6 +527,21 @@ usage()
         "                fault-rate sweep: campaign recovery counters\n"
         "                and clean-holdout R^2 per rate\n"
         "  profile  [--network NAME] [--device NAME]\n"
+        "  serve    --model FILE                  gcm-serve/v1 loop:\n"
+        "           one JSON request per line on stdin, one JSON\n"
+        "           response per line on stdout (see DESIGN.md §10)\n"
+        "           [--in FILE] [--out FILE]      file mode\n"
+        "           [--batch N] [--queue N]       micro-batch size and\n"
+        "                admission-queue capacity (default 32/256)\n"
+        "           [--cache N] [--shards N]      prediction cache\n"
+        "                capacity and shard count (default 4096/8)\n"
+        "  loadgen  --model FILE                  seeded closed-loop\n"
+        "           load generator over the serve loop\n"
+        "           [--requests N] [--burst N] [--qps X] [--seed N]\n"
+        "           [--mix duplicate|unique] [--pool N]\n"
+        "           [--batch N] [--queue N] [--cache N] [--shards N]\n"
+        "           [--out FILE]  write the response stream (byte-\n"
+        "                identical across runs and thread counts)\n"
         "  list-networks | list-devices\n"
         "global flags:\n"
         "  --threads N   worker threads (default: GCM_THREADS env,\n"
@@ -416,6 +585,10 @@ main(int argc, char **argv)
             rc = cmdChaos(flags);
         else if (cmd == "profile")
             rc = cmdProfile(flags);
+        else if (cmd == "serve")
+            rc = cmdServe(flags);
+        else if (cmd == "loadgen")
+            rc = cmdLoadgen(flags);
         else if (cmd == "list-networks")
             rc = cmdListNetworks();
         else if (cmd == "list-devices")
