@@ -1,0 +1,371 @@
+#include "lint/lexer.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace gcm::lint
+{
+
+namespace
+{
+
+/** Multi-character punctuators, longest first so lexing is greedy. */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "==", "!=", "<=", ">=",
+    "&&", "||", "<<", ">>", ".*",
+};
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Extract check ids from a "gcm-lint: allow(a, b)" directive in a
+ * comment body; empty when the comment is not a directive.
+ */
+std::set<std::string>
+parseDirective(const std::string &comment)
+{
+    std::set<std::string> ids;
+    const auto tag = comment.find("gcm-lint:");
+    if (tag == std::string::npos)
+        return ids;
+    const auto open = comment.find("allow(", tag);
+    if (open == std::string::npos)
+        return ids;
+    const auto close = comment.find(')', open);
+    if (close == std::string::npos)
+        return ids;
+    std::string cur;
+    for (std::size_t i = open + 6; i <= close; ++i) {
+        const char c = comment[i];
+        if (c == ',' || c == ')') {
+            if (!cur.empty())
+                ids.insert(cur);
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur += c;
+        }
+    }
+    return ids;
+}
+
+class Lexer
+{
+  public:
+    Lexer(std::string path, const std::string &text)
+        : text_(text)
+    {
+        out_.path = std::move(path);
+    }
+
+    SourceFile
+    run()
+    {
+        while (pos_ < text_.size())
+            step();
+        out_.lines = line_;
+        return std::move(out_);
+    }
+
+  private:
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        const char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            at_line_start_ = true;
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            at_line_start_ = false;
+        }
+        return c;
+    }
+
+    void
+    emit(TokKind kind, std::string text, int line)
+    {
+        out_.tokens.push_back({kind, std::move(text), line});
+    }
+
+    void
+    recordDirective(const std::string &comment, int line)
+    {
+        const auto ids = parseDirective(comment);
+        if (ids.empty())
+            return;
+        out_.allowed[line].insert(ids.begin(), ids.end());
+        out_.allowed[line + 1].insert(ids.begin(), ids.end());
+    }
+
+    void
+    lineComment()
+    {
+        const int start = line_;
+        std::string body;
+        while (pos_ < text_.size() && peek() != '\n')
+            body += advance();
+        recordDirective(body, start);
+    }
+
+    void
+    blockComment()
+    {
+        const int start = line_;
+        std::string body;
+        while (pos_ < text_.size()) {
+            if (peek() == '*' && peek(1) == '/') {
+                advance();
+                advance();
+                break;
+            }
+            body += advance();
+        }
+        recordDirective(body, start);
+    }
+
+    /** Consume a quoted literal; `quote` is '"' or '\''. */
+    void
+    quoted(char quote, TokKind kind)
+    {
+        const int start = line_;
+        advance(); // opening quote
+        while (pos_ < text_.size()) {
+            const char c = advance();
+            if (c == '\\' && pos_ < text_.size()) {
+                advance();
+            } else if (c == quote || c == '\n') {
+                break; // newline: unterminated literal, recover
+            }
+        }
+        emit(kind, "", start);
+    }
+
+    /** Consume R"delim( ... )delim" with `pos_` on the 'R'. */
+    void
+    rawString()
+    {
+        const int start = line_;
+        advance();               // R
+        advance();               // "
+        std::string delim;
+        while (pos_ < text_.size() && peek() != '(')
+            delim += advance();
+        const std::string close = ")" + delim + "\"";
+        const auto end = text_.find(close, pos_);
+        while (pos_ < text_.size()
+               && pos_ < (end == std::string::npos ? text_.size()
+                                                   : end + close.size())) {
+            advance();
+        }
+        emit(TokKind::String, "", start);
+    }
+
+    /** Preprocessor logical line with continuations folded. */
+    void
+    preprocessor()
+    {
+        const int start = line_;
+        std::string body;
+        while (pos_ < text_.size()) {
+            if (peek() == '\\' && peek(1) == '\n') {
+                advance();
+                advance();
+                body += ' ';
+                continue;
+            }
+            if (peek() == '\n')
+                break;
+            if (peek() == '/' && peek(1) == '/') {
+                lineComment();
+                break;
+            }
+            if (peek() == '/' && peek(1) == '*') {
+                advance();
+                advance();
+                blockComment();
+                body += ' ';
+                continue;
+            }
+            body += advance();
+        }
+        // Collapse runs of whitespace so checks can string-match.
+        std::string norm;
+        for (char c : body) {
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                if (!norm.empty() && norm.back() != ' ')
+                    norm += ' ';
+            } else {
+                norm += c;
+            }
+        }
+        while (!norm.empty() && norm.back() == ' ')
+            norm.pop_back();
+        emit(TokKind::Preprocessor, norm, start);
+    }
+
+    void
+    step()
+    {
+        const char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            return;
+        }
+        if (c == '/' && peek(1) == '/') {
+            lineComment();
+            return;
+        }
+        if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            blockComment();
+            return;
+        }
+        if (c == '#' && at_line_start_) {
+            preprocessor();
+            return;
+        }
+        // Raw and prefixed string/char literals. Check the raw forms
+        // (R", u8R", LR", uR", UR") before plain identifiers.
+        if (c == 'R' && peek(1) == '"') {
+            rawString();
+            return;
+        }
+        if ((c == 'u' || c == 'U' || c == 'L')) {
+            std::size_t p = 1;
+            if (c == 'u' && peek(1) == '8')
+                p = 2;
+            if (peek(p) == 'R' && peek(p + 1) == '"') {
+                for (std::size_t i = 0; i < p; ++i)
+                    advance();
+                rawString();
+                return;
+            }
+            if (peek(p) == '"' || peek(p) == '\'') {
+                const char q = peek(p);
+                for (std::size_t i = 0; i < p; ++i)
+                    advance();
+                quoted(q, q == '"' ? TokKind::String : TokKind::CharLit);
+                return;
+            }
+        }
+        if (c == '"') {
+            quoted('"', TokKind::String);
+            return;
+        }
+        if (c == '\'') {
+            quoted('\'', TokKind::CharLit);
+            return;
+        }
+        if (identStart(c)) {
+            const int start = line_;
+            std::string id;
+            while (pos_ < text_.size() && identBody(peek()))
+                id += advance();
+            emit(TokKind::Identifier, std::move(id), start);
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))
+            || (c == '.' && std::isdigit(static_cast<unsigned char>(
+                    peek(1))))) {
+            const int start = line_;
+            std::string num;
+            while (pos_ < text_.size()) {
+                const char d = peek();
+                if (identBody(d) || d == '.' || d == '\'') {
+                    num += advance();
+                } else if ((d == '+' || d == '-') && !num.empty()
+                           && (num.back() == 'e' || num.back() == 'E'
+                               || num.back() == 'p'
+                               || num.back() == 'P')) {
+                    num += advance();
+                } else {
+                    break;
+                }
+            }
+            emit(TokKind::Number, std::move(num), start);
+            return;
+        }
+        // Punctuator: longest multi-char match, else single char.
+        for (const char *p : kPuncts) {
+            const std::size_t n = std::char_traits<char>::length(p);
+            if (text_.compare(pos_, n, p) == 0) {
+                const int start = line_;
+                for (std::size_t i = 0; i < n; ++i)
+                    advance();
+                emit(TokKind::Punct, p, start);
+                return;
+            }
+        }
+        const int start = line_;
+        std::string one(1, advance());
+        emit(TokKind::Punct, std::move(one), start);
+    }
+
+    const std::string &text_;
+    SourceFile out_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    bool at_line_start_ = true;
+};
+
+} // namespace
+
+bool
+SourceFile::isHeader() const
+{
+    for (const char *ext : {".hh", ".hpp", ".hxx", ".h"}) {
+        const std::string_view e(ext);
+        if (path.size() >= e.size()
+            && path.compare(path.size() - e.size(), e.size(), e) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+SourceFile::suppressed(int line, const std::string &check) const
+{
+    const auto it = allowed.find(line);
+    if (it == allowed.end())
+        return false;
+    return it->second.count(check) > 0 || it->second.count("*") > 0;
+}
+
+SourceFile
+lexString(const std::string &path, const std::string &text)
+{
+    return Lexer(path, text).run();
+}
+
+SourceFile
+lexFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("gcm-lint: cannot open ", path);
+    std::ostringstream oss;
+    oss << is.rdbuf();
+    return lexString(path, oss.str());
+}
+
+} // namespace gcm::lint

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Comment/string-aware C++ lexer for the in-tree source analyzer.
+ *
+ * gcm-lint does not parse C++ — it tokenizes it. The lexer turns one
+ * source file into a flat stream of identifier / number / literal /
+ * punctuator / preprocessor tokens with line numbers, skipping
+ * comments and the *contents* of string and character literals, so
+ * the checks in checks.cc can pattern-match code without being fooled
+ * by `// std::rand` in a comment or "time(" inside a log message.
+ * No libclang, no compile database: a file is analyzable the moment
+ * it exists, which is what lets the lint ctest gate scan the live
+ * tree on every run.
+ *
+ * Two deliberate simplifications, shared with every token-level
+ * linter: the lexer does not expand macros (checks see macro *names*,
+ * which is exactly what the GCM_OBS_GUARDED escape hatch relies on)
+ * and `>>` is emitted as a single punctuator (template-angle matching
+ * in checks.cc counts it as two closers).
+ *
+ * Suppression directives are collected during lexing: a comment of
+ * the form
+ *
+ *     // gcm-lint: allow(check-id)            one id
+ *     // gcm-lint: allow(check-a, check-b)    several
+ *
+ * suppresses findings of the named checks on the comment's own line
+ * and on the line that follows it (so it can trail the offending
+ * statement or sit on its own line above it).
+ */
+
+#ifndef GCM_LINT_LEXER_HH
+#define GCM_LINT_LEXER_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gcm::lint
+{
+
+/** Lexical class of one token. */
+enum class TokKind : std::uint8_t
+{
+    /** Identifier or keyword (keywords are not distinguished). */
+    Identifier,
+    /** Numeric literal (integer or floating, any base/suffix). */
+    Number,
+    /** String literal ("", raw R"()" or prefixed); text is dropped. */
+    String,
+    /** Character literal; text is dropped. */
+    CharLit,
+    /** Operator or punctuator; multi-char operators are one token. */
+    Punct,
+    /**
+     * One whole preprocessor logical line (continuations folded),
+     * e.g. "#ifndef GCM_LINT_LEXER_HH". Leading '#' retained,
+     * interior whitespace collapsed to single spaces.
+     */
+    Preprocessor,
+};
+
+/** One lexed token. */
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    /** Token spelling (empty for String/CharLit contents). */
+    std::string text;
+    /** 1-based source line the token starts on. */
+    int line = 1;
+
+    bool is(const char *s) const { return text == s; }
+    bool isIdent(const char *s) const
+    {
+        return kind == TokKind::Identifier && text == s;
+    }
+};
+
+/** One tokenized source file plus its suppression table. */
+struct SourceFile
+{
+    /** Path as given to the scanner (used verbatim in findings). */
+    std::string path;
+    std::vector<Token> tokens;
+    /** line -> check ids allowed on that line ("*" = every check). */
+    std::map<int, std::set<std::string>> allowed;
+    /** Number of lines in the file. */
+    int lines = 0;
+
+    /** True when `path` names a header (.hh/.h/.hpp/.hxx). */
+    bool isHeader() const;
+
+    /** Whether findings of `check` are suppressed on `line`. */
+    bool suppressed(int line, const std::string &check) const;
+};
+
+/**
+ * Tokenize `text` as the contents of `path`. Never throws on weird
+ * input: an unterminated literal or comment simply ends at EOF (the
+ * analyzer must degrade gracefully on code it half-understands).
+ */
+SourceFile lexString(const std::string &path, const std::string &text);
+
+/** Read and tokenize a file. Throws GcmError when unreadable. */
+SourceFile lexFile(const std::string &path);
+
+} // namespace gcm::lint
+
+#endif // GCM_LINT_LEXER_HH

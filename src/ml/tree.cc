@@ -281,7 +281,11 @@ struct Builder
     {
         const auto idx = static_cast<std::int32_t>(nodes.size());
         nodes.emplace_back();
-        obs::counterAdd("tree.nodes");
+        // Per-node counter on the recursive grow path: guard it so the
+        // disabled case is one relaxed load + branch (and gcm-lint's
+        // obs-hot-loop check treats the wrapper as the sanctioned
+        // form).
+        GCM_OBS_GUARDED(obs::counterAdd("tree.nodes"));
         const double count = static_cast<double>(rows.size());
 
         const bool splittable = depth < cfg.max_depth && rows.size() >= 2;

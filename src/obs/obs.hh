@@ -176,4 +176,36 @@ void reset();
 
 } // namespace gcm::obs
 
+/**
+ * Hot-loop instrumentation wrappers sanctioned by gcm-lint's
+ * obs-hot-loop check (DESIGN.md §11): an obs call inside an innermost
+ * src/ml | src/dnn loop must go through one of these so the disabled
+ * path is provably a single branch and the enabled path's cost is
+ * explicit at the call site.
+ *
+ * GCM_OBS_GUARDED(stmt) runs `stmt` only when collection is on:
+ *
+ *     GCM_OBS_GUARDED(obs::counterAdd("tree.nodes"));
+ *
+ * GCM_OBS_SAMPLED(name, iter, period) amortizes a per-iteration
+ * counter by recording `period` every `period`-th iteration, keeping
+ * the counter's expected total exact while touching the registry
+ * 1/period as often:
+ *
+ *     GCM_OBS_SAMPLED("gbt.rows", i, 1024);
+ */
+#define GCM_OBS_GUARDED(stmt)                                             \
+    do {                                                                  \
+        if (::gcm::obs::enabled()) {                                      \
+            stmt;                                                         \
+        }                                                                 \
+    } while (0)
+
+#define GCM_OBS_SAMPLED(name, iter, period)                               \
+    do {                                                                  \
+        if (::gcm::obs::enabled() && ((iter) % (period)) == 0) {          \
+            ::gcm::obs::counterAdd((name), (period));                     \
+        }                                                                 \
+    } while (0)
+
 #endif // GCM_OBS_OBS_HH

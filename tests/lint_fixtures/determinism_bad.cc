@@ -1,0 +1,48 @@
+// gcm-lint fixture: every seeded violation of the determinism check.
+// This file is never compiled; it only exists to be lexed by
+// tests/test_lint.cc. Line numbers are asserted there — append new
+// cases at the bottom.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+void
+ambientRandomness()
+{
+    std::random_device rd;                       // line 12: entropy
+    std::mt19937 gen(12345);                     // line 13: std engine
+    std::mt19937_64 gen64(12345);                // line 14: std engine
+    srand(42);                                   // line 15: global seed
+    int a = rand();                              // line 16: global draw
+    long t = time(nullptr);                      // line 17: wall clock
+    auto now = std::chrono::system_clock::now(); // line 18: wall clock
+    (void)rd;
+    (void)gen;
+    (void)gen64;
+    (void)a;
+    (void)t;
+    (void)now;
+}
+
+void
+falsePositives()
+{
+    // Identifiers merely *containing* banned names are fine.
+    int my_rand = 0;
+    int timeout = my_rand;
+    struct Clock { long time() { return 0; } } clk;
+    long member_call = clk.time(); // member .time() is not ::time()
+    (void)timeout;
+    (void)member_call;
+    // Banned names inside comments (std::rand, random_device) and
+    // strings are invisible to the lexer:
+    const char *msg = "uses std::rand and time() and mt19937";
+    (void)msg;
+}
+
+void
+suppressedViolation()
+{
+    std::mt19937 legacy(7); // gcm-lint: allow(determinism)
+    (void)legacy;
+}

@@ -1,0 +1,11 @@
+// gcm-lint fixture: header with no include guard and a
+// using-namespace directive. Never compiled.
+#include <string>
+
+using namespace std; // line 5: leaks into every includer
+
+inline string
+greet()
+{
+    return "hello";
+}

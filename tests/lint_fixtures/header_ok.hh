@@ -1,0 +1,22 @@
+// gcm-lint fixture: well-formed header — classic include guard,
+// qualified names only. Must produce zero findings.
+#ifndef GCM_TESTS_LINT_FIXTURES_HEADER_OK_HH
+#define GCM_TESTS_LINT_FIXTURES_HEADER_OK_HH
+
+#include <string>
+
+namespace gcm_fixture
+{
+
+// A using-*declaration* (not directive) is fine in a header.
+using std::string;
+
+inline string
+greet()
+{
+    return "hello";
+}
+
+} // namespace gcm_fixture
+
+#endif // GCM_TESTS_LINT_FIXTURES_HEADER_OK_HH

@@ -1,0 +1,66 @@
+// gcm-lint fixture: obs calls in innermost hot loops. The check only
+// applies under src/ml/ and src/dnn/, so tests/test_lint.cc lexes
+// this file's *content* under a synthetic src/ml/ path (and once
+// under its real tests/ path to prove the check stays quiet there).
+#include "obs/obs.hh"
+
+double
+unguardedInnerLoop(const double *xs, unsigned n)
+{
+    double acc = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        acc += xs[i];
+        gcm::obs::counterAdd("rows");         // line 13: unguarded
+        gcm::obs::histogramObserve("x", acc); // line 14: unguarded
+    }
+    return acc;
+}
+
+double
+spanInInnerLoop(const double *xs, unsigned n)
+{
+    double acc = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        const gcm::obs::TraceSpan span("row"); // line 24: span per row
+        acc += xs[i];
+    }
+    return acc;
+}
+
+double
+guardedInnerLoopIsFine(const double *xs, unsigned n)
+{
+    double acc = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        acc += xs[i];
+        GCM_OBS_GUARDED(gcm::obs::counterAdd("rows"));
+        GCM_OBS_SAMPLED("rows.sampled", i, 1024);
+    }
+    return acc;
+}
+
+double
+outerLoopIsFine(const double *xs, unsigned n)
+{
+    // The outer loop contains another loop, so obs calls here are
+    // amortized over the inner sweep and stay legal unguarded.
+    double acc = 0.0;
+    for (unsigned r = 0; r < 8; ++r) {
+        gcm::obs::counterAdd("rounds");
+        for (unsigned i = 0; i < n; ++i)
+            acc += xs[i];
+    }
+    return acc;
+}
+
+double
+suppressedCall(const double *xs, unsigned n)
+{
+    double acc = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        acc += xs[i];
+        // Reviewed: this loop runs at most 8 times per campaign.
+        gcm::obs::counterAdd("tiny"); // gcm-lint: allow(obs-hot-loop)
+    }
+    return acc;
+}

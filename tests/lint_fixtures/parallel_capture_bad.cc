@@ -1,0 +1,70 @@
+// gcm-lint fixture: parallel-capture hygiene. Lambdas handed to
+// parallelFor/parallelMap may only write state owned by their index;
+// locks are banned outright. Never compiled; lexed by
+// tests/test_lint.cc which asserts the line numbers.
+#include <mutex>
+#include <vector>
+
+#include "util/parallel.hh"
+
+void
+racyAccumulation(std::vector<double> &out)
+{
+    double sum = 0.0;
+    std::vector<int> order;
+    gcm::parallelFor(0, out.size(), 64, [&](std::size_t i) {
+        out[i] = static_cast<double>(i); // fine: indexed by i
+        sum += out[i];                   // line 17: cross-task write
+        order.push_back(static_cast<int>(i)); // line 18: ordering race
+    });
+}
+
+void
+lockedBody(std::vector<double> &out, std::mutex &mu)
+{
+    gcm::parallelFor(0, out.size(), 64, [&](std::size_t i) {
+        const std::lock_guard<std::mutex> hold(mu); // line 26: lock
+        out[i] = 1.0;
+    });
+}
+
+void
+taskOwnedWritesAreFine(std::vector<double> &out,
+                       const std::vector<std::vector<double>> &rows)
+{
+    gcm::parallelFor(0, out.size(), 64, [&](std::size_t i) {
+        double acc = 0.0;            // body-local accumulator
+        for (double v : rows[i])
+            acc += v;                // fine: local
+        out[i] = acc;                // fine: slot owned by i
+    });
+    // Mirrored writes where one subscript is the loop index are
+    // task-owned by construction (signature.cc's MI matrix).
+    std::vector<std::vector<double>> mi(4,
+                                        std::vector<double>(4, 0.0));
+    gcm::parallelFor(0, 4, 1, [&](std::size_t i) {
+        for (std::size_t j = i + 1; j < 4; ++j) {
+            mi[i][j] = 1.0; // fine
+            mi[j][i] = 1.0; // fine: second subscript is i
+        }
+    });
+}
+
+void
+byValueCaptureIsFine(std::vector<double> &out)
+{
+    double scale = 2.0;
+    gcm::parallelFor(0, out.size(), 64, [&, scale](std::size_t i) {
+        out[i] = scale * static_cast<double>(i);
+    });
+}
+
+void
+reviewedAndAllowed(std::vector<double> &out, double &checksum)
+{
+    gcm::parallelFor(0, out.size(), 64, [&](std::size_t i) {
+        out[i] = 1.0;
+        // Deliberate: single-threaded smoke path only.
+        checksum += 1.0; // gcm-lint: allow(parallel-capture)
+    });
+}

@@ -1,0 +1,45 @@
+// gcm-lint fixture: error-path discipline. Outside tests/, only
+// GcmError (and *Error subclasses) may cross the error boundary.
+// Never compiled; lexed by tests/test_lint.cc which asserts lines.
+#include <stdexcept>
+
+#include "util/error.hh"
+
+void
+wrongThrows(int v)
+{
+    if (v == 1)
+        throw std::runtime_error("boom"); // line 12: std:: exception
+    if (v == 2)
+        throw 42;                         // line 14: raw value
+    if (v == 3)
+        throw "text";                     // line 16: raw string
+}
+
+struct ParseError : gcm::GcmError
+{
+    using gcm::GcmError::GcmError;
+};
+
+void
+rightThrows(int v)
+{
+    if (v == 1)
+        throw gcm::GcmError("bad config");    // fine
+    if (v == 2)
+        throw ParseError("bad line");         // fine: *Error subclass
+    if (v == 3)
+        gcm::fatal("bad value ", v);          // fine: raises GcmError
+    try {
+        throw gcm::GcmError("inner");
+    } catch (const gcm::GcmError &) {
+        throw; // fine: bare rethrow
+    }
+}
+
+void
+suppressedThrow()
+{
+    // Deliberate escape hatch, reviewed in place:
+    throw std::bad_alloc(); // gcm-lint: allow(throw-discipline)
+}

@@ -1,0 +1,51 @@
+// gcm-lint fixture: unordered-container iteration feeding output.
+// The <fstream> include marks this file as output-writing, so the
+// range-fors below are hazards. Never compiled; lexed by
+// tests/test_lint.cc which asserts the line numbers.
+#include <fstream>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+void
+writeStats(const std::unordered_map<int, double> &by_id,
+           const std::unordered_set<int> &seen)
+{
+    std::ofstream os("stats.csv");
+    double total = 0.0;
+    for (const auto &[id, v] : by_id) // line 17: order reaches output
+        os << id << "," << v << "\n";
+    for (int id : seen)               // line 19: set iteration hazard
+        total += static_cast<double>(id);
+    os << total << "\n";
+}
+
+void
+orderedIsFine(const std::map<int, double> &sorted,
+              const std::vector<double> &vec)
+{
+    std::ofstream os("ok.csv");
+    for (const auto &[id, v] : sorted) // std::map: deterministic
+        os << id << "," << v << "\n";
+    for (double v : vec)               // vector: deterministic
+        os << v << "\n";
+    // Classic for over an unordered map via iterators is also not a
+    // *range*-for; the check leaves it to the reviewer.
+    std::unordered_map<int, int> m;
+    for (std::size_t i = 0; i < m.size(); ++i)
+        os << i;
+}
+
+void
+reviewedAndAllowed(const std::unordered_map<int, double> &cache)
+{
+    std::ofstream os("counts.txt");
+    std::size_t n = 0;
+    // Count-only fold: order cannot reach the output value.
+    for (const auto &kv : cache) { // gcm-lint: allow(unordered-iter)
+        (void)kv;
+        ++n;
+    }
+    os << n << "\n";
+}

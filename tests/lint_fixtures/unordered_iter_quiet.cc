@@ -1,0 +1,16 @@
+// gcm-lint fixture: unordered iteration in a file with no output
+// markers (no stream/CSV/JSON/serialize use). The check must degrade
+// to a Note here — the allowlisted false-positive case — because the
+// iteration order cannot reach any serialized artifact.
+#include <unordered_map>
+
+int
+countEntries(const std::unordered_map<int, int> &m)
+{
+    int n = 0;
+    for (const auto &kv : m) { // line 11: note, not error
+        (void)kv;
+        ++n;
+    }
+    return n;
+}

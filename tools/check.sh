@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 #
 # Static-analysis CI lanes:
-#   1. build everything with warnings-as-errors under ASan+UBSan and
+#   1. lint: gcm-lint (the in-tree invariant analyzer, DESIGN.md §11)
+#      must report zero error-severity findings over the live tree,
+#      its fixture tests must each catch their seeded violation, and
+#      clang-tidy (when installed) sweeps the directories touched by
+#      the current change using the lane's compile database;
+#   2. build everything with warnings-as-errors under ASan+UBSan and
 #      run the tier-1 test suite;
-#   2. rebuild the parallel-path tests under TSan (address and thread
+#   3. rebuild the parallel-path tests under TSan (address and thread
 #      sanitizers are mutually exclusive, hence the second build tree)
 #      and run them with a worker pool forced on via GCM_THREADS;
-#   3. rebuild with gcov instrumentation, run the observability and
+#   4. rebuild with gcov instrumentation, run the observability and
 #      serving tests and enforce a 70% line-coverage floor on src/obs
 #      and src/serve.
-# Any warning, test failure, sanitizer report or coverage shortfall
-# fails the script.
+# Any lint finding, warning, test failure, sanitizer report or
+# coverage shortfall fails the script.
 #
 #   tools/check.sh [extra ctest args...]
 #
@@ -18,9 +23,59 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/check-build"
+LINT_BUILD="${ROOT}/check-build-lint"
 TSAN_BUILD="${ROOT}/check-build-tsan"
 COV_BUILD="${ROOT}/check-build-cov"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# --- Lint lane: fastest signal first. A determinism / concurrency /
+# error-path violation reintroduced anywhere in the tree fails here
+# before the sanitizer builds spend their minutes.
+cmake -S "$ROOT" -B "$LINT_BUILD" -DGCM_WERROR=ON
+cmake --build "$LINT_BUILD" -j "$JOBS" --target gcm-lint test_lint
+
+# Fixture tests: every check must still catch its seeded violation
+# (an analyzer that silently stopped finding anything would otherwise
+# make the zero-findings gate below meaningless).
+"$LINT_BUILD/tests/test_lint" >/dev/null
+
+# Zero-findings gate over the live tree. --json exits non-zero on any
+# error-severity finding, so this line both produces the artifact and
+# enforces the gate.
+"$LINT_BUILD/tools/gcm-lint" \
+    --json "$LINT_BUILD/gcm-lint-report.json" \
+    "$ROOT/src" "$ROOT/tools" "$ROOT/tests" "$ROOT/bench" \
+    "$ROOT/examples"
+
+echo "check.sh: gcm-lint clean (report: check-build-lint/gcm-lint-report.json)"
+
+# clang-tidy sweep over the directories touched since the previous
+# commit, driven by the lint build's compile database. The container
+# may not ship clang-tidy; gcm-lint has already enforced the
+# project-specific invariants either way.
+if command -v clang-tidy >/dev/null 2>&1; then
+    CHANGED_DIRS="$(git -C "$ROOT" diff --name-only HEAD~1 -- \
+            '*.cc' '*.hh' 2>/dev/null \
+        | xargs -r -n1 dirname | sort -u || true)"
+    # Fall back to the analyzer's own sources on shallow/initial
+    # clones where HEAD~1 does not resolve.
+    [ -n "$CHANGED_DIRS" ] || CHANGED_DIRS="src/lint"
+    TIDY_FILES=""
+    for d in $CHANGED_DIRS; do
+        for f in "$ROOT/$d"/*.cc; do
+            [ -e "$f" ] && TIDY_FILES="$TIDY_FILES $f"
+        done
+    done
+    if [ -n "$TIDY_FILES" ]; then
+        # shellcheck disable=SC2086
+        clang-tidy -p "$LINT_BUILD" --quiet $TIDY_FILES
+        echo "check.sh: clang-tidy clean on changed dirs:" \
+             $CHANGED_DIRS
+    fi
+else
+    echo "check.sh: WARNING clang-tidy not found; skipping the tidy" \
+         "sweep (gcm-lint gate already enforced)"
+fi
 
 cmake -S "$ROOT" -B "$BUILD" \
     -DGCM_SANITIZE=address,undefined \
