@@ -7,7 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cost_model.hh"
 #include "core/experiment_context.hh"
@@ -15,6 +21,7 @@
 #include "core/signature.hh"
 #include "dnn/quantize.hh"
 #include "dnn/zoo.hh"
+#include "ml/flat_ensemble.hh"
 #include "ml/gbt.hh"
 #include "serve/registry.hh"
 #include "serve/service.hh"
@@ -105,6 +112,49 @@ BM_GbtPredict(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 2000);
 }
 BENCHMARK(BM_GbtPredict);
+
+/**
+ * Compiled-inference head-to-head: the same trained booster predicting
+ * the same 2000x64 matrix through the node walker (predictRow per
+ * row) versus the flat SoA engine (one blocked predictBatch). Both
+ * are bit-identical by the ml/flat_ensemble.hh contract, so the gap
+ * is pure representation + traversal + parallelism.
+ */
+static void
+BM_NodePredict(benchmark::State &state)
+{
+    const auto ds = syntheticDataset(2000, 64, 2);
+    ml::GradientBoostedTrees model;
+    model.train(ds);
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < ds.numRows(); ++i)
+            acc += model.predictRow(ds.row(i));
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_NodePredict);
+
+static void
+BM_FlatPredict(benchmark::State &state)
+{
+    const auto ds = syntheticDataset(2000, 64, 2);
+    ml::GradientBoostedTrees model;
+    model.train(ds);
+    const ml::FlatEnsemble flat = model.compile();
+    setThreads(static_cast<std::size_t>(state.range(0)));
+    std::vector<double> out(ds.numRows());
+    for (auto _ : state) {
+        flat.predictBatch(ds.row(0), ds.numRows(), ds.numFeatures(),
+                          out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+    setThreads(1);
+}
+BENCHMARK(BM_FlatPredict)->Arg(1)->Arg(8);
 
 /**
  * Thread-scaling variants. Arg is the worker-thread count handed to
@@ -295,7 +345,11 @@ BENCHMARK(BM_SccsSelection)->Unit(benchmark::kMillisecond);
 namespace
 {
 
-/** Registry with one published cost model (reduced training scale). */
+/**
+ * Registry with one published cost model (reduced training scale;
+ * production-sized 200-tree booster so the serve benchmarks measure
+ * a realistic per-request compute load).
+ */
 const serve::ModelRegistry &
 serveRegistry()
 {
@@ -309,7 +363,7 @@ serveRegistry()
         for (std::size_t i = 0; i < devices.size(); ++i)
             devices[i] = i;
         core::SignatureCostModel::Config mcfg;
-        mcfg.gbt.n_estimators = 40;
+        mcfg.gbt.n_estimators = 200;
         const auto model = core::SignatureCostModel::train(
             ctx.suite(), ctx.latencyMatrix(devices), mcfg);
         std::stringstream ss;
@@ -321,33 +375,54 @@ serveRegistry()
     return *registry;
 }
 
+/**
+ * A cold batch: `n` requests over four zoo networks with distinct
+ * per-request signatures, so every key is unique and (with the cache
+ * disabled) every request runs the full compute path.
+ */
 std::vector<serve::ServeRequest>
-serveBatch()
+serveBatch(std::size_t n)
 {
     const auto &registry = serveRegistry();
     const std::size_t width = registry.active()
                                   .snapshot->costModel()
                                   .signatureNames()
                                   .size();
-    serve::ServeRequest req;
-    req.id = "bench";
-    req.network = "mobilenet_v2_1.0";
-    for (std::size_t k = 0; k < width; ++k)
-        req.signature.push_back(5.0 + static_cast<double>(k));
-    req.has_signature = true;
-    return {req};
+    static const char *kNetworks[] = {
+        "mobilenet_v2_1.0",
+        "mobilenet_v1_1.0",
+        "squeezenet_1.1",
+        "mnasnet_a1",
+    };
+    std::vector<serve::ServeRequest> batch(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        serve::ServeRequest &req = batch[i];
+        req.id = "bench-" + std::to_string(i);
+        req.network = kNetworks[i % 4];
+        for (std::size_t k = 0; k < width; ++k) {
+            req.signature.push_back(
+                5.0 + static_cast<double>(k)
+                + 0.001 * static_cast<double>(i));
+        }
+        req.has_signature = true;
+    }
+    return batch;
 }
 
 } // namespace
 
-/** Cold path: cache disabled, every request runs encode + predict. */
+/**
+ * Cold path: cache disabled and every key unique, so each of the 256
+ * requests per batch runs resolution + row build + compiled predict.
+ * items/s is requests per second.
+ */
 static void
 BM_ServePredict(benchmark::State &state)
 {
     serve::ServiceConfig cfg;
     cfg.cache_capacity = 0;
     serve::PredictionService service(serveRegistry(), {}, cfg);
-    const auto batch = serveBatch();
+    const auto batch = serveBatch(256);
     for (auto _ : state) {
         benchmark::DoNotOptimize(service.processBatch(batch).size());
     }
@@ -356,12 +431,12 @@ BM_ServePredict(benchmark::State &state)
 }
 BENCHMARK(BM_ServePredict);
 
-/** Warm path: every request after the first is a cache hit. */
+/** Warm path: every request after the first batch is a cache hit. */
 static void
 BM_ServeCacheHit(benchmark::State &state)
 {
     serve::PredictionService service(serveRegistry(), {}, {});
-    const auto batch = serveBatch();
+    const auto batch = serveBatch(256);
     (void)service.processBatch(batch); // warm the cache
     for (auto _ : state) {
         benchmark::DoNotOptimize(service.processBatch(batch).size());
@@ -384,4 +459,126 @@ BM_KMeansDevices(benchmark::State &state)
 }
 BENCHMARK(BM_KMeansDevices)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+namespace
+{
+
+/**
+ * Console reporter that additionally records (name, ns/op) for every
+ * successful run and dumps the gcm-bench/v1 perf-trajectory artifact:
+ *
+ *   {
+ *     "schema": "gcm-bench/v1",
+ *     "suite": "bench_micro_perf",
+ *     "git_rev": "<short rev or 'unknown'>",
+ *     "threads": <worker count benchmarks start from>,
+ *     "benchmarks": [{"name": ..., "ns_per_op": ...}, ...]
+ *   }
+ *
+ * The artifact is committed at the repo root so successive PRs leave
+ * a comparable perf trajectory. Output path defaults to
+ * BENCH_micro.json in the working directory; override with
+ * GCM_BENCH_JSON. Git revision comes from GCM_BENCH_GIT_REV, else
+ * `git rev-parse --short HEAD`.
+ */
+class TrajectoryReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred || run.iterations == 0)
+                continue;
+            entries_.emplace_back(run.benchmark_name(),
+                                  run.real_accumulated_time
+                                      / static_cast<double>(
+                                          run.iterations)
+                                      * 1e9);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    bool
+    writeJson(const std::string &path) const
+    {
+        std::ofstream os(path);
+        if (!os)
+            return false;
+        os << "{\n";
+        os << "  \"schema\": \"gcm-bench/v1\",\n";
+        os << "  \"suite\": \"bench_micro_perf\",\n";
+        os << "  \"git_rev\": \"" << escape(gitRev()) << "\",\n";
+        os << "  \"threads\": " << numThreads() << ",\n";
+        os << "  \"benchmarks\": [";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            os << (i == 0 ? "\n" : ",\n");
+            char ns[64];
+            std::snprintf(ns, sizeof(ns), "%.2f",
+                          entries_[i].second);
+            os << "    {\"name\": \"" << escape(entries_[i].first)
+               << "\", \"ns_per_op\": " << ns << "}";
+        }
+        os << "\n  ]\n}\n";
+        return os.good();
+    }
+
+  private:
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            if (static_cast<unsigned char>(c) >= 0x20)
+                out.push_back(c);
+        }
+        return out;
+    }
+
+    static std::string
+    gitRev()
+    {
+        if (const char *rev = std::getenv("GCM_BENCH_GIT_REV"))
+            return rev;
+        std::string rev;
+        if (FILE *p = popen("git rev-parse --short HEAD 2>/dev/null",
+                            "r")) {
+            char buf[64];
+            if (std::fgets(buf, sizeof(buf), p))
+                rev = buf;
+            pclose(p);
+        }
+        while (!rev.empty()
+               && (rev.back() == '\n' || rev.back() == '\r')) {
+            rev.pop_back();
+        }
+        return rev.empty() ? "unknown" : rev;
+    }
+
+    std::vector<std::pair<std::string, double>> entries_;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    TrajectoryReporter reporter;
+    const std::size_t threads_at_start = numThreads();
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    setThreads(threads_at_start);
+    const char *path = std::getenv("GCM_BENCH_JSON");
+    if (!reporter.writeJson(path ? path : "BENCH_micro.json")) {
+        std::fprintf(stderr,
+                     "bench_micro_perf: failed to write %s\n",
+                     path ? path : "BENCH_micro.json");
+        return 1;
+    }
+    return 0;
+}

@@ -111,21 +111,77 @@ SignatureCostModel::predictMs(
     const dnn::Graph &network,
     const std::vector<double> &signature_latencies_ms) const
 {
+    std::vector<float> row(featureWidth());
+    const auto enc = encoder_->encode(network);
+    std::copy(enc.begin(), enc.end(), row.begin());
+    const double anchor = finishQueryRow(signature_latencies_ms,
+                                         row.data());
+    // Compiled and node-walker paths are bit-identical by the
+    // ml/flat_ensemble.hh contract, so hot-path callers may compile()
+    // without changing any prediction.
+    const double raw = flat_ ? flat_->predictRow(row.data())
+                             : booster_.predictRow(row.data());
+    return raw * anchor;
+}
+
+void
+SignatureCostModel::compile()
+{
+    if (!flat_) {
+        flat_ = std::make_shared<const ml::FlatEnsemble>(
+            booster_.compile());
+    }
+}
+
+const ml::FlatEnsemble &
+SignatureCostModel::flat() const
+{
+    GCM_ASSERT(flat_ != nullptr,
+               "SignatureCostModel::flat: compile() not called");
+    return *flat_;
+}
+
+std::size_t
+SignatureCostModel::featureWidth() const
+{
+    return encoder_->numFeatures() + signature_.size();
+}
+
+std::size_t
+SignatureCostModel::networkFeatureWidth() const
+{
+    return encoder_->numFeatures();
+}
+
+std::vector<float>
+SignatureCostModel::encodeNetwork(const dnn::Graph &network) const
+{
+    return encoder_->encode(network);
+}
+
+double
+SignatureCostModel::finishQueryRow(
+    const std::vector<double> &signature_latencies_ms, float *row) const
+{
+    return signatureTail(signature_latencies_ms,
+                         row + encoder_->numFeatures());
+}
+
+double
+SignatureCostModel::signatureTail(
+    const std::vector<double> &signature_latencies_ms, float *tail) const
+{
     if (signature_latencies_ms.size() != signature_.size()) {
         fatal("predictMs: expected ", signature_.size(),
               " signature latencies, got ",
               signature_latencies_ms.size());
     }
     const double anchor = anchorOf(signature_latencies_ms);
-    const std::size_t net_f = encoder_->numFeatures();
-    std::vector<float> row(net_f + signature_.size());
-    const auto enc = encoder_->encode(network);
-    std::copy(enc.begin(), enc.end(), row.begin());
     for (std::size_t k = 0; k < signature_.size(); ++k) {
-        row[net_f + k] =
+        tail[k] =
             static_cast<float>(signature_latencies_ms[k] / anchor);
     }
-    return booster_.predictRow(row.data()) * anchor;
+    return anchor;
 }
 
 } // namespace gcm::core

@@ -26,6 +26,7 @@
 #include "core/net_encoder.hh"
 #include "core/signature.hh"
 #include "dnn/graph.hh"
+#include "ml/flat_ensemble.hh"
 #include "ml/gbt.hh"
 
 namespace gcm::core
@@ -96,6 +97,57 @@ class SignatureCostModel
                      const std::vector<double> &signature_latencies_ms)
         const;
 
+    /**
+     * Compile the booster into its flat SoA inference form
+     * (ml/flat_ensemble.hh). Idempotent; predictMs and the batched
+     * query path below route through the compiled ensemble once this
+     * has run — bit-identical to the node walker by contract. The
+     * serving ModelRegistry calls this at snapshot load.
+     */
+    void compile();
+
+    bool compiled() const { return flat_ != nullptr; }
+
+    /** The compiled ensemble. @pre compiled() */
+    const ml::FlatEnsemble &flat() const;
+
+    /** Booster row width: network features + signature slots. */
+    std::size_t featureWidth() const;
+
+    /** Width of the network-feature prefix of a query row. */
+    std::size_t networkFeatureWidth() const;
+
+    /**
+     * Encode a network into the feature prefix a query row starts
+     * with (pure; reusable across devices and, per model version,
+     * cacheable by callers). Throws GcmError when the network does
+     * not fit the encoder layout.
+     */
+    std::vector<float> encodeNetwork(const dnn::Graph &network) const;
+
+    /**
+     * Finish a query row in place: writes the anchor-normalized
+     * signature latencies into row[networkFeatureWidth()..) and
+     * returns the anchor the prediction must be scaled back by.
+     * `row` holds featureWidth() floats with the network prefix
+     * already written (encodeNetwork).
+     */
+    double finishQueryRow(
+        const std::vector<double> &signature_latencies_ms,
+        float *row) const;
+
+    /**
+     * Segmented-row form of finishQueryRow: writes the
+     * anchor-normalized signature latencies into tail[0..signature
+     * size) and returns the anchor. Paired with encodeNetwork() as
+     * the head, this is a query row for
+     * ml::FlatEnsemble::predictBatchSegmented with head width
+     * networkFeatureWidth().
+     */
+    double signatureTail(
+        const std::vector<double> &signature_latencies_ms,
+        float *tail) const;
+
     const NetworkEncoder &encoder() const { return *encoder_; }
 
     /**
@@ -120,6 +172,8 @@ class SignatureCostModel
     std::vector<std::size_t> signature_;
     std::vector<std::string> signatureNames_;
     ml::GradientBoostedTrees booster_;
+    /** Compiled booster (compile()); shared so snapshots stay cheap. */
+    std::shared_ptr<const ml::FlatEnsemble> flat_;
 };
 
 } // namespace gcm::core

@@ -147,14 +147,19 @@ GradientBoostedTrees::predictRow(const float *x) const
 std::vector<double>
 GradientBoostedTrees::predict(const Dataset &data) const
 {
-    // Batch predict: every row is independent and writes its own
-    // output slot.
+    // Batch predict through the compiled form: bit-identical to the
+    // per-row node walker (ml/flat_ensemble.hh contract), one blocked
+    // sweep instead of a pointer chase per row.
     const obs::TraceSpan span("gbt.predict");
-    std::vector<double> out(data.numRows());
-    parallelFor(0, data.numRows(), 64, [&](std::size_t i) {
-        out[i] = predictRow(data.row(i));
-    });
-    return out;
+    return compile().predict(data);
+}
+
+FlatEnsemble
+GradientBoostedTrees::compile() const
+{
+    GCM_ASSERT(trained_, "GBT: compile before train");
+    return FlatEnsemble::compile(trees_, baseScore_,
+                                 FlatEnsemble::Combine::Sum);
 }
 
 void

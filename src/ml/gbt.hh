@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ml/dataset.hh"
+#include "ml/flat_ensemble.hh"
 #include "ml/tree.hh"
 
 namespace gcm::ml
@@ -50,11 +51,24 @@ class GradientBoostedTrees
      */
     void train(const Dataset &data, const Dataset &eval);
 
-    /** Predict one row of raw feature values. */
+    /**
+     * Predict one row of raw feature values (node walker). The
+     * double-over-float accumulation order is contractual — see the
+     * bit-identity contract in ml/flat_ensemble.hh.
+     */
     double predictRow(const float *x) const;
 
-    /** Predict every row of a dataset. */
+    /**
+     * Predict every row of a dataset. Routed through a compiled
+     * FlatEnsemble; bit-identical to predictRow per row.
+     */
     std::vector<double> predict(const Dataset &data) const;
+
+    /**
+     * Compile the trained booster into its flat SoA inference form
+     * (Combine::Sum from baseScore()). @pre trained()
+     */
+    FlatEnsemble compile() const;
 
     bool trained() const { return !trees_.empty() || trained_; }
     std::size_t numTrees() const { return trees_.size(); }

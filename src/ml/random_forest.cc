@@ -75,11 +75,17 @@ RandomForest::predictRow(const float *x) const
 std::vector<double>
 RandomForest::predict(const Dataset &data) const
 {
-    std::vector<double> out(data.numRows());
-    parallelFor(0, data.numRows(), 64, [&](std::size_t i) {
-        out[i] = predictRow(data.row(i));
-    });
-    return out;
+    // Compiled batch path; bit-identical to the per-row node walker
+    // (ml/flat_ensemble.hh contract).
+    return compile().predict(data);
+}
+
+FlatEnsemble
+RandomForest::compile() const
+{
+    GCM_ASSERT(!trees_.empty(), "RandomForest: compile before train");
+    return FlatEnsemble::compile(trees_, 0.0,
+                                 FlatEnsemble::Combine::Mean);
 }
 
 void

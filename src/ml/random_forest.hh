@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ml/dataset.hh"
+#include "ml/flat_ensemble.hh"
 #include "ml/tree.hh"
 
 namespace gcm::ml
@@ -39,8 +40,23 @@ class RandomForest
 
     void train(const Dataset &data);
 
+    /**
+     * Predict one row (node walker); accumulation order is pinned by
+     * the bit-identity contract in ml/flat_ensemble.hh.
+     */
     double predictRow(const float *x) const;
+
+    /**
+     * Predict every row of a dataset, routed through a compiled
+     * FlatEnsemble; bit-identical to predictRow per row.
+     */
     std::vector<double> predict(const Dataset &data) const;
+
+    /**
+     * Compile the trained forest into its flat SoA inference form
+     * (Combine::Mean). @pre trained (numTrees() > 0)
+     */
+    FlatEnsemble compile() const;
 
     std::size_t numTrees() const { return trees_.size(); }
     const RandomForestParams &params() const { return params_; }

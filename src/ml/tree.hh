@@ -56,7 +56,11 @@ class RegressionTree
         : nodes_(std::move(nodes))
     {}
 
-    /** Predict from raw feature values. */
+    /**
+     * Predict from raw feature values. Leaves are float; ensemble
+     * callers accumulate them into a double in tree order — an order
+     * that is contractual, pinned in ml/flat_ensemble.hh.
+     */
     double predictRow(const float *x) const;
 
     /** Predict row i of a binned matrix (fast path for training). */

@@ -111,6 +111,15 @@ ShardedLruCache::put(const CacheKey &key, double value)
 }
 
 void
+ShardedLruCache::noteCoalesced(const CacheKey &key)
+{
+    Shard &shard = shardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.stats.coalesced;
+    obs::counterAdd("serve.cache.coalesced");
+}
+
+void
 ShardedLruCache::clear()
 {
     for (auto &shard : shards_) {
@@ -141,6 +150,7 @@ ShardedLruCache::stats() const
         total.misses += shard->stats.misses;
         total.insertions += shard->stats.insertions;
         total.evictions += shard->stats.evictions;
+        total.coalesced += shard->stats.coalesced;
     }
     return total;
 }

@@ -23,9 +23,9 @@
  * shard-local. A capacity of 0 disables the cache (every lookup
  * misses, nothing is stored) — used by the cold-path benchmarks.
  *
- * Observability: hits, misses, evictions and insertions are counted
- * locally (stats(), always on) and mirrored into src/obs counters
- * (serve.cache.*) when collection is enabled.
+ * Observability: hits, misses, evictions, insertions and coalesced
+ * duplicates are counted locally (stats(), always on) and mirrored
+ * into src/obs counters (serve.cache.*) when collection is enabled.
  */
 
 #ifndef GCM_SERVE_CACHE_HH
@@ -92,6 +92,17 @@ class ShardedLruCache
      */
     void put(const CacheKey &key, double value);
 
+    /**
+     * Record that a lookup of `key` was satisfied by coalescing onto
+     * an in-flight compute for the same key (batch deduplication in
+     * PredictionService) rather than by a fresh compute. Every
+     * coalesced lookup was first counted as a miss by get(), so
+     * coalesced <= misses and the cache-effectiveness rate including
+     * coalescing is effectiveHitRate(). Counted per shard and
+     * mirrored to the serve.cache.coalesced obs counter.
+     */
+    void noteCoalesced(const CacheKey &key);
+
     /** Drop every entry (counters are kept). */
     void clear();
 
@@ -106,6 +117,8 @@ class ShardedLruCache
         std::uint64_t misses = 0;
         std::uint64_t insertions = 0;
         std::uint64_t evictions = 0;
+        /** Misses absorbed by batch coalescing (noteCoalesced). */
+        std::uint64_t coalesced = 0;
 
         double
         hitRate() const
@@ -114,6 +127,23 @@ class ShardedLruCache
             return total == 0
                        ? 0.0
                        : static_cast<double>(hits)
+                             / static_cast<double>(total);
+        }
+
+        /**
+         * Fraction of lookups that did NOT cost a fresh compute:
+         * cache hits plus coalesced duplicates over all lookups.
+         * This is the number load reports should quote for
+         * duplicate-heavy mixes, where hitRate() understates how
+         * much work the serving layer actually saved.
+         */
+        double
+        effectiveHitRate() const
+        {
+            const std::uint64_t total = hits + misses;
+            return total == 0
+                       ? 0.0
+                       : static_cast<double>(hits + coalesced)
                              / static_cast<double>(total);
         }
     };

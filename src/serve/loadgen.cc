@@ -251,12 +251,14 @@ LoadGenReport::summary() const
         "loadgen: %zu requests (%zu ok, %zu errors, %zu rejected)\n"
         "  wall %.1f ms, throughput %.0f req/s\n"
         "  latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n"
-        "  cache: %llu hits, %llu misses, %llu evictions "
-        "(hit rate %.1f%%)",
+        "  cache: %llu hits, %llu misses, %llu evictions, "
+        "%llu coalesced (hit rate %.1f%%, effective %.1f%%)",
         issued, ok, errors, rejected, wall_ms, achieved_qps, p50_ms,
         p95_ms, p99_ms, (unsigned long long)cache.hits,
         (unsigned long long)cache.misses,
-        (unsigned long long)cache.evictions, cache.hitRate() * 100.0);
+        (unsigned long long)cache.evictions,
+        (unsigned long long)cache.coalesced, cache.hitRate() * 100.0,
+        cache.effectiveHitRate() * 100.0);
     return buf;
 }
 

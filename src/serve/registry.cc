@@ -32,16 +32,22 @@ ModelSnapshot::fromStream(std::istream &is)
     std::istringstream model_is(text);
     if (text.rfind("gcm-cost-model v1", 0) == 0) {
         snap.kind_ = SnapshotKind::CostModel;
+        auto model = core::SignatureCostModel::deserialize(model_is);
+        model.compile();
         snap.cost_model_ = std::make_unique<core::SignatureCostModel>(
-            core::SignatureCostModel::deserialize(model_is));
+            std::move(model));
     } else if (text.rfind("gcm-gbt v1", 0) == 0) {
         snap.kind_ = SnapshotKind::Gbt;
         snap.gbt_ = std::make_unique<ml::GradientBoostedTrees>(
             ml::GradientBoostedTrees::deserialize(model_is));
+        snap.flat_ = std::make_unique<const ml::FlatEnsemble>(
+            snap.gbt_->compile());
     } else if (text.rfind("gcm-rf v1", 0) == 0) {
         snap.kind_ = SnapshotKind::RandomForest;
         snap.forest_ = std::make_unique<ml::RandomForest>(
             ml::RandomForest::deserialize(model_is));
+        snap.flat_ = std::make_unique<const ml::FlatEnsemble>(
+            snap.forest_->compile());
     } else {
         fatal("ModelSnapshot: unrecognized model header (expected "
               "'gcm-cost-model v1', 'gcm-gbt v1' or 'gcm-rf v1')");
@@ -54,6 +60,7 @@ ModelSnapshot::fromCostModel(core::SignatureCostModel model)
 {
     ModelSnapshot snap;
     snap.kind_ = SnapshotKind::CostModel;
+    model.compile();
     snap.cost_model_ = std::make_unique<core::SignatureCostModel>(
         std::move(model));
     return snap;
@@ -70,14 +77,18 @@ ModelSnapshot::costModel() const
 double
 ModelSnapshot::predictRow(const float *x) const
 {
-    switch (kind_) {
-      case SnapshotKind::Gbt: return gbt_->predictRow(x);
-      case SnapshotKind::RandomForest: return forest_->predictRow(x);
-      case SnapshotKind::CostModel: break;
-    }
-    GCM_ASSERT(false, "ModelSnapshot::predictRow: cost-model snapshots "
-                      "serve (network, device) queries, not rows");
-    return 0.0;
+    GCM_ASSERT(kind_ != SnapshotKind::CostModel,
+               "ModelSnapshot::predictRow: cost-model snapshots "
+               "serve (network, device) queries, not rows");
+    return flat_->predictRow(x);
+}
+
+const ml::FlatEnsemble &
+ModelSnapshot::flat() const
+{
+    if (kind_ == SnapshotKind::CostModel)
+        return cost_model_->flat();
+    return *flat_;
 }
 
 ModelRegistry::Version

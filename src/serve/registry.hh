@@ -53,18 +53,28 @@ enum class SnapshotKind
 /** Display name of a snapshot kind. */
 const char *snapshotKindName(SnapshotKind kind);
 
-/** One immutable loaded model. */
+/**
+ * One immutable loaded model.
+ *
+ * Snapshot construction is where ensembles get compiled: both
+ * factories flatten the wrapped ensemble into a ml::FlatEnsemble
+ * (bit-identical by the ml/flat_ensemble.hh contract) before the
+ * snapshot is frozen, so every published snapshot carries a ready
+ * compiled engine and the serving hot path never touches the
+ * node-walking training structures.
+ */
 class ModelSnapshot
 {
   public:
     /**
      * Load a snapshot from a serialized model stream, dispatching on
      * the header magic (see file comment). Throws GcmError for
-     * unrecognized or malformed content.
+     * unrecognized or malformed content. The contained ensemble is
+     * compiled before the snapshot is returned.
      */
     static ModelSnapshot fromStream(std::istream &is);
 
-    /** Wrap an already-constructed cost model. */
+    /** Wrap (and compile) an already-constructed cost model. */
     static ModelSnapshot fromCostModel(core::SignatureCostModel model);
 
     SnapshotKind kind() const { return kind_; }
@@ -73,10 +83,14 @@ class ModelSnapshot
     const core::SignatureCostModel &costModel() const;
 
     /**
-     * Predict one raw feature row with a bare regressor snapshot.
+     * Predict one raw feature row with a bare regressor snapshot
+     * (routed through the compiled ensemble).
      * @pre kind() is Gbt or RandomForest.
      */
     double predictRow(const float *x) const;
+
+    /** The snapshot's compiled inference engine (never null). */
+    const ml::FlatEnsemble &flat() const;
 
   private:
     ModelSnapshot() = default;
@@ -85,6 +99,8 @@ class ModelSnapshot
     std::unique_ptr<const core::SignatureCostModel> cost_model_;
     std::unique_ptr<const ml::GradientBoostedTrees> gbt_;
     std::unique_ptr<const ml::RandomForest> forest_;
+    /** Compiled form of a bare regressor (cost models own theirs). */
+    std::unique_ptr<const ml::FlatEnsemble> flat_;
 };
 
 /**

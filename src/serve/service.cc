@@ -1,5 +1,6 @@
 #include "serve/service.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <unordered_map>
@@ -59,24 +60,40 @@ PredictionService::resolve(const ServeRequest &request,
         return r;
     }
     if (has_network) {
-        auto memo = graph_memo_.find(request.network);
-        if (memo == graph_memo_.end()) {
-            dnn::Graph g;
+        auto it = graph_memo_.find(request.network);
+        if (it == graph_memo_.end()) {
+            NetworkMemo memo;
             try {
-                g = dnn::quantize(dnn::buildZooModel(request.network));
+                memo.graph =
+                    dnn::quantize(dnn::buildZooModel(request.network));
             } catch (const GcmError &) {
                 failWith(ServeErrorCode::UnknownNetwork,
                          "unknown network '" + request.network + "'");
                 return r;
             }
-            const std::uint64_t fp = dnn::graphFingerprint(g);
-            memo = graph_memo_
-                       .emplace(request.network,
-                                std::make_pair(std::move(g), fp))
-                       .first;
+            memo.fp = dnn::graphFingerprint(memo.graph);
+            it = graph_memo_
+                     .emplace(request.network, std::move(memo))
+                     .first;
         }
-        r.graph = &memo->second.first;
-        r.key.graph_fp = memo->second.second;
+        NetworkMemo &memo = it->second;
+        // Encode once per (network, model version); the batch pins
+        // one version, so within a batch this hits after the first
+        // request for the network.
+        if (memo.enc_version != version) {
+            try {
+                memo.enc = model.encodeNetwork(memo.graph);
+                memo.enc_version = version;
+            } catch (const GcmError &e) {
+                failWith(ServeErrorCode::Internal,
+                         std::string("prediction failed: ")
+                             + e.what());
+                return r;
+            }
+        }
+        r.graph = &memo.graph;
+        r.net_features = &memo.enc;
+        r.key.graph_fp = memo.fp;
     } else {
         try {
             dnn::Graph g = dnn::graphFromText(request.graph_text);
@@ -179,6 +196,8 @@ PredictionService::processBatch(const std::vector<ServeRequest> &requests)
     struct ComputeTask
     {
         const dnn::Graph *graph;
+        /** Memoized encoding; nullptr -> encode in the row build. */
+        const std::vector<float> *net_features;
         const std::vector<double> *signature;
         CacheKey key;
     };
@@ -199,53 +218,91 @@ PredictionService::processBatch(const std::vector<ServeRequest> &requests)
             responses[i].model_version = active.version;
             continue;
         }
-        // Coalesce duplicate keys within the batch into one compute.
+        // Coalesce duplicate keys within the batch into one compute;
+        // the duplicates are counted so hit-rate reports see them.
         const auto [it, inserted] =
             pending.emplace(r.key, compute.size());
-        if (inserted)
-            compute.push_back({r.graph, &r.signature, r.key});
+        if (inserted) {
+            compute.push_back(
+                {r.graph, r.net_features, &r.signature, r.key});
+        } else {
+            cache_.noteCoalesced(r.key);
+        }
         plan[i].state = State::Compute;
         plan[i].compute_slot = it->second;
     }
 
-    // Parallel phase: one pure predictMs per unique missing key.
-    // Errors are carried in-band so a poisoned request cannot abort
-    // its batch siblings.
-    struct ComputeResult
-    {
-        double value = 0.0;
-        std::string error;
-    };
-    const std::vector<ComputeResult> results =
-        parallelMap(compute.size(), 1, [&](std::size_t j) {
-            ComputeResult out;
-            try {
-                out.value = model.predictMs(*compute[j].graph,
-                                            *compute[j].signature);
-            } catch (const GcmError &e) {
-                out.error = e.what();
+    // Parallel phase: build one segmented query row per unique
+    // missing key — the head is the (memoized) network encoding,
+    // shared across every request for the same network, and the tail
+    // is the request's anchor-normalized signature — then predict
+    // every row with one blocked pass through the snapshot's
+    // compiled ensemble (bit-identical at any thread count per
+    // ml/flat_ensemble.hh). Errors are carried in-band so a poisoned
+    // request cannot abort its batch siblings.
+    const std::size_t head_w = model.networkFeatureWidth();
+    const std::size_t sig_w = model.signatureNames().size();
+    const std::size_t n_compute = compute.size();
+    if (tails_.size() < n_compute * sig_w)
+        tails_.resize(n_compute * sig_w);
+    if (inline_enc_.size() < n_compute)
+        inline_enc_.resize(n_compute);
+    if (seg_rows_.size() < n_compute)
+        seg_rows_.resize(n_compute);
+    if (anchors_.size() < n_compute)
+        anchors_.resize(n_compute);
+    if (values_.size() < n_compute)
+        values_.resize(n_compute);
+    errors_.assign(n_compute, std::string());
+    if (fallback_.size() < head_w + sig_w)
+        fallback_.assign(head_w + sig_w, 0.0f);
+    parallelFor(0, n_compute, 1, [&](std::size_t j) {
+        float *tail = tails_.data() + j * sig_w;
+        double *anchor = anchors_.data();
+        std::string *error = errors_.data();
+        ml::FlatEnsemble::SegmentedRow *seg = seg_rows_.data();
+        std::vector<float> *enc = inline_enc_.data();
+        try {
+            const float *head;
+            if (compute[j].net_features != nullptr) {
+                head = compute[j].net_features->data();
+            } else {
+                enc[j] = model.encodeNetwork(*compute[j].graph);
+                head = enc[j].data();
             }
-            return out;
-        });
+            anchor[j] =
+                model.signatureTail(*compute[j].signature, tail);
+            seg[j] = {head, tail};
+        } catch (const GcmError &e) {
+            error[j] = e.what();
+            // Park failed rows on zeros; their output is discarded.
+            seg[j] = {fallback_.data(), fallback_.data()};
+        }
+    });
+    if (n_compute > 0) {
+        model.flat().predictBatchSegmented(seg_rows_.data(), n_compute,
+                                           head_w, values_.data());
+    }
 
     // Serial epilogue: publish results to the cache in slot order and
-    // fill the remaining responses.
-    for (std::size_t j = 0; j < compute.size(); ++j) {
-        if (results[j].error.empty())
-            cache_.put(compute[j].key, results[j].value);
+    // fill the remaining responses. Scaling by the anchor here keeps
+    // the arithmetic identical to predictMs (raw * anchor).
+    for (std::size_t j = 0; j < n_compute; ++j) {
+        if (errors_[j].empty())
+            cache_.put(compute[j].key, values_[j] * anchors_[j]);
     }
     std::uint64_t ok_count = 0;
     for (std::size_t i = 0; i < requests.size(); ++i) {
         if (plan[i].state == State::Compute) {
-            const ComputeResult &res = results[plan[i].compute_slot];
-            if (res.error.empty()) {
+            const std::size_t j = plan[i].compute_slot;
+            if (errors_[j].empty()) {
                 responses[i].ok = true;
-                responses[i].latency_ms = res.value;
+                responses[i].latency_ms = values_[j] * anchors_[j];
                 responses[i].model_version = active.version;
             } else {
                 responses[i] = ServeResponse::failure(
                     requests[i].id, ServeErrorCode::Internal,
-                    "prediction failed: " + res.error);
+                    "prediction failed: " + errors_[j]);
             }
         }
         ok_count += responses[i].ok ? 1 : 0;

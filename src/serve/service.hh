@@ -15,11 +15,14 @@
  *  - The batch pins one registry snapshot up front, so a concurrent
  *    hot-swap lands between batches, never inside one.
  *  - Resolution and every cache probe/update run serially in request
- *    order; only the pure predictMs() calls for the batch's unique
- *    missing keys fan out, via parallelMap, one task per key.
- *  - Duplicate keys within a batch are coalesced into one compute,
- *    so results (and cache contents) cannot depend on a race between
- *    identical requests.
+ *    order; only pure work for the batch's unique missing keys fans
+ *    out: row building (encode + anchor) one task per key, then one
+ *    blocked FlatEnsemble::predictBatch over the whole row matrix —
+ *    itself bit-identical at any thread count by the
+ *    ml/flat_ensemble.hh contract.
+ *  - Duplicate keys within a batch are coalesced into one compute
+ *    (counted by the cache as `coalesced`), so results (and cache
+ *    contents) cannot depend on a race between identical requests.
  * The cache is version-keyed and stores exact doubles, so a cache
  * hit returns the byte-identical value the cold path produced.
  */
@@ -35,6 +38,7 @@
 #include <vector>
 
 #include "dnn/graph.hh"
+#include "ml/flat_ensemble.hh"
 #include "serve/cache.hh"
 #include "serve/registry.hh"
 
@@ -134,6 +138,12 @@ class PredictionService
         const dnn::Graph *graph = nullptr;
         /** Owner for inline graphs (memo-backed entries stay there). */
         std::unique_ptr<dnn::Graph> owned_graph;
+        /**
+         * Memoized encoder output for zoo networks (points into
+         * graph_memo_); nullptr for inline graphs, which encode in
+         * the parallel row-build phase.
+         */
+        const std::vector<float> *net_features = nullptr;
         std::vector<double> signature;
         CacheKey key;
         ServeErrorCode error_code = ServeErrorCode::BadRequest;
@@ -150,12 +160,37 @@ class PredictionService
     DeviceTable device_table_;
     ShardedLruCache cache_;
     /**
-     * Zoo-name -> (deployment graph, fingerprint) memo. The zoo is a
-     * fixed finite set, so this is bounded; it lets a cache hit skip
-     * rebuilding and re-quantizing the network entirely.
+     * Per zoo network: deployment graph, structural fingerprint, and
+     * the encoder output for the model version that last served it.
+     * The zoo is a fixed finite set, so this is bounded; it lets the
+     * cold path skip rebuilding, re-quantizing and — per model
+     * version — re-encoding the network, which dominates cold-path
+     * cost.
      */
-    std::map<std::string, std::pair<dnn::Graph, std::uint64_t>>
-        graph_memo_;
+    struct NetworkMemo
+    {
+        dnn::Graph graph;
+        std::uint64_t fp = 0;
+        /** Encoder output for enc_version (0 = not yet encoded). */
+        std::vector<float> enc;
+        ModelRegistry::Version enc_version = 0;
+    };
+    std::map<std::string, NetworkMemo> graph_memo_;
+    /**
+     * Per-batch compute scratch, reused across batches so the cold
+     * path does not reallocate (processBatch is not thread-safe
+     * anyway — graph_memo_ — so plain members are fine). Sized to the
+     * largest batch seen; only the first `compute.size()` slots of
+     * each are meaningful in any one batch.
+     */
+    std::vector<float> tails_;
+    std::vector<std::vector<float>> inline_enc_;
+    std::vector<ml::FlatEnsemble::SegmentedRow> seg_rows_;
+    std::vector<double> anchors_;
+    std::vector<double> values_;
+    std::vector<std::string> errors_;
+    /** Zero head/tail stand-in for rows whose build failed. */
+    std::vector<float> fallback_;
 };
 
 } // namespace gcm::serve

@@ -1,0 +1,34 @@
+// gcm-lint fixture: the compiled-ensemble walk shape of
+// src/ml/flat_ensemble.cc — a guarded batch counter outside the
+// loops, then a parallel block loop whose innermost `while` is the
+// per-node traversal. The seeded violation puts an obs call inside
+// that `while`; the surrounding `for` contains the `while`, so it is
+// not innermost and its unguarded call stays legal. test_lint.cc
+// lexes this content under a synthetic src/ml/ path.
+#include "obs/obs.hh"
+
+void
+predictBatchShape(const float *rows, unsigned n_rows, unsigned stride,
+                  const int *feature, const unsigned *left,
+                  const float *threshold, double *out)
+{
+    GCM_OBS_GUARDED(gcm::obs::counterAdd("flat.rows", n_rows));
+    const auto walkBlock = [&](unsigned lo, unsigned hi) {
+        for (unsigned i = lo; i < hi; ++i) {
+            const float *x = rows + i * stride;
+            unsigned idx = 0;
+            int f = feature[idx];
+            while (f >= 0) {
+                gcm::obs::counterAdd("flat.steps"); // line 22: innermost
+                idx = left[idx]
+                    + static_cast<unsigned>(!(x[f] <= threshold[idx]));
+                f = feature[idx];
+            }
+            // Legal: this loop contains the `while` above, so per-row
+            // bookkeeping here is amortized over the walk.
+            gcm::obs::counterAdd("flat.rows.walked");
+            out[i] = idx;
+        }
+    };
+    walkBlock(0, n_rows);
+}

@@ -322,6 +322,27 @@ TEST(LintChecks, ObsHotLoopFixture)
     EXPECT_EQ(r.suppressedCount(), 1u); // suppressedCall()
 }
 
+TEST(LintChecks, ObsHotLoopFlatEnsembleShape)
+{
+    // The compiled-walk shape of src/ml/flat_ensemble.cc: a guarded
+    // batch counter outside the loops is sanctioned, the innermost
+    // node-walk `while` is hot, and the row `for` wrapping it is not
+    // innermost, so its per-row counter stays legal unguarded.
+    const std::string code =
+        readFile(fixturePath("obs_hot_loop_flat.cc"));
+    const LintReport r =
+        runAll(lint::lexString("src/ml/flat_ensemble.cc", code));
+    std::set<std::pair<std::string, int>> hotLoopErrors;
+    for (const auto &f : findingsAt(r, Severity::Error)) {
+        if (f.first == "obs-hot-loop")
+            hotLoopErrors.insert(f);
+    }
+    const std::set<std::pair<std::string, int>> expected = {
+        {"obs-hot-loop", 22}, // counterAdd in the traversal while
+    };
+    EXPECT_EQ(hotLoopErrors, expected);
+}
+
 TEST(LintChecks, ObsHotLoopOnlyAppliesToMlAndDnn)
 {
     const std::string code =

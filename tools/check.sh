@@ -96,7 +96,8 @@ echo "check.sh: clean under ASan+UBSan with -Wall -Wextra -Werror"
 # --- TSan lane: the tests that exercise the parallel execution layer.
 PARALLEL_TESTS=(test_parallel test_tree test_gbt test_baselines
                 test_campaign test_cross_validation test_signature
-                test_obs test_obs_determinism test_faults test_serve)
+                test_obs test_obs_determinism test_faults test_serve
+                test_flat_ensemble)
 
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
     -DGCM_SANITIZE=thread \

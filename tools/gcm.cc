@@ -438,12 +438,14 @@ cmdServe(const std::map<std::string, std::string> &flags)
     const auto st = service.cache().stats();
     std::fprintf(stderr,
                  "served %zu requests (model version %llu)\n"
-                 "cache: %llu hits, %llu misses, %llu evictions "
-                 "(hit rate %.1f%%)\n",
+                 "cache: %llu hits, %llu misses, %llu evictions, "
+                 "%llu coalesced (hit rate %.1f%%, effective %.1f%%)\n",
                  consumed, (unsigned long long)active.version,
                  (unsigned long long)st.hits,
                  (unsigned long long)st.misses,
-                 (unsigned long long)st.evictions, st.hitRate() * 100.0);
+                 (unsigned long long)st.evictions,
+                 (unsigned long long)st.coalesced, st.hitRate() * 100.0,
+                 st.effectiveHitRate() * 100.0);
     return 0;
 }
 
