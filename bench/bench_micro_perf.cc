@@ -23,6 +23,7 @@
 #include "dnn/zoo.hh"
 #include "ml/flat_ensemble.hh"
 #include "ml/gbt.hh"
+#include "search/search.hh"
 #include "serve/registry.hh"
 #include "serve/service.hh"
 #include "sim/campaign.hh"
@@ -445,6 +446,50 @@ BM_ServeCacheHit(benchmark::State &state)
                             * static_cast<std::int64_t>(batch.size()));
 }
 BENCHMARK(BM_ServeCacheHit);
+
+/**
+ * End-to-end architecture search: population 16 x 3 generations over
+ * two synthetic devices, every candidate priced through the serving
+ * stack (fresh service per iteration, so generation-0 misses and
+ * elite re-pricing hits are both in the loop). items/s is candidate
+ * evaluations per second.
+ */
+static void
+BM_Search(benchmark::State &state)
+{
+    const auto &registry = serveRegistry();
+    const std::size_t width = registry.active()
+                                  .snapshot->costModel()
+                                  .signatureNames()
+                                  .size();
+    serve::PredictionService::DeviceTable table;
+    for (std::size_t d = 0; d < 2; ++d) {
+        std::vector<double> sig;
+        for (std::size_t k = 0; k < width; ++k) {
+            sig.push_back(5.0 + static_cast<double>(k)
+                          + 0.5 * static_cast<double>(d));
+        }
+        table["bench-dev-" + std::to_string(d)] = std::move(sig);
+    }
+    search::SearchConfig cfg;
+    cfg.budget_ms = 50.0;
+    cfg.devices = {"bench-dev-0", "bench-dev-1"};
+    cfg.seed = 7;
+    cfg.population = 16;
+    cfg.generations = 3;
+    cfg.elite = 4;
+    std::uint64_t evaluated = 0;
+    for (auto _ : state) {
+        serve::PredictionService service(registry, table);
+        search::ArchitectureSearch engine(service, cfg);
+        const search::SearchResult result = engine.run();
+        evaluated += result.candidates_evaluated;
+        benchmark::DoNotOptimize(result.front.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(evaluated));
+    state.SetLabel("pop 16 x 3 gens x 2 devices");
+}
+BENCHMARK(BM_Search)->Unit(benchmark::kMillisecond);
 
 static void
 BM_KMeansDevices(benchmark::State &state)

@@ -91,60 +91,219 @@ dwSeparable(GraphBuilder &b, NodeId x, std::int32_t out_c,
 
 } // namespace
 
-Graph
-RandomNetworkGenerator::generateCandidate(const std::string &name, Rng &rng)
+const char *
+blockKindName(BlockKind kind)
 {
-    GraphBuilder b(name, space_.input);
+    switch (kind) {
+      case BlockKind::MBConv: return "mb";
+      case BlockKind::DwSeparable: return "dw";
+      case BlockKind::PlainConv: return "conv";
+    }
+    return "?";
+}
+
+ArchGenome
+sampleGenome(const SearchSpace &space, Rng &rng)
+{
+    ArchGenome genome;
+    // The draw sequence below is the pre-genotype generator's, in
+    // order; seeded suites (and everything derived from them) depend
+    // on it staying exactly this.
+    genome.stem_channels = pick(rng, space.stem_channel_choices);
+    genome.stem_activation = pickActivation(rng);
+
+    std::int32_t channels = genome.stem_channels;
+    const auto stages = static_cast<std::int32_t>(rng.uniformInt(
+        space.min_stages, space.max_stages));
+    genome.stages.reserve(static_cast<std::size_t>(stages));
+    for (std::int32_t stage = 0; stage < stages; ++stage) {
+        StageGene sg;
+        const auto blocks = static_cast<std::int32_t>(rng.uniformInt(
+            space.min_blocks_per_stage, space.max_blocks_per_stage));
+        const double growth = rng.uniform(space.channel_growth_min,
+                                          space.channel_growth_max);
+        channels = std::min(roundChannels(channels * growth),
+                            space.max_channels);
+        sg.channels = channels;
+        sg.activation = pickActivation(rng);
+        sg.kernel = pick(rng, space.kernel_choices);
+        sg.blocks.reserve(static_cast<std::size_t>(blocks));
+        for (std::int32_t blk = 0; blk < blocks; ++blk) {
+            BlockGene bg;
+            const double kind_r = rng.uniform();
+            if (kind_r < space.p_mbconv) {
+                bg.kind = BlockKind::MBConv;
+                bg.expansion = pick(rng, space.expansion_choices);
+                bg.se = rng.bernoulli(space.se_probability);
+                bg.residual =
+                    rng.bernoulli(space.residual_probability);
+            } else if (kind_r
+                       < space.p_mbconv + space.p_dwseparable) {
+                bg.kind = BlockKind::DwSeparable;
+            } else {
+                bg.kind = BlockKind::PlainConv;
+            }
+            sg.blocks.push_back(bg);
+        }
+        genome.stages.push_back(std::move(sg));
+    }
+
+    genome.head_channels = pick(rng, space.head_channel_choices);
+    // The head activation draw is conditional in the original
+    // generator; genomes where the head does not expand keep the
+    // default without consuming a draw.
+    if (genome.head_channels > channels)
+        genome.head_activation = pickActivation(rng);
+    return genome;
+}
+
+namespace
+{
+
+bool
+validActivation(OpKind act)
+{
+    return act == OpKind::ReLU || act == OpKind::ReLU6
+        || act == OpKind::HSwish;
+}
+
+} // namespace
+
+void
+validateGenome(const ArchGenome &genome, const SearchSpace &space)
+{
+    const auto check = [](bool ok, const char *what) {
+        if (!ok)
+            fatal("validateGenome: ", what);
+    };
+    check(genome.stem_channels >= 8 && genome.stem_channels % 8 == 0,
+          "stem channels must be a positive multiple of 8");
+    check(validActivation(genome.stem_activation),
+          "stem activation must be ReLU/ReLU6/HSwish");
+    check(genome.head_channels >= 0, "head channels must be >= 0");
+    check(genome.head_channels == 0
+              || validActivation(genome.head_activation),
+          "head activation must be ReLU/ReLU6/HSwish");
+    check(!genome.stages.empty(), "genome needs at least one stage");
+    for (const StageGene &sg : genome.stages) {
+        check(sg.channels >= 8 && sg.channels % 8 == 0
+                  && sg.channels <= space.max_channels,
+              "stage channels must be a multiple of 8 in [8, max]");
+        check(sg.kernel >= 1 && sg.kernel % 2 == 1,
+              "stage kernel must be odd and positive");
+        check(validActivation(sg.activation),
+              "stage activation must be ReLU/ReLU6/HSwish");
+        check(!sg.blocks.empty(), "stage needs at least one block");
+        for (const BlockGene &bg : sg.blocks) {
+            check(bg.kind == BlockKind::MBConv
+                      || bg.kind == BlockKind::DwSeparable
+                      || bg.kind == BlockKind::PlainConv,
+                  "unknown block kind");
+            check(bg.expansion >= 1, "expansion must be >= 1");
+        }
+    }
+}
+
+Graph
+buildGenome(const ArchGenome &genome, const SearchSpace &space,
+            const std::string &name)
+{
+    GraphBuilder b(name, space.input);
     NodeId x = b.input();
 
     // Stem: 3x3 stride-2 convolution.
-    std::int32_t channels = pick(rng, space_.stem_channel_choices);
-    const OpKind stem_act = pickActivation(rng);
-    x = b.convBnAct(x, channels, 3, 2, 1, stem_act);
+    x = b.convBnAct(x, genome.stem_channels, 3, 2, 1,
+                    genome.stem_activation);
 
-    const auto stages = static_cast<std::int32_t>(rng.uniformInt(
-        space_.min_stages, space_.max_stages));
-    for (std::int32_t stage = 0; stage < stages; ++stage) {
-        const auto blocks = static_cast<std::int32_t>(rng.uniformInt(
-            space_.min_blocks_per_stage, space_.max_blocks_per_stage));
-        const double growth = rng.uniform(space_.channel_growth_min,
-                                          space_.channel_growth_max);
-        channels = std::min(roundChannels(channels * growth),
-                            space_.max_channels);
-        const OpKind act = pickActivation(rng);
-        const std::int32_t kernel = pick(rng, space_.kernel_choices);
-        for (std::int32_t blk = 0; blk < blocks; ++blk) {
+    for (const StageGene &sg : genome.stages) {
+        for (std::size_t blk = 0; blk < sg.blocks.size(); ++blk) {
             // Downsample on the first block of a stage while the map
             // is large enough.
             const bool can_stride = b.shapeOf(x).h >= 8;
             const std::int32_t stride =
                 (blk == 0 && can_stride) ? 2 : 1;
-            const double kind_r = rng.uniform();
-            if (kind_r < space_.p_mbconv) {
-                const std::int32_t expansion =
-                    pick(rng, space_.expansion_choices);
-                const bool se = rng.bernoulli(space_.se_probability);
-                const bool residual =
-                    rng.bernoulli(space_.residual_probability);
-                x = mbconv(b, x, channels, kernel, stride, expansion, se,
-                           act, residual);
-            } else if (kind_r
-                       < space_.p_mbconv + space_.p_dwseparable) {
-                x = dwSeparable(b, x, channels, kernel, stride, act);
-            } else {
-                x = b.convBnAct(x, channels, 3, stride, 1, act);
+            const BlockGene &bg = sg.blocks[blk];
+            switch (bg.kind) {
+              case BlockKind::MBConv:
+                x = mbconv(b, x, sg.channels, sg.kernel, stride,
+                           bg.expansion, bg.se, sg.activation,
+                           bg.residual);
+                break;
+              case BlockKind::DwSeparable:
+                x = dwSeparable(b, x, sg.channels, sg.kernel, stride,
+                                sg.activation);
+                break;
+              case BlockKind::PlainConv:
+                x = b.convBnAct(x, sg.channels, 3, stride, 1,
+                                sg.activation);
+                break;
             }
         }
     }
 
     // Optional 1x1 head expansion, then classifier.
-    const std::int32_t head = pick(rng, space_.head_channel_choices);
-    if (head > channels)
-        x = b.convBnAct(x, head, 1, 1, 0, pickActivation(rng));
+    const std::int32_t last_channels =
+        genome.stages.empty() ? genome.stem_channels
+                              : genome.stages.back().channels;
+    if (genome.head_channels > last_channels) {
+        x = b.convBnAct(x, genome.head_channels, 1, 1, 0,
+                        genome.head_activation);
+    }
     x = b.globalAvgPool(x);
-    x = b.fullyConnected(x, space_.num_classes);
+    x = b.fullyConnected(x, space.num_classes);
     x = b.softmax(x);
     return b.build();
+}
+
+namespace
+{
+
+const char *
+activationTag(OpKind act)
+{
+    switch (act) {
+      case OpKind::ReLU: return "relu";
+      case OpKind::ReLU6: return "relu6";
+      case OpKind::HSwish: return "hswish";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+std::string
+formatGenome(const ArchGenome &genome)
+{
+    std::string out = "stem" + std::to_string(genome.stem_channels)
+        + "-" + activationTag(genome.stem_activation);
+    for (const StageGene &sg : genome.stages) {
+        out += "|c" + std::to_string(sg.channels) + "-k"
+            + std::to_string(sg.kernel) + "-"
+            + activationTag(sg.activation) + ":";
+        for (std::size_t i = 0; i < sg.blocks.size(); ++i) {
+            const BlockGene &bg = sg.blocks[i];
+            if (i > 0)
+                out += ",";
+            out += blockKindName(bg.kind);
+            if (bg.kind == BlockKind::MBConv) {
+                out += std::to_string(bg.expansion);
+                if (bg.se)
+                    out += "-se";
+                if (bg.residual)
+                    out += "-r";
+            }
+        }
+    }
+    out += "|head" + std::to_string(genome.head_channels);
+    if (genome.head_channels > 0)
+        out += std::string("-") + activationTag(genome.head_activation);
+    return out;
+}
+
+Graph
+RandomNetworkGenerator::generateCandidate(const std::string &name, Rng &rng)
+{
+    return buildGenome(sampleGenome(space_, rng), space_, name);
 }
 
 Graph

@@ -8,6 +8,13 @@
  * varying kernel size, expansion ratio, channel width, stride,
  * squeeze-excite and activation choices), filtered to a target
  * FLOPs window so the suite matches the paper's Fig. 2 range.
+ *
+ * The generator space is reified as an explicit genotype (ArchGenome):
+ * sampling a network is sampleGenome() followed by buildGenome(), and
+ * RandomNetworkGenerator is defined in terms of that split. The
+ * genotype is what src/search mutates and recombines, so the random
+ * suite and the architecture search share one genotype -> graph
+ * mapping by construction (a genome that builds here builds there).
  */
 
 #ifndef GCM_DNN_GENERATOR_HH
@@ -67,6 +74,99 @@ struct SearchSpace
     /** Attempts before generate() gives up. */
     std::size_t max_attempts = 300;
 };
+
+/** Block archetype of one generator block. */
+enum class BlockKind : std::uint8_t
+{
+    MBConv,      // inverted bottleneck (MobileNetV2 style)
+    DwSeparable, // depthwise-separable (MobileNetV1 style)
+    PlainConv,   // plain 3x3 convolution
+};
+
+/** Display name of a block kind ("mb" / "dw" / "conv"). */
+const char *blockKindName(BlockKind kind);
+
+/** Genes of one block within a stage. */
+struct BlockGene
+{
+    BlockKind kind = BlockKind::MBConv;
+    /** Expansion ratio (MBConv only; >= 1). */
+    std::int32_t expansion = 6;
+    /** Squeeze-excite after the depthwise conv (MBConv only). */
+    bool se = false;
+    /**
+     * Allow a residual skip (MBConv only; only materializes when
+     * stride == 1 and the channel counts match, exactly like the
+     * sampled generator).
+     */
+    bool residual = true;
+
+    bool operator==(const BlockGene &) const = default;
+};
+
+/** Genes of one stage: resolved width, window and activation. */
+struct StageGene
+{
+    /** Output channels of every block (multiple of 8, >= 8). */
+    std::int32_t channels = 16;
+    std::int32_t kernel = 3;
+    OpKind activation = OpKind::ReLU;
+    std::vector<BlockGene> blocks;
+
+    bool operator==(const StageGene &) const = default;
+};
+
+/**
+ * Complete genotype of a generator-space network. buildGenome() maps
+ * it deterministically to a Graph: the genome fully determines the
+ * architecture (strides are a pure function of the stage/block
+ * structure and the input resolution, as in the sampled generator).
+ */
+struct ArchGenome
+{
+    std::int32_t stem_channels = 16;
+    OpKind stem_activation = OpKind::ReLU;
+    /**
+     * Head 1x1 expansion width; only applied when it exceeds the
+     * last stage's channels (mirroring the sampled generator).
+     */
+    std::int32_t head_channels = 0;
+    OpKind head_activation = OpKind::ReLU;
+    std::vector<StageGene> stages;
+
+    bool operator==(const ArchGenome &) const = default;
+};
+
+/**
+ * Draw one genome from the space. Consumes exactly the draw sequence
+ * the pre-genotype generator used, so seeded suites are unchanged.
+ */
+ArchGenome sampleGenome(const SearchSpace &space, Rng &rng);
+
+/**
+ * Structural validity gate for externally constructed (mutated,
+ * recombined, deserialized) genomes: stage/block counts >= 1,
+ * channels positive multiples of 8 within the space maximum, odd
+ * positive kernels, expansions >= 1, known activations. Throws
+ * GcmError naming the offending gene.
+ */
+void validateGenome(const ArchGenome &genome, const SearchSpace &space);
+
+/**
+ * Deterministically lower a genome to a graph (float32; quantize for
+ * deployment). The result always passes GraphVerifier for genomes
+ * accepted by validateGenome — src/search relies on this to keep
+ * malformed candidates out of the cost model.
+ */
+Graph buildGenome(const ArchGenome &genome, const SearchSpace &space,
+                  const std::string &name);
+
+/**
+ * Compact single-line rendering of a genome, e.g.
+ * "stem24-hswish|c48-k5-relu6:mb6-se-r,dw|head1280-relu". Stable:
+ * used by the gcm-search/v1 report and byte-identity tests.
+ */
+std::string formatGenome(const ArchGenome &genome);
 
 /** Seeded generator of valid random graphs within a SearchSpace. */
 class RandomNetworkGenerator

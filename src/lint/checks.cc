@@ -605,7 +605,8 @@ checkObsHotLoop(const SourceFile &f, LintReport &r)
 {
     static const char *kId = "obs-hot-loop";
     if (!pathContains(f.path, "src/ml/")
-        && !pathContains(f.path, "src/dnn/")) {
+        && !pathContains(f.path, "src/dnn/")
+        && !pathContains(f.path, "src/search/")) {
         return;
     }
     const auto &toks = f.tokens;
@@ -690,8 +691,8 @@ checkObsHotLoop(const SourceFile &f, LintReport &r)
                 continue;
             r.add(f, t.line, kId, Severity::Error,
                   "obs instrumentation '" + t.text
-                      + "' inside an innermost src/ml|src/dnn loop "
-                        "perturbs the hot path",
+                      + "' inside an innermost src/ml|src/dnn|"
+                        "src/search loop perturbs the hot path",
                   "hoist it out of the loop, or wrap the call in "
                   "GCM_OBS_GUARDED(...) / GCM_OBS_SAMPLED(...) "
                   "(src/obs/obs.hh)");
@@ -800,8 +801,8 @@ registerBuiltinChecks(CheckRegistry &registry)
         checkThrowDiscipline);
     registry.registerCheck(
         "obs-hot-loop",
-        "obs calls in innermost src/ml|src/dnn loops go through "
-        "GCM_OBS_GUARDED/GCM_OBS_SAMPLED",
+        "obs calls in innermost src/ml|src/dnn|src/search loops go "
+        "through GCM_OBS_GUARDED/GCM_OBS_SAMPLED",
         checkObsHotLoop);
     registry.registerCheck(
         "header-hygiene",

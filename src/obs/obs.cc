@@ -103,6 +103,15 @@ counterAdd(const std::string &name, std::uint64_t delta)
     reg.counters[name] += delta;
 }
 
+std::uint64_t
+counterValue(const std::string &name)
+{
+    detail::Registry &reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.counters.find(name);
+    return it == reg.counters.end() ? 0 : it->second;
+}
+
 void
 gaugeSet(const std::string &name, double value)
 {

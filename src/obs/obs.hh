@@ -84,6 +84,13 @@ void counterAdd(const std::string &name, std::uint64_t delta = 1);
 void gaugeSet(const std::string &name, double value);
 
 /**
+ * Read the named counter's current value (0 when never bumped or
+ * collection was off). For report emitters (e.g. gcm-search/v1) that
+ * fold counters into their own output instead of dumpText().
+ */
+std::uint64_t counterValue(const std::string &name);
+
+/**
  * Record one observation (in milliseconds) into the named fixed-bucket
  * latency histogram. All histograms share the same log-spaced bucket
  * bounds (kHistogramBounds + one overflow bucket). No-op when disabled.

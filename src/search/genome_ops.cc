@@ -1,0 +1,244 @@
+#include "search/genome_ops.hh"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace gcm::search
+{
+
+namespace
+{
+
+template <typename T>
+T
+pick(Rng &rng, const std::vector<T> &choices)
+{
+    return choices[static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(choices.size()) - 1))];
+}
+
+dnn::OpKind
+pickActivation(Rng &rng)
+{
+    const double r = rng.uniform();
+    if (r < 0.45)
+        return dnn::OpKind::ReLU;
+    if (r < 0.8)
+        return dnn::OpKind::ReLU6;
+    return dnn::OpKind::HSwish;
+}
+
+dnn::BlockGene
+sampleBlock(const dnn::SearchSpace &space, Rng &rng)
+{
+    dnn::BlockGene bg;
+    const double kind_r = rng.uniform();
+    if (kind_r < space.p_mbconv) {
+        bg.kind = dnn::BlockKind::MBConv;
+        bg.expansion = pick(rng, space.expansion_choices);
+        bg.se = rng.bernoulli(space.se_probability);
+        bg.residual = rng.bernoulli(space.residual_probability);
+    } else if (kind_r < space.p_mbconv + space.p_dwseparable) {
+        bg.kind = dnn::BlockKind::DwSeparable;
+    } else {
+        bg.kind = dnn::BlockKind::PlainConv;
+    }
+    return bg;
+}
+
+dnn::StageGene
+sampleStage(const dnn::SearchSpace &space, std::int32_t prev_channels,
+            Rng &rng)
+{
+    dnn::StageGene sg;
+    const auto blocks = static_cast<std::size_t>(rng.uniformInt(
+        space.min_blocks_per_stage, space.max_blocks_per_stage));
+    const double growth =
+        rng.uniform(space.channel_growth_min, space.channel_growth_max);
+    sg.channels =
+        std::min(dnn::roundChannels(prev_channels * growth),
+                 space.max_channels);
+    sg.activation = pickActivation(rng);
+    sg.kernel = pick(rng, space.kernel_choices);
+    sg.blocks.reserve(blocks);
+    for (std::size_t i = 0; i < blocks; ++i)
+        sg.blocks.push_back(sampleBlock(space, rng));
+    return sg;
+}
+
+std::int32_t
+clampChannels(std::int32_t c, const dnn::SearchSpace &space)
+{
+    return std::min(dnn::roundChannels(static_cast<double>(c)),
+                    space.max_channels);
+}
+
+} // namespace
+
+void
+repairGenome(dnn::ArchGenome &genome, const dnn::SearchSpace &space)
+{
+    genome.stem_channels =
+        dnn::roundChannels(static_cast<double>(genome.stem_channels));
+    genome.head_channels = std::max(genome.head_channels, 0);
+
+    // Fold the stage count into [min_stages, max_stages].
+    const auto min_stages = static_cast<std::size_t>(space.min_stages);
+    const auto max_stages = static_cast<std::size_t>(space.max_stages);
+    if (genome.stages.size() > max_stages)
+        genome.stages.resize(max_stages);
+    if (genome.stages.empty())
+        genome.stages.push_back(dnn::StageGene{});
+    while (genome.stages.size() < min_stages)
+        genome.stages.push_back(genome.stages.back());
+
+    const auto min_blocks =
+        static_cast<std::size_t>(space.min_blocks_per_stage);
+    const auto max_blocks =
+        static_cast<std::size_t>(space.max_blocks_per_stage);
+    for (dnn::StageGene &sg : genome.stages) {
+        sg.channels = clampChannels(sg.channels, space);
+        if (sg.kernel < 1)
+            sg.kernel = 3;
+        if (sg.kernel % 2 == 0)
+            sg.kernel += 1;
+        if (sg.blocks.size() > max_blocks)
+            sg.blocks.resize(max_blocks);
+        if (sg.blocks.empty())
+            sg.blocks.push_back(dnn::BlockGene{});
+        while (sg.blocks.size() < min_blocks)
+            sg.blocks.push_back(sg.blocks.back());
+        for (dnn::BlockGene &bg : sg.blocks)
+            bg.expansion = std::max(bg.expansion, 1);
+    }
+}
+
+dnn::ArchGenome
+mutateGenome(const dnn::ArchGenome &genome, const dnn::SearchSpace &space,
+             Rng &rng)
+{
+    dnn::ArchGenome out = genome;
+    // Draw the edit kind first, then its operands, so the stream
+    // layout is stable whatever the genome shape.
+    const std::int64_t op = rng.uniformInt(0, 9);
+    const auto stage_at = [&](Rng &r) -> dnn::StageGene & {
+        return out.stages[static_cast<std::size_t>(r.uniformInt(
+            0, static_cast<std::int64_t>(out.stages.size()) - 1))];
+    };
+    switch (op) {
+      case 0: // stem: width or activation
+        if (rng.bernoulli(0.5))
+            out.stem_channels = pick(rng, space.stem_channel_choices);
+        else
+            out.stem_activation = pickActivation(rng);
+        break;
+      case 1: { // stage width: re-grow from the preceding width
+        const auto s = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(out.stages.size()) - 1));
+        const std::int32_t prev = s == 0 ? out.stem_channels
+                                         : out.stages[s - 1].channels;
+        const double growth = rng.uniform(space.channel_growth_min,
+                                          space.channel_growth_max);
+        out.stages[s].channels =
+            std::min(dnn::roundChannels(prev * growth),
+                     space.max_channels);
+        break;
+      }
+      case 2: // stage kernel
+        stage_at(rng).kernel = pick(rng, space.kernel_choices);
+        break;
+      case 3: // stage activation
+        stage_at(rng).activation = pickActivation(rng);
+        break;
+      case 4: { // block: resample kind (and MBConv genes)
+        dnn::StageGene &sg = stage_at(rng);
+        const auto b = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(sg.blocks.size()) - 1));
+        sg.blocks[b] = sampleBlock(space, rng);
+        break;
+      }
+      case 5: { // block: MBConv gene tweak (expansion / se / residual)
+        dnn::StageGene &sg = stage_at(rng);
+        dnn::BlockGene &bg =
+            sg.blocks[static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(sg.blocks.size()) - 1))];
+        const std::int64_t which = rng.uniformInt(0, 2);
+        if (which == 0)
+            bg.expansion = pick(rng, space.expansion_choices);
+        else if (which == 1)
+            bg.se = !bg.se;
+        else
+            bg.residual = !bg.residual;
+        break;
+      }
+      case 6: { // add or remove a block within the stage bounds
+        dnn::StageGene &sg = stage_at(rng);
+        const bool grow = rng.bernoulli(0.5);
+        if (grow
+            && sg.blocks.size()
+                < static_cast<std::size_t>(space.max_blocks_per_stage)) {
+            sg.blocks.push_back(sampleBlock(space, rng));
+        } else if (!grow
+                   && sg.blocks.size()
+                       > static_cast<std::size_t>(
+                           space.min_blocks_per_stage)) {
+            sg.blocks.pop_back();
+        }
+        break;
+      }
+      case 7: { // add or remove a stage within the space bounds
+        const bool grow = rng.bernoulli(0.5);
+        if (grow
+            && out.stages.size()
+                < static_cast<std::size_t>(space.max_stages)) {
+            out.stages.push_back(sampleStage(
+                space, out.stages.back().channels, rng));
+        } else if (!grow
+                   && out.stages.size()
+                       > static_cast<std::size_t>(space.min_stages)) {
+            out.stages.pop_back();
+        }
+        break;
+      }
+      case 8: // head width (activation resampled when it engages)
+        out.head_channels = pick(rng, space.head_channel_choices);
+        out.head_activation = pickActivation(rng);
+        break;
+      default: { // 9: full-stage resample
+        const auto s = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(out.stages.size()) - 1));
+        const std::int32_t prev = s == 0 ? out.stem_channels
+                                         : out.stages[s - 1].channels;
+        out.stages[s] = sampleStage(space, prev, rng);
+        break;
+      }
+    }
+    repairGenome(out, space);
+    return out;
+}
+
+dnn::ArchGenome
+crossoverGenomes(const dnn::ArchGenome &a, const dnn::ArchGenome &b,
+                 const dnn::SearchSpace &space, Rng &rng)
+{
+    dnn::ArchGenome child;
+    child.stem_channels = a.stem_channels;
+    child.stem_activation = a.stem_activation;
+    child.head_channels = b.head_channels;
+    child.head_activation = b.head_activation;
+    const auto cut_a = static_cast<std::size_t>(rng.uniformInt(
+        1, static_cast<std::int64_t>(a.stages.size())));
+    const auto cut_b = static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(b.stages.size()) - 1));
+    child.stages.assign(a.stages.begin(),
+                        a.stages.begin()
+                            + static_cast<std::ptrdiff_t>(cut_a));
+    child.stages.insert(child.stages.end(),
+                        b.stages.begin()
+                            + static_cast<std::ptrdiff_t>(cut_b),
+                        b.stages.end());
+    repairGenome(child, space);
+    return child;
+}
+
+} // namespace gcm::search

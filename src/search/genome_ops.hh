@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Mutation, crossover and repair over dnn::ArchGenome — the variation
+ * operators of the architecture search (search.hh).
+ *
+ * Every operator is a pure function of (inputs, Rng state): given the
+ * same genome(s) and an Rng forked from the same stream, the result
+ * is bit-identical on every platform and at any thread count. Outputs
+ * always satisfy dnn::validateGenome for the given space — repair is
+ * built into the operators, so no malformed candidate can reach
+ * buildGenome or the cost model (GraphVerifier re-checks anyway).
+ */
+
+#ifndef GCM_SEARCH_GENOME_OPS_HH
+#define GCM_SEARCH_GENOME_OPS_HH
+
+#include "dnn/generator.hh"
+#include "util/rng.hh"
+
+namespace gcm::search
+{
+
+/**
+ * Clamp a genome into the space: channel counts rounded to multiples
+ * of 8 in [8, max_channels], kernels odd and positive, expansions
+ * >= 1, stage/block counts folded into the space's bounds (excess
+ * stages/blocks dropped from the tail, missing ones cloned from the
+ * last survivor). Idempotent; never draws randomness.
+ */
+void repairGenome(dnn::ArchGenome &genome, const dnn::SearchSpace &space);
+
+/**
+ * Return a mutated copy: one randomly chosen edit (stage width /
+ * kernel / activation, block kind / expansion / squeeze-excite /
+ * residual, add/remove block or stage, stem or head change), then
+ * repair. The result always differs from the input in at most one
+ * gene group and always validates.
+ */
+dnn::ArchGenome mutateGenome(const dnn::ArchGenome &genome,
+                             const dnn::SearchSpace &space, Rng &rng);
+
+/**
+ * One-point stage crossover: the child takes a prefix of a's stages
+ * and a suffix of b's (cut points drawn independently), the stem from
+ * a and the head from b, then repairs. Degenerate cuts reproduce a
+ * parent — harmless, selection filters duplicates.
+ */
+dnn::ArchGenome crossoverGenomes(const dnn::ArchGenome &a,
+                                 const dnn::ArchGenome &b,
+                                 const dnn::SearchSpace &space, Rng &rng);
+
+} // namespace gcm::search
+
+#endif // GCM_SEARCH_GENOME_OPS_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Latency-constrained architecture search over the generator space
+ * (ROADMAP item 2): the cost models' raison d'être turned into a
+ * first-class workload. Answers "fastest network under X ms on
+ * device D" and "best network for the worst-case device cluster" by
+ * evolving dnn::ArchGenome candidates whose latency is predicted by
+ * the serving stack — every evaluation routes through
+ * PredictionService::processBatch, so the fingerprint cache is the
+ * search's inner loop and elites re-price as cache hits.
+ *
+ * Algorithm: elitist (mu + lambda)-style evolution. Generation 0 is
+ * sampled from the space; each later generation keeps the top
+ * `elite` candidates by fitness and fills the rest by tournament
+ * selection followed by crossover (with probability
+ * crossover_probability) and mutation (genome_ops.hh). Fitness is
+ *
+ *     feasible (worst-case latency <= budget) ? mmacs
+ *                                             : budget - latency
+ *
+ * i.e. infeasible candidates are ranked by how far over budget they
+ * are, feasible ones by the accuracy proxy (bigger nets ~ better
+ * accuracy, the standard NAS surrogate). A weak-domination Pareto
+ * archive over (worst-case latency, mmacs) accumulates every feasible
+ * candidate ever seen; the front is the report's payload.
+ *
+ * Determinism contract (the PR-2 rule): run() output is bit-identical
+ * at any GCM_THREADS.
+ *  - Candidate i of generation g draws only from
+ *    Rng(seed).fork(g * population + i) — no shared RNG stream.
+ *  - Graph build/quantize/fingerprint fan out via parallelMap
+ *    (ordered results); latency goes through processBatch, itself
+ *    bit-identical per serve/service.hh.
+ *  - Selection, archive insertion and logging run serially in
+ *    candidate order, with fingerprint tie-breaks so sorts never
+ *    depend on initial order of equal keys.
+ * The gcm-search/v1 report contains no wall-clock fields, so whole
+ * reports byte-compare across thread counts (tests/test_search.cc).
+ */
+
+#ifndef GCM_SEARCH_SEARCH_HH
+#define GCM_SEARCH_SEARCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/generator.hh"
+#include "serve/service.hh"
+
+namespace gcm::search
+{
+
+/** Tunables of one search run. */
+struct SearchConfig
+{
+    /** Latency budget (ms) a candidate must meet on every device. */
+    double budget_ms = 0.0;
+    /** Device-table names to evaluate on; worst case is their max. */
+    std::vector<std::string> devices;
+    std::uint64_t seed = 1;
+    std::size_t population = 32;
+    std::size_t generations = 8;
+    /** Candidates carried over unchanged each generation. */
+    std::size_t elite = 4;
+    /** Probability an offspring is a crossover before its mutation. */
+    double crossover_probability = 0.35;
+    /** Tournament size for parent selection. */
+    std::size_t tournament = 3;
+    dnn::SearchSpace space;
+};
+
+/**
+ * Reject unusable configs (no devices / unknown device / elite >=
+ * population / zero budget...). Throws GcmError naming the problem.
+ */
+void validateSearchConfig(const SearchConfig &config,
+                          const serve::PredictionService &service);
+
+/** One evaluated candidate. */
+struct Candidate
+{
+    dnn::ArchGenome genome;
+    /** Deployment-graph (Int8) structural fingerprint. */
+    std::uint64_t fingerprint = 0;
+    /** Per-device predicted latency, config.devices order. */
+    std::vector<double> latency_ms;
+    /** max over latency_ms — the worst-case-cluster objective. */
+    double worst_latency_ms = 0.0;
+    double mmacs = 0.0;
+    std::int64_t params = 0;
+    std::uint32_t generation = 0;
+    std::uint32_t index = 0;
+
+    bool feasible(double budget_ms) const
+    {
+        return worst_latency_ms <= budget_ms;
+    }
+};
+
+/** Per-generation progress row of the gcm-search/v1 log. */
+struct GenerationLog
+{
+    std::uint32_t generation = 0;
+    std::uint64_t evaluated = 0;
+    std::uint64_t feasible = 0;
+    /** Best (lowest) worst-case latency seen so far, any candidate. */
+    double best_latency_ms = 0.0;
+    /** Best (highest) mmacs among feasible so far; 0 when none. */
+    double best_mmacs = 0.0;
+    std::uint64_t front_size = 0;
+};
+
+/** Everything run() produces; renderSearchReport serializes it. */
+struct SearchResult
+{
+    /**
+     * Pareto front over (worst-case latency asc, mmacs desc) of all
+     * feasible candidates, sorted by latency (fingerprint breaks
+     * ties). front.front() is "fastest under budget"; the max-mmacs
+     * member is "best for the worst-case cluster".
+     */
+    std::vector<Candidate> front;
+    std::vector<GenerationLog> log;
+    std::uint64_t candidates_evaluated = 0;
+    std::uint64_t candidates_rejected = 0;
+    serve::ShardedLruCache::Stats cache;
+    serve::ModelRegistry::Version model_version = 0;
+};
+
+class ArchitectureSearch
+{
+  public:
+    /**
+     * @param service Serving stack to price candidates on; must hold
+     *        an active CostModel snapshot and know every config
+     *        device. The search keeps a reference.
+     */
+    ArchitectureSearch(serve::PredictionService &service,
+                       SearchConfig config);
+
+    /** Run the full loop. Deterministic in (config, model version). */
+    SearchResult run();
+
+    const SearchConfig &config() const { return config_; }
+
+  private:
+    serve::PredictionService &service_;
+    SearchConfig config_;
+};
+
+/**
+ * Render a gcm-search/v1 JSON document (schema in DESIGN.md §13).
+ * Deterministic: doubles via %.17g, no wall-clock or host fields.
+ */
+std::string renderSearchReport(const SearchConfig &config,
+                               const SearchResult &result);
+
+} // namespace gcm::search
+
+#endif // GCM_SEARCH_SEARCH_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 
@@ -54,12 +55,32 @@ PredictionService::resolve(const ServeRequest &request,
     // --- network -> deployment graph + structural fingerprint.
     const bool has_network = !request.network.empty();
     const bool has_graph = !request.graph_text.empty();
-    if (has_network == has_graph) {
+    const bool has_ptr = request.graph_ptr != nullptr;
+    if (static_cast<int>(has_network) + static_cast<int>(has_graph)
+            + static_cast<int>(has_ptr)
+        != 1) {
         failWith(ServeErrorCode::BadRequest,
                  "exactly one of 'network' and 'graph' is required");
         return r;
     }
-    if (has_network) {
+    if (has_ptr) {
+        // In-process caller handing us an already-built graph; no
+        // parsing, no memo (the stream is typically all-unique).
+        if (request.graph_ptr->precision() == dnn::Precision::Int8) {
+            r.graph = request.graph_ptr;
+        } else {
+            try {
+                r.owned_graph = std::make_unique<dnn::Graph>(
+                    dnn::quantize(*request.graph_ptr));
+            } catch (const GcmError &e) {
+                failWith(ServeErrorCode::BadGraph,
+                         std::string("graph rejected: ") + e.what());
+                return r;
+            }
+            r.graph = r.owned_graph.get();
+        }
+        r.key.graph_fp = dnn::graphFingerprint(*r.graph);
+    } else if (has_network) {
         auto it = graph_memo_.find(request.network);
         if (it == graph_memo_.end()) {
             NetworkMemo memo;
@@ -203,6 +224,14 @@ PredictionService::processBatch(const std::vector<ServeRequest> &requests)
     };
     std::vector<ComputeTask> compute;
     std::unordered_map<CacheKey, std::size_t, CacheKeyHasher> pending;
+    // Encode-slot assignment: one slot per unique non-memoized graph
+    // fingerprint, in first-appearance order. A candidate evaluated
+    // across N devices contributes N compute tasks but one encode.
+    constexpr std::size_t kNoEncode =
+        std::numeric_limits<std::size_t>::max();
+    std::unordered_map<std::uint64_t, std::size_t> enc_slot;
+    std::vector<const dnn::Graph *> enc_graphs;
+    std::vector<std::size_t> task_enc;
     for (std::size_t i = 0; i < requests.size(); ++i) {
         resolved.push_back(resolve(requests[i], model, active.version));
         Resolved &r = resolved.back();
@@ -223,6 +252,15 @@ PredictionService::processBatch(const std::vector<ServeRequest> &requests)
         const auto [it, inserted] =
             pending.emplace(r.key, compute.size());
         if (inserted) {
+            std::size_t slot = kNoEncode;
+            if (r.net_features == nullptr) {
+                const auto [eit, fresh] = enc_slot.emplace(
+                    r.key.graph_fp, enc_graphs.size());
+                if (fresh)
+                    enc_graphs.push_back(r.graph);
+                slot = eit->second;
+            }
+            task_enc.push_back(slot);
             compute.push_back(
                 {r.graph, r.net_features, &r.signature, r.key});
         } else {
@@ -243,10 +281,12 @@ PredictionService::processBatch(const std::vector<ServeRequest> &requests)
     const std::size_t head_w = model.networkFeatureWidth();
     const std::size_t sig_w = model.signatureNames().size();
     const std::size_t n_compute = compute.size();
+    const std::size_t n_encode = enc_graphs.size();
     if (tails_.size() < n_compute * sig_w)
         tails_.resize(n_compute * sig_w);
-    if (inline_enc_.size() < n_compute)
-        inline_enc_.resize(n_compute);
+    if (inline_enc_.size() < n_encode)
+        inline_enc_.resize(n_encode);
+    enc_errors_.assign(n_encode, std::string());
     if (seg_rows_.size() < n_compute)
         seg_rows_.resize(n_compute);
     if (anchors_.size() < n_compute)
@@ -256,19 +296,30 @@ PredictionService::processBatch(const std::vector<ServeRequest> &requests)
     errors_.assign(n_compute, std::string());
     if (fallback_.size() < head_w + sig_w)
         fallback_.assign(head_w + sig_w, 0.0f);
+    parallelFor(0, n_encode, 1, [&](std::size_t s) {
+        std::vector<float> *enc = inline_enc_.data();
+        std::string *error = enc_errors_.data();
+        try {
+            enc[s] = model.encodeNetwork(*enc_graphs[s]);
+        } catch (const GcmError &e) {
+            error[s] = e.what();
+        }
+    });
     parallelFor(0, n_compute, 1, [&](std::size_t j) {
         float *tail = tails_.data() + j * sig_w;
         double *anchor = anchors_.data();
         std::string *error = errors_.data();
         ml::FlatEnsemble::SegmentedRow *seg = seg_rows_.data();
-        std::vector<float> *enc = inline_enc_.data();
+        const std::vector<float> *enc = inline_enc_.data();
         try {
             const float *head;
             if (compute[j].net_features != nullptr) {
                 head = compute[j].net_features->data();
             } else {
-                enc[j] = model.encodeNetwork(*compute[j].graph);
-                head = enc[j].data();
+                const std::size_t slot = task_enc[j];
+                if (!enc_errors_[slot].empty())
+                    throw GcmError(enc_errors_[slot]);
+                head = enc[slot].data();
             }
             anchor[j] =
                 model.signatureTail(*compute[j].signature, tail);

@@ -16,10 +16,11 @@
  *    hot-swap lands between batches, never inside one.
  *  - Resolution and every cache probe/update run serially in request
  *    order; only pure work for the batch's unique missing keys fans
- *    out: row building (encode + anchor) one task per key, then one
- *    blocked FlatEnsemble::predictBatch over the whole row matrix —
- *    itself bit-identical at any thread count by the
- *    ml/flat_ensemble.hh contract.
+ *    out: encoding one task per unique non-memoized graph (slots in
+ *    first-appearance order), row building (head lookup + anchor) one
+ *    task per key, then one blocked FlatEnsemble::predictBatch over
+ *    the whole row matrix — itself bit-identical at any thread count
+ *    by the ml/flat_ensemble.hh contract.
  *  - Duplicate keys within a batch are coalesced into one compute
  *    (counted by the cache as `coalesced`), so results (and cache
  *    contents) cannot depend on a race between identical requests.
@@ -53,6 +54,16 @@ struct ServeRequest
     std::string network;
     /** Inline gcm-graph v1 document; empty when network is used. */
     std::string graph_text;
+    /**
+     * In-process callers only (not expressible on the wire): an
+     * already-built graph to evaluate directly, skipping
+     * serialization. The graph must outlive the processBatch call.
+     * Used by the architecture search (src/search), whose candidate
+     * stream is exactly this shape. Mutually exclusive with both
+     * `network` and `graph_text`. Non-Int8 graphs are quantized per
+     * request; pass deployment graphs to avoid that cost.
+     */
+    const dnn::Graph *graph_ptr = nullptr;
     /** Device-table name; empty when a raw signature is given. */
     std::string device;
     /** Raw signature latencies (ms); valid when has_signature. */
@@ -184,7 +195,15 @@ class PredictionService
      * each are meaningful in any one batch.
      */
     std::vector<float> tails_;
+    /**
+     * One encoder output per *unique non-memoized graph* in the
+     * batch (slots assigned in first-appearance order by graph
+     * fingerprint), not per compute task: an adversarial all-unique
+     * candidate stream that queries one graph across many devices
+     * encodes each graph once, not once per device.
+     */
     std::vector<std::vector<float>> inline_enc_;
+    std::vector<std::string> enc_errors_;
     std::vector<ml::FlatEnsemble::SegmentedRow> seg_rows_;
     std::vector<double> anchors_;
     std::vector<double> values_;

@@ -343,7 +343,7 @@ TEST(LintChecks, ObsHotLoopFlatEnsembleShape)
     EXPECT_EQ(hotLoopErrors, expected);
 }
 
-TEST(LintChecks, ObsHotLoopOnlyAppliesToMlAndDnn)
+TEST(LintChecks, ObsHotLoopOnlyAppliesToMlDnnAndSearch)
 {
     const std::string code =
         readFile(fixturePath("obs_hot_loop_bad.cc"));
@@ -351,6 +351,16 @@ TEST(LintChecks, ObsHotLoopOnlyAppliesToMlAndDnn)
         lint::lexString("src/serve/obs_hot_loop_bad.cc", code));
     for (const Finding &f : r.findings())
         EXPECT_NE(f.check, "obs-hot-loop") << f.str();
+
+    // src/search is instrumented hot-path code too: the same fixture
+    // under a search path must trip the check (the lint_tree-clean
+    // guarantee for the real tree is enforced by tools/check.sh).
+    const LintReport rs = runAll(
+        lint::lexString("src/search/obs_hot_loop_bad.cc", code));
+    bool found = false;
+    for (const Finding &f : rs.findings())
+        found = found || f.check == "obs-hot-loop";
+    EXPECT_TRUE(found);
 }
 
 // -------------------------------------------------------- header-hygiene

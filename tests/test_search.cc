@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests for the architecture search (src/search): byte-identical
+ * gcm-search/v1 reports at 1/2/8 threads across seeds, independent
+ * cold-path re-verification of every front member, Pareto-front
+ * monotonicity, mutation/crossover fuzzing against GraphVerifier,
+ * worst-case-cluster semantics and config validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dnn/analysis.hh"
+#include "dnn/fingerprint.hh"
+#include "dnn/generator.hh"
+#include "dnn/quantize.hh"
+#include "search/genome_ops.hh"
+#include "search/search.hh"
+#include "serve/registry.hh"
+#include "serve/service.hh"
+#include "testing_support.hh"
+#include "util/error.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+#include "verify/verifier.hh"
+
+using namespace gcm;
+
+namespace
+{
+
+/** One trained cost model over the reduced test context. */
+const core::SignatureCostModel &
+testModel()
+{
+    static const core::SignatureCostModel model = [] {
+        const auto &ctx = gcmtest::smallContext();
+        std::vector<std::size_t> devices(ctx.fleet().size());
+        for (std::size_t i = 0; i < devices.size(); ++i)
+            devices[i] = i;
+        core::SignatureCostModel::Config cfg;
+        cfg.gbt = gcmtest::fastGbt();
+        return core::SignatureCostModel::train(
+            ctx.suite(), ctx.latencyMatrix(devices), cfg);
+    }();
+    return model;
+}
+
+/** Registry with the test model published (version 1, active). */
+const serve::ModelRegistry &
+testRegistry()
+{
+    static const serve::ModelRegistry *registry = [] {
+        auto *r = new serve::ModelRegistry;
+        std::stringstream ss;
+        testModel().serialize(ss);
+        r->publish(serve::ModelSnapshot::fromStream(ss));
+        return r;
+    }();
+    return *registry;
+}
+
+/** Fleet device names -> signature latencies, from the clean runs. */
+serve::PredictionService::DeviceTable
+testDeviceTable()
+{
+    const auto &ctx = gcmtest::smallContext();
+    const auto &model = testModel();
+    serve::PredictionService::DeviceTable table;
+    for (std::size_t d = 0; d < ctx.fleet().size(); ++d) {
+        std::vector<double> sig;
+        for (const auto &name : model.signatureNames())
+            sig.push_back(ctx.latencyMs(d, ctx.networkIndex(name)));
+        table[ctx.fleet().devices()[d].model_name] = std::move(sig);
+    }
+    return table;
+}
+
+/** A small but non-trivial search config over the test fleet. */
+search::SearchConfig
+smallConfig(std::uint64_t seed, std::size_t n_devices = 2)
+{
+    search::SearchConfig cfg;
+    cfg.budget_ms = 80.0;
+    const auto table = testDeviceTable();
+    auto it = table.begin();
+    for (std::size_t d = 0; d < n_devices; ++d, ++it)
+        cfg.devices.push_back(it->first);
+    cfg.seed = seed;
+    cfg.population = 12;
+    cfg.generations = 3;
+    cfg.elite = 3;
+    return cfg;
+}
+
+/** Run one full search on a fresh service; returns the rendered report. */
+std::string
+runReport(const search::SearchConfig &cfg)
+{
+    serve::PredictionService service(testRegistry(), testDeviceTable());
+    search::ArchitectureSearch engine(service, cfg);
+    return search::renderSearchReport(cfg, engine.run());
+}
+
+TEST(Search, ReportByteIdenticalAtAnyThreadCount)
+{
+    const std::size_t saved = numThreads();
+    for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL, 98765ULL}) {
+        const search::SearchConfig cfg = smallConfig(seed);
+        setThreads(1);
+        const std::string t1 = runReport(cfg);
+        setThreads(2);
+        const std::string t2 = runReport(cfg);
+        setThreads(8);
+        const std::string t8 = runReport(cfg);
+        EXPECT_EQ(t1, t2) << "seed " << seed;
+        EXPECT_EQ(t1, t8) << "seed " << seed;
+        // The log (and the front) ride inside the report, but make
+        // the generation-log claim explicit too.
+        EXPECT_NE(t1.find("\"log\": ["), std::string::npos);
+    }
+    setThreads(saved);
+}
+
+TEST(Search, FrontMonotoneWithinBudgetAndColdPathExact)
+{
+    const search::SearchConfig cfg = smallConfig(7);
+    serve::PredictionService service(testRegistry(), testDeviceTable());
+    const search::SearchResult result =
+        search::ArchitectureSearch(service, cfg).run();
+    ASSERT_FALSE(result.front.empty());
+
+    const auto table = testDeviceTable();
+    const core::SignatureCostModel &model = testModel();
+    for (std::size_t i = 0; i < result.front.size(); ++i) {
+        const search::Candidate &c = result.front[i];
+        EXPECT_LE(c.worst_latency_ms, cfg.budget_ms);
+        // Monotone front: latency strictly increases and so must the
+        // accuracy proxy — a slower member with no more mmacs would
+        // be dominated by its predecessor.
+        if (i > 0) {
+            EXPECT_GT(c.worst_latency_ms,
+                      result.front[i - 1].worst_latency_ms);
+            EXPECT_GT(c.mmacs, result.front[i - 1].mmacs);
+        }
+        // Independent cold-path re-verification: rebuild the genome,
+        // quantize, predict without the serving stack. The serve
+        // path's contract is bit-identical arithmetic, so exact
+        // equality is required, not approximate.
+        const dnn::Graph g = dnn::quantize(dnn::buildGenome(
+            c.genome, cfg.space, "reverify"));
+        EXPECT_EQ(dnn::graphFingerprint(g), c.fingerprint);
+        EXPECT_EQ(dnn::megaMacs(g), c.mmacs);
+        double worst = 0.0;
+        for (std::size_t d = 0; d < cfg.devices.size(); ++d) {
+            const double ms =
+                model.predictMs(g, table.at(cfg.devices[d]));
+            EXPECT_EQ(ms, c.latency_ms[d]);
+            worst = std::max(worst, ms);
+        }
+        EXPECT_EQ(worst, c.worst_latency_ms);
+    }
+}
+
+TEST(Search, WorstCaseClusterIsMaxOverDevices)
+{
+    // All feasible candidates must satisfy the budget on EVERY device
+    // of the cluster, and best_worst_case maximizes the accuracy
+    // proxy among them.
+    search::SearchConfig cfg = smallConfig(42, 4);
+    // Four devices tighten the worst case; widen the budget so the
+    // front is non-empty (everything below is deterministic).
+    cfg.budget_ms = 200.0;
+    serve::PredictionService service(testRegistry(), testDeviceTable());
+    const search::SearchResult result =
+        search::ArchitectureSearch(service, cfg).run();
+    ASSERT_FALSE(result.front.empty());
+    double best_mmacs = 0.0;
+    for (const search::Candidate &c : result.front) {
+        ASSERT_EQ(c.latency_ms.size(), cfg.devices.size());
+        double worst = 0.0;
+        for (double ms : c.latency_ms) {
+            EXPECT_LE(ms, cfg.budget_ms);
+            worst = std::max(worst, ms);
+        }
+        EXPECT_EQ(worst, c.worst_latency_ms);
+        best_mmacs = std::max(best_mmacs, c.mmacs);
+    }
+    const std::string report =
+        search::renderSearchReport(cfg, result);
+    EXPECT_NE(report.find("\"best_worst_case\""), std::string::npos);
+    EXPECT_EQ(result.log.size(), cfg.generations);
+    EXPECT_EQ(result.log.back().front_size, result.front.size());
+}
+
+TEST(Search, SearchReusesCacheAcrossGenerations)
+{
+    // Elites are re-priced every generation; with a version-keyed
+    // fingerprint cache those re-pricings must be hits, not computes.
+    const search::SearchConfig cfg = smallConfig(7);
+    serve::PredictionService service(testRegistry(), testDeviceTable());
+    const search::SearchResult result =
+        search::ArchitectureSearch(service, cfg).run();
+    EXPECT_GT(result.cache.hits, 0u);
+    EXPECT_EQ(result.cache.hits + result.cache.misses,
+              result.candidates_evaluated * cfg.devices.size());
+    EXPECT_EQ(result.candidates_rejected, 0u);
+    EXPECT_EQ(result.candidates_evaluated,
+              cfg.population * cfg.generations);
+}
+
+TEST(Search, MutationFuzzAlwaysPassesVerifier)
+{
+    // >= 200 mutation steps across seeds: every mutated genome must
+    // validate, build, and pass GraphVerifier after quantization —
+    // no malformed candidate can ever reach the cost model.
+    const dnn::SearchSpace space;
+    std::size_t mutations = 0;
+    std::set<std::string> shapes;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        Rng rng(seed * 7919 + 1);
+        dnn::ArchGenome genome = dnn::sampleGenome(space, rng);
+        for (std::size_t step = 0; step < 30; ++step) {
+            genome = search::mutateGenome(genome, space, rng);
+            ++mutations;
+            ASSERT_NO_THROW(dnn::validateGenome(genome, space));
+            const dnn::Graph g =
+                dnn::buildGenome(genome, space, "fuzz");
+            ASSERT_NO_THROW(
+                verify::verifyGraphOrThrow(g, "mutation-fuzz"));
+            ASSERT_NO_THROW(verify::verifyGraphOrThrow(
+                dnn::quantize(g), "mutation-fuzz-int8"));
+            shapes.insert(dnn::formatGenome(genome));
+        }
+    }
+    EXPECT_GE(mutations, 200u);
+    // The operator set actually moves through the space.
+    EXPECT_GT(shapes.size(), mutations / 4);
+}
+
+TEST(Search, CrossoverFuzzAlwaysPassesVerifier)
+{
+    const dnn::SearchSpace space;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        Rng rng(seed * 104729 + 3);
+        dnn::ArchGenome a = dnn::sampleGenome(space, rng);
+        dnn::ArchGenome b = dnn::sampleGenome(space, rng);
+        for (std::size_t step = 0; step < 20; ++step) {
+            const dnn::ArchGenome child =
+                search::crossoverGenomes(a, b, space, rng);
+            ASSERT_NO_THROW(dnn::validateGenome(child, space));
+            ASSERT_NO_THROW(verify::verifyGraphOrThrow(
+                dnn::buildGenome(child, space, "xfuzz"),
+                "crossover-fuzz"));
+            a = b;
+            b = child;
+        }
+    }
+}
+
+TEST(Search, OperatorsAreDeterministic)
+{
+    const dnn::SearchSpace space;
+    Rng r1(99), r2(99);
+    const dnn::ArchGenome g1 = dnn::sampleGenome(space, r1);
+    const dnn::ArchGenome g2 = dnn::sampleGenome(space, r2);
+    EXPECT_EQ(g1, g2);
+    const dnn::ArchGenome m1 = search::mutateGenome(g1, space, r1);
+    const dnn::ArchGenome m2 = search::mutateGenome(g2, space, r2);
+    EXPECT_EQ(m1, m2);
+    EXPECT_EQ(dnn::formatGenome(m1), dnn::formatGenome(m2));
+    const dnn::Graph b1 = dnn::buildGenome(m1, space, "same");
+    const dnn::Graph b2 = dnn::buildGenome(m2, space, "same");
+    EXPECT_EQ(dnn::graphFingerprint(b1), dnn::graphFingerprint(b2));
+}
+
+TEST(Search, RepairIsIdempotentAndInBounds)
+{
+    const dnn::SearchSpace space;
+    dnn::ArchGenome genome;
+    genome.stem_channels = 13;          // not a multiple of 8
+    genome.head_channels = -5;          // negative
+    dnn::StageGene sg;
+    sg.channels = 10000;                // over max_channels
+    sg.kernel = 4;                      // even
+    sg.blocks.assign(9, dnn::BlockGene{}); // over max blocks
+    sg.blocks[0].expansion = 0;         // under 1
+    genome.stages.assign(11, sg);       // over max stages
+    search::repairGenome(genome, space);
+    ASSERT_NO_THROW(dnn::validateGenome(genome, space));
+    EXPECT_LE(genome.stages.size(),
+              static_cast<std::size_t>(space.max_stages));
+    for (const dnn::StageGene &s : genome.stages)
+        EXPECT_LE(s.blocks.size(),
+                  static_cast<std::size_t>(space.max_blocks_per_stage));
+    dnn::ArchGenome again = genome;
+    search::repairGenome(again, space);
+    EXPECT_EQ(again, genome);
+}
+
+TEST(Search, ConfigValidationRejectsBadConfigs)
+{
+    serve::PredictionService service(testRegistry(), testDeviceTable());
+    const auto expectThrow = [&](search::SearchConfig cfg) {
+        EXPECT_THROW(search::validateSearchConfig(cfg, service),
+                     GcmError);
+    };
+    search::SearchConfig ok = smallConfig(1);
+    EXPECT_NO_THROW(search::validateSearchConfig(ok, service));
+
+    search::SearchConfig bad = ok;
+    bad.budget_ms = 0.0;
+    expectThrow(bad);
+    bad = ok;
+    bad.devices.clear();
+    expectThrow(bad);
+    bad = ok;
+    bad.devices.push_back("no-such-device");
+    expectThrow(bad);
+    bad = ok;
+    bad.elite = bad.population;
+    expectThrow(bad);
+    bad = ok;
+    bad.population = 1;
+    expectThrow(bad);
+    bad = ok;
+    bad.generations = 0;
+    expectThrow(bad);
+    bad = ok;
+    bad.tournament = 0;
+    expectThrow(bad);
+    bad = ok;
+    bad.crossover_probability = 1.5;
+    expectThrow(bad);
+
+    // No servable model -> rejected up front.
+    serve::ModelRegistry empty;
+    serve::PredictionService no_model(empty, testDeviceTable());
+    EXPECT_THROW(search::validateSearchConfig(ok, no_model), GcmError);
+}
+
+} // namespace

@@ -10,16 +10,19 @@
 
 #include <atomic>
 #include <cmath>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "dnn/fingerprint.hh"
+#include "dnn/generator.hh"
 #include "dnn/quantize.hh"
 #include "dnn/serialize.hh"
 #include "dnn/zoo.hh"
 #include "ml/gbt.hh"
 #include "ml/random_forest.hh"
+#include "search/genome_ops.hh"
 #include "serve/cache.hh"
 #include "serve/loadgen.hh"
 #include "serve/protocol.hh"
@@ -281,6 +284,42 @@ TEST(Cache, TotalResidencyNeverExceedsCapacity)
     EXPECT_LE(cache.size(), 10u);
 }
 
+TEST(Cache, AllUniqueStreamAccountingUnderConcurrency)
+{
+    // The architecture search's adversarial shape: every key unique,
+    // many threads, a capacity far below the stream. Whatever the
+    // interleaving, the counters must stay exactly consistent.
+    serve::ShardedLruCache cache(64, 8);
+    constexpr std::size_t kThreads = 8;
+    constexpr std::uint64_t kPerThread = 500;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&cache, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                const serve::CacheKey key{t * 1000000 + i,
+                                          i * 7919 + t, 1};
+                (void)cache.get(key); // always a first-touch probe
+                cache.put(key, static_cast<double>(i));
+                (void)cache.get(key); // hit unless already evicted
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    const auto st = cache.stats();
+    // hits + misses == every probe issued; nothing lost or double
+    // counted across shards.
+    EXPECT_EQ(st.hits + st.misses, 2 * kThreads * kPerThread);
+    // All keys are unique, so every put inserted a fresh entry.
+    EXPECT_EQ(st.insertions, kThreads * kPerThread);
+    // Every insertion is either still resident or was evicted.
+    EXPECT_EQ(st.evictions, st.insertions - cache.size());
+    EXPECT_LE(cache.size(), cache.capacity());
+    EXPECT_EQ(st.coalesced, 0u);
+}
+
 TEST(Cache, SignatureFingerprintSeparatesVectors)
 {
     const std::vector<double> a{1.0, 2.0, 3.0};
@@ -294,6 +333,88 @@ TEST(Cache, SignatureFingerprintSeparatesVectors)
 }
 
 // --- prediction service ------------------------------------------------
+
+TEST(Service, AllUniqueCandidateStreamUnderConcurrentHotSwap)
+{
+    // The search's inner loop against a live registry: batches of
+    // all-unique candidate graphs (in-process graph_ptr requests, the
+    // src/search stream) served while a writer flips the active model
+    // version. Cache accounting must stay exact under the churn. Run
+    // under TSan.
+    serve::ModelRegistry registry;
+    std::stringstream s1, s2;
+    testModel().serialize(s1);
+    testModel().serialize(s2);
+    registry.publish(serve::ModelSnapshot::fromStream(s1));
+    registry.publish(serve::ModelSnapshot::fromStream(s2));
+
+    serve::ServiceConfig cfg;
+    cfg.cache_capacity = 48; // far below the stream: forces eviction
+    cfg.cache_shards = 4;
+    serve::PredictionService service(registry, testDeviceTable(), cfg);
+
+    // A mutation chain of unique candidates, deduped by fingerprint
+    // so the stream really is all-unique.
+    const dnn::SearchSpace space;
+    Rng rng(2024);
+    dnn::ArchGenome genome = dnn::sampleGenome(space, rng);
+    std::vector<dnn::Graph> candidates;
+    std::set<std::uint64_t> fps;
+    while (candidates.size() < 48) {
+        genome = search::mutateGenome(genome, space, rng);
+        dnn::Graph g = dnn::quantize(
+            dnn::buildGenome(genome, space, "stress"));
+        if (fps.insert(dnn::graphFingerprint(g)).second)
+            candidates.push_back(std::move(g));
+    }
+    const auto table = testDeviceTable();
+    auto dev_it = table.begin();
+    const std::string dev_a = (dev_it++)->first;
+    const std::string dev_b = dev_it->first;
+
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        for (int i = 0; i < 200; ++i) {
+            registry.activate(1 + (i % 2));
+            std::this_thread::yield();
+        }
+        stop.store(true);
+    });
+    std::uint64_t probes = 0;
+    std::size_t next = 0;
+    while (!stop.load()) {
+        std::vector<serve::ServeRequest> batch;
+        for (std::size_t j = 0; j < 12; ++j) {
+            serve::ServeRequest r;
+            r.id = std::to_string(j);
+            r.graph_ptr = &candidates[(next + j) % candidates.size()];
+            r.device = j % 2 == 0 ? dev_a : dev_b;
+            batch.push_back(std::move(r));
+        }
+        next = (next + 12) % candidates.size();
+        const auto responses = service.processBatch(batch);
+        for (const auto &resp : responses) {
+            ASSERT_TRUE(resp.ok) << resp.error_message;
+            ASSERT_TRUE(resp.model_version == 1
+                        || resp.model_version == 2);
+        }
+        probes += batch.size();
+    }
+    writer.join();
+
+    const auto st = service.cache().stats();
+    // Every request resolved and probed exactly once; batches never
+    // repeat a (graph, device) pair, so nothing coalesces.
+    EXPECT_EQ(st.hits + st.misses, probes);
+    EXPECT_EQ(st.coalesced, 0u);
+    // Every miss computed and inserted a fresh entry (the service is
+    // the only cache writer, and a missed key stays absent until its
+    // own batch's put).
+    EXPECT_EQ(st.insertions, st.misses);
+    EXPECT_EQ(st.evictions, st.insertions - service.cache().size());
+    EXPECT_LE(service.cache().size(), cfg.cache_capacity);
+    EXPECT_GT(st.evictions, 0u);
+}
 
 TEST(Service, CacheHitIsByteIdenticalToColdPath)
 {

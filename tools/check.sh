@@ -11,9 +11,9 @@
 #   3. rebuild the parallel-path tests under TSan (address and thread
 #      sanitizers are mutually exclusive, hence the second build tree)
 #      and run them with a worker pool forced on via GCM_THREADS;
-#   4. rebuild with gcov instrumentation, run the observability and
-#      serving tests and enforce a 70% line-coverage floor on src/obs
-#      and src/serve.
+#   4. rebuild with gcov instrumentation, run the observability,
+#      serving and search tests and enforce a 70% line-coverage floor
+#      on src/obs, src/serve and src/search.
 # Any lint finding, warning, test failure, sanitizer report or
 # coverage shortfall fails the script.
 #
@@ -97,7 +97,7 @@ echo "check.sh: clean under ASan+UBSan with -Wall -Wextra -Werror"
 PARALLEL_TESTS=(test_parallel test_tree test_gbt test_baselines
                 test_campaign test_cross_validation test_signature
                 test_obs test_obs_determinism test_faults test_serve
-                test_flat_ensemble)
+                test_flat_ensemble test_search)
 
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
     -DGCM_SANITIZE=thread \
@@ -113,12 +113,12 @@ done
 
 echo "check.sh: parallel-path tests clean under TSan (GCM_THREADS=8)"
 
-# --- Coverage lane: gcov-instrumented build of the observability and
-# serving tests; src/obs and src/serve must stay above the 70%
-# line-coverage floor. The container ships raw gcov (no gcovr/lcov),
+# --- Coverage lane: gcov-instrumented build of the observability,
+# serving and search tests; src/obs, src/serve and src/search must
+# stay above the 70% line-coverage floor. The container ships raw gcov (no gcovr/lcov),
 # so per-directory numbers are aggregated from `gcov` summary lines
 # directly.
-COVERAGE_TESTS=(test_obs test_obs_determinism test_serve)
+COVERAGE_TESTS=(test_obs test_obs_determinism test_serve test_search)
 COVERAGE_FLOOR=70
 
 if ! command -v gcov >/dev/null 2>&1; then
@@ -175,7 +175,7 @@ echo "check.sh: per-directory line coverage (obs test binaries)"
 COVERAGE_TABLE="$(report_coverage)"
 echo "$COVERAGE_TABLE"
 
-for dir in obs serve; do
+for dir in obs serve search; do
     DIR_PCT="$(echo "$COVERAGE_TABLE" \
         | awk -v d="$dir" '$1 == d { print int($2) }')"
     if [ -z "$DIR_PCT" ]; then

@@ -36,6 +36,7 @@
 #include "dnn/quantize.hh"
 #include "dnn/zoo.hh"
 #include "obs/obs.hh"
+#include "search/search.hh"
 #include "serve/loadgen.hh"
 #include "serve/protocol.hh"
 #include "serve/registry.hh"
@@ -488,6 +489,61 @@ cmdLoadgen(const std::map<std::string, std::string> &flags)
 }
 
 int
+cmdSearch(const std::map<std::string, std::string> &flags)
+{
+    serve::ModelRegistry registry;
+    publishModelOrDie(flags, registry);
+    serve::PredictionService service(
+        registry,
+        buildDeviceTable(registry.active().snapshot->costModel()),
+        serviceConfigFromFlags(flags));
+
+    search::SearchConfig cfg;
+    cfg.budget_ms = std::stod(flagOr(flags, "budget-ms", "0"));
+    const std::string devices =
+        flagOr(flags, "devices", flagOr(flags, "device", ""));
+    if (devices.empty())
+        fatal("--device NAME (or --devices a,b,...) is required");
+    std::stringstream ss(devices);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        cfg.devices.push_back(item);
+    cfg.seed = static_cast<std::uint64_t>(
+        std::stoull(flagOr(flags, "seed", "1")));
+    cfg.population = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "population", "32")));
+    cfg.generations = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "generations", "8")));
+    cfg.elite = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "elite", "4")));
+
+    search::ArchitectureSearch engine(service, cfg);
+    const search::SearchResult result = engine.run();
+    const std::string report = search::renderSearchReport(cfg, result);
+
+    const std::string out_path = flagOr(flags, "out", "");
+    if (out_path.empty()) {
+        std::fputs(report.c_str(), stdout);
+    } else {
+        std::ofstream fout(out_path);
+        if (!fout)
+            fatal("cannot open ", out_path, " for writing");
+        fout << report;
+        std::printf("gcm-search/v1 report written to %s\n",
+                    out_path.c_str());
+    }
+    std::fprintf(stderr,
+                 "search: %llu candidates evaluated, %llu rejected, "
+                 "front size %zu, cache effective hit rate %.3f\n",
+                 static_cast<unsigned long long>(
+                     result.candidates_evaluated),
+                 static_cast<unsigned long long>(
+                     result.candidates_rejected),
+                 result.front.size(), result.cache.effectiveHitRate());
+    return 0;
+}
+
+int
 cmdListNetworks()
 {
     const auto ctx = core::ExperimentContext::build();
@@ -544,6 +600,13 @@ usage()
         "           [--batch N] [--queue N] [--cache N] [--shards N]\n"
         "           [--out FILE]  write the response stream (byte-\n"
         "                identical across runs and thread counts)\n"
+        "  search   --model FILE --budget-ms X    latency-constrained\n"
+        "           --device NAME | --devices a,b,...  architecture\n"
+        "                search over the generator space; emits the\n"
+        "                gcm-search/v1 Pareto front (DESIGN.md §13),\n"
+        "                byte-identical at any --threads\n"
+        "           [--seed N] [--population N] [--generations N]\n"
+        "           [--elite N] [--cache N] [--shards N] [--out FILE]\n"
         "  list-networks | list-devices\n"
         "global flags:\n"
         "  --threads N   worker threads (default: GCM_THREADS env,\n"
@@ -591,6 +654,8 @@ main(int argc, char **argv)
             rc = cmdServe(flags);
         else if (cmd == "loadgen")
             rc = cmdLoadgen(flags);
+        else if (cmd == "search")
+            rc = cmdSearch(flags);
         else if (cmd == "list-networks")
             rc = cmdListNetworks();
         else if (cmd == "list-devices")
