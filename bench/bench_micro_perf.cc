@@ -24,6 +24,7 @@
 #include "ml/flat_ensemble.hh"
 #include "ml/gbt.hh"
 #include "search/search.hh"
+#include "serve/frontend.hh"
 #include "serve/registry.hh"
 #include "serve/service.hh"
 #include "sim/campaign.hh"
@@ -446,6 +447,48 @@ BM_ServeCacheHit(benchmark::State &state)
                             * static_cast<std::int64_t>(batch.size()));
 }
 BENCHMARK(BM_ServeCacheHit);
+
+/**
+ * Front end at 2x capacity: plan (DES over 256 arrivals) + parallel
+ * execute on 2 workers, walking the degradation ladder end to end —
+ * the per-request cost of overload handling itself. items/s is
+ * arrivals per second.
+ */
+static void
+BM_ServeOverload(benchmark::State &state)
+{
+    serve::FrontEndConfig cfg;
+    cfg.workers = 2;
+    serve::ServerFrontEnd frontend(serveRegistry(), {}, cfg);
+
+    // Raw-signature request lines (the registry has no device table),
+    // stamped at twice the front end's sustainable rate.
+    const auto batch = serveBatch(256);
+    const double gap_ms = 1000.0 / (2.0 * frontend.capacityQps());
+    std::vector<serve::Arrival> arrivals;
+    arrivals.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        std::string line = "{\"id\": \"" + batch[i].id
+                           + "\", \"network\": \"" + batch[i].network
+                           + "\", \"signature\": [";
+        for (std::size_t k = 0; k < batch[i].signature.size(); ++k) {
+            if (k)
+                line += ", ";
+            line += std::to_string(batch[i].signature[k]);
+        }
+        line += "]}";
+        arrivals.push_back(
+            {static_cast<double>(i) * gap_ms, std::move(line)});
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            frontend.run(arrivals, nullptr).served());
+    }
+    state.SetItemsProcessed(
+        state.iterations()
+        * static_cast<std::int64_t>(arrivals.size()));
+}
+BENCHMARK(BM_ServeOverload);
 
 /**
  * End-to-end architecture search: population 16 x 3 generations over

@@ -490,9 +490,49 @@ analyzeParallelBody(const SourceFile &f, LintReport &r,
     }
 }
 
+/**
+ * Raw std::thread spawns outside the blessed homes. The deterministic
+ * pool (src/util/parallel) and the serving front end's planned worker
+ * team (src/serve/frontend) are the only places allowed to own
+ * threads: anywhere else, a raw spawn bypasses both the bit-identical
+ * scheduling contract and GCM_THREADS sizing. Queries like
+ * std::thread::hardware_concurrency() don't spawn and are fine;
+ * tests/ may spawn freely (concurrency tests need antagonist
+ * threads).
+ */
+void
+checkRawThreadSpawns(const SourceFile &f, LintReport &r)
+{
+    static const char *kId = "parallel-capture";
+    if (pathHasDir(f.path, "tests"))
+        return;
+    if (pathContains(f.path, "src/util/parallel")
+        || pathContains(f.path, "src/serve/frontend")) {
+        return;
+    }
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!(toks[i].isIdent("std") && toks[i + 1].is("::")
+              && toks[i + 2].isIdent("thread"))) {
+            continue;
+        }
+        // `std::thread::hardware_concurrency()` and other statics are
+        // queries, not spawns.
+        if (i + 3 < toks.size() && toks[i + 3].is("::"))
+            continue;
+        r.add(f, toks[i].line, kId, Severity::Error,
+              "raw std::thread use outside src/util/parallel and the "
+              "serving front end",
+              "route parallel work through parallelFor/parallelMap "
+              "or the ServerFrontEnd worker team; a deliberate "
+              "exception needs // gcm-lint: allow(parallel-capture)");
+    }
+}
+
 void
 checkParallelCapture(const SourceFile &f, LintReport &r)
 {
+    checkRawThreadSpawns(f, r);
     const auto &toks = f.tokens;
     for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
         if (!(toks[i].isIdent("parallelFor")
@@ -792,7 +832,8 @@ registerBuiltinChecks(CheckRegistry &registry)
     registry.registerCheck(
         "parallel-capture",
         "parallelFor/parallelMap lambdas write only task-owned state "
-        "and never lock",
+        "and never lock; raw std::thread spawns stay inside "
+        "src/util/parallel and src/serve/frontend",
         checkParallelCapture);
     registry.registerCheck(
         "throw-discipline",

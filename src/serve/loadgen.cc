@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <ostream>
@@ -38,6 +39,10 @@ LoadGenConfig::validate() const
         fatal("loadgen: pool_size must be >= 1");
     if (target_qps < 0.0)
         fatal("loadgen: target_qps must be >= 0");
+    if (offered_qps < 0.0)
+        fatal("loadgen: offered_qps must be >= 0");
+    if (bulk_fraction < 0.0 || bulk_fraction > 1.0)
+        fatal("loadgen: bulk_fraction must be in [0, 1]");
     validateLoopConfig(loop);
 }
 
@@ -56,28 +61,27 @@ percentile(const std::vector<double> &sorted, double q)
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
-} // namespace
-
+/**
+ * The shared request-body generator behind both loops. `bulk`, when
+ * non-null, tags request i with `"priority": "bulk"` where true; the
+ * flags are drawn from their own forked stream by the caller, so the
+ * body byte stream for a given (seed, mix) is identical with and
+ * without priority tagging.
+ */
 std::vector<std::string>
-generateRequests(const PredictionService &service,
-                 const LoadGenConfig &config)
+generateLines(Rng &rng, std::size_t sig_width,
+              const std::vector<std::string> &device_names,
+              const LoadGenConfig &config,
+              const std::vector<bool> *bulk)
 {
-    config.validate();
-    const auto active = service.registry().active();
-    if (!active || active.snapshot->kind() != SnapshotKind::CostModel)
-        fatal("loadgen: the registry has no active cost-model snapshot");
-    const std::size_t sig_width =
-        active.snapshot->costModel().signatureNames().size();
-
     const std::vector<std::string> &zoo = dnn::zooModelNames();
-    std::vector<std::string> device_names;
-    device_names.reserve(service.deviceTable().size());
-    for (const auto &[name, sig] : service.deviceTable())
-        device_names.push_back(name);
-
-    Rng rng(config.seed);
     std::vector<std::string> lines;
     lines.reserve(config.requests);
+    const auto priorityTag = [&](std::size_t i) {
+        return bulk != nullptr && (*bulk)[i]
+                   ? std::string(", \"priority\": \"bulk\"")
+                   : std::string();
+    };
 
     if (config.mix == LoadMix::DuplicateHeavy) {
         if (device_names.empty()) {
@@ -113,7 +117,7 @@ generateRequests(const PredictionService &service,
             json::appendJsonString(line, pick.network);
             line += ", \"device\": ";
             json::appendJsonString(line, pick.device);
-            line += "}";
+            line += priorityTag(i) + "}";
             lines.push_back(std::move(line));
         }
         return lines;
@@ -139,10 +143,135 @@ generateRequests(const PredictionService &service,
                 line += ", ";
             line += num.str();
         }
-        line += "]}";
+        line += "]" + priorityTag(i) + "}";
         lines.push_back(std::move(line));
     }
     return lines;
+}
+
+/** Device-name list of a table, in map (sorted) order. */
+std::vector<std::string>
+deviceNames(const PredictionService::DeviceTable &table)
+{
+    std::vector<std::string> names;
+    names.reserve(table.size());
+    for (const auto &[name, sig] : table)
+        names.push_back(name);
+    return names;
+}
+
+/** Signature width of the active snapshot. Throws when unservable. */
+std::size_t
+servableSignatureWidth(const ModelRegistry &registry)
+{
+    const auto active = registry.active();
+    if (!active || active.snapshot->kind() != SnapshotKind::CostModel)
+        fatal("loadgen: the registry has no active cost-model snapshot");
+    return active.snapshot->costModel().signatureNames().size();
+}
+
+} // namespace
+
+std::vector<std::string>
+generateRequests(const PredictionService &service,
+                 const LoadGenConfig &config)
+{
+    config.validate();
+    const std::size_t sig_width =
+        servableSignatureWidth(service.registry());
+    const std::vector<std::string> names =
+        deviceNames(service.deviceTable());
+    Rng rng(config.seed);
+    return generateLines(rng, sig_width, names, config, nullptr);
+}
+
+std::vector<Arrival>
+generateArrivals(const ServerFrontEnd &frontend,
+                 const LoadGenConfig &config)
+{
+    config.validate();
+    if (config.offered_qps <= 0.0)
+        fatal("loadgen: open-loop arrivals need offered_qps > 0");
+    const std::size_t sig_width =
+        servableSignatureWidth(frontend.registry());
+    const std::vector<std::string> names =
+        deviceNames(frontend.deviceTable());
+
+    // Independent forked streams so bodies, priorities and arrival
+    // gaps never perturb each other's draws (and the body stream
+    // stays comparable across bulk_fraction settings).
+    const Rng base(config.seed);
+    Rng body_rng = base.fork(1);
+    Rng prio_rng = base.fork(2);
+    Rng time_rng = base.fork(3);
+
+    std::vector<bool> bulk(config.requests, false);
+    if (config.bulk_fraction > 0.0) {
+        for (std::size_t i = 0; i < config.requests; ++i)
+            bulk[i] = prio_rng.uniform() < config.bulk_fraction;
+    }
+    std::vector<std::string> lines =
+        generateLines(body_rng, sig_width, names, config, &bulk);
+
+    // Poisson process on the simulated clock: exponential
+    // inter-arrival gaps with mean 1/offered_qps.
+    const double rate_per_ms = config.offered_qps / 1000.0;
+    std::vector<Arrival> arrivals;
+    arrivals.reserve(lines.size());
+    double t = 0.0;
+    for (std::string &line : lines) {
+        double u = time_rng.uniform();
+        if (u >= 1.0)
+            u = 0.5; // uniform() is [0,1); belt and braces
+        t += -std::log(1.0 - u) / rate_per_ms;
+        arrivals.push_back({t, std::move(line)});
+    }
+    return arrivals;
+}
+
+OpenLoadReport
+runOpenLoadGen(ServerFrontEnd &frontend, const LoadGenConfig &config,
+               std::ostream *responses_out)
+{
+    const std::vector<Arrival> arrivals =
+        generateArrivals(frontend, config);
+    std::vector<std::string> responses;
+    OpenLoadReport report;
+    report.frontend = frontend.run(
+        arrivals, responses_out != nullptr ? &responses : nullptr);
+    report.offered_qps = config.offered_qps;
+    report.capacity_qps = frontend.capacityQps();
+    if (responses_out != nullptr) {
+        for (const std::string &r : responses)
+            *responses_out << r << '\n';
+        responses_out->flush();
+    }
+    return report;
+}
+
+std::string
+OpenLoadReport::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "open-loop: offered %.1f req/s (%.2fx capacity "
+                  "%.1f req/s)\n",
+                  offered_qps,
+                  capacity_qps > 0.0 ? offered_qps / capacity_qps : 0.0,
+                  capacity_qps);
+    std::string out(buf);
+    out += frontend.summary();
+    std::snprintf(
+        buf, sizeof(buf),
+        "\n  cache: %llu hits, %llu misses, %llu evictions, "
+        "%llu coalesced (hit rate %.1f%%)",
+        (unsigned long long)frontend.cache.hits,
+        (unsigned long long)frontend.cache.misses,
+        (unsigned long long)frontend.cache.evictions,
+        (unsigned long long)frontend.cache.coalesced,
+        frontend.cache.hitRate() * 100.0);
+    out += buf;
+    return out;
 }
 
 LoadGenReport

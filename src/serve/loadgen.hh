@@ -25,6 +25,17 @@
  * generator sleeps between bursts to approximate the target offered
  * load; with 0 it runs back-to-back (peak throughput mode). Bursts
  * larger than the admission queue exercise explicit rejection.
+ *
+ * Open loop (PR 9): generateArrivals()/runOpenLoadGen() drive the
+ * multi-worker ServerFrontEnd with Poisson arrivals *on the simulated
+ * clock* at a configured offered_qps — arrivals do not wait for
+ * responses, which is what makes overload regimes reachable at all.
+ * A bulk_fraction of the stream is tagged `"priority": "bulk"`. The
+ * whole run is deterministic: arrival times, tier decisions, goodput,
+ * shed-rate and per-tier fractions are pure functions of
+ * (seed, config, model, worker count). The one exception is the
+ * shared cache's hit/miss/coalesce counters, which depend on worker
+ * scheduling (frontend.hh).
  */
 
 #ifndef GCM_SERVE_LOADGEN_HH
@@ -36,6 +47,7 @@
 #include <vector>
 
 #include "serve/cache.hh"
+#include "serve/frontend.hh"
 #include "serve/protocol.hh"
 #include "serve/service.hh"
 
@@ -64,6 +76,10 @@ struct LoadGenConfig
     /** Distinct (network, device) pairs of the duplicate-heavy pool. */
     std::size_t pool_size = 16;
     LoopConfig loop;
+    /** Open-loop only: Poisson offered load (simulated req/s). */
+    double offered_qps = 0.0;
+    /** Open-loop only: fraction of requests tagged priority "bulk". */
+    double bulk_fraction = 0.0;
 
     /** Throws GcmError on invalid parameters. */
     void validate() const;
@@ -105,6 +121,37 @@ generateRequests(const PredictionService &service,
 LoadGenReport runLoadGen(PredictionService &service,
                          const LoadGenConfig &config,
                          std::ostream *responses_out);
+
+/** What one open-loop overload run measured (all simulated-clock). */
+struct OpenLoadReport
+{
+    FrontEndReport frontend;
+    double offered_qps = 0.0;
+    double capacity_qps = 0.0;
+
+    /** Human-readable multi-line summary (goodput, shed, tiers). */
+    std::string summary() const;
+};
+
+/**
+ * Generate the deterministic timestamped arrival stream for an
+ * open-loop run: the same request bodies the closed-loop mixes
+ * produce (plus priority tags for a bulk_fraction of them), with
+ * Poisson inter-arrival gaps at config.offered_qps on the simulated
+ * clock. Requires offered_qps > 0. Exposed so tests can replay the
+ * exact stream.
+ */
+std::vector<Arrival> generateArrivals(const ServerFrontEnd &frontend,
+                                      const LoadGenConfig &config);
+
+/**
+ * Run the open-loop generator against a multi-worker front end. When
+ * `responses_out` is non-null, every response line is written to it
+ * in arrival order (shed rejections included, in position).
+ */
+OpenLoadReport runOpenLoadGen(ServerFrontEnd &frontend,
+                              const LoadGenConfig &config,
+                              std::ostream *responses_out);
 
 } // namespace gcm::serve
 

@@ -55,6 +55,18 @@ tryParseRequestLine(const std::string &line, ServeRequest &out)
             if (!value.isString() || value.str.empty())
                 return "field 'device' must be a non-empty string";
             out.device = value.str;
+        } else if (key == "priority") {
+            if (!value.isString())
+                return "field 'priority' must be \"interactive\" or "
+                       "\"bulk\"";
+            if (value.str == "interactive") {
+                out.priority = Priority::Interactive;
+            } else if (value.str == "bulk") {
+                out.priority = Priority::Bulk;
+            } else {
+                return "field 'priority' must be \"interactive\" or "
+                       "\"bulk\"";
+            }
         } else if (key == "signature") {
             if (!value.isArray())
                 return "field 'signature' must be an array of numbers";
@@ -75,6 +87,12 @@ tryParseRequestLine(const std::string &line, ServeRequest &out)
 
 } // namespace
 
+std::string
+tryParseRequest(const std::string &line, ServeRequest &out)
+{
+    return tryParseRequestLine(line, out);
+}
+
 ServeRequest
 parseRequestLine(const std::string &line)
 {
@@ -85,25 +103,53 @@ parseRequestLine(const std::string &line)
     return request;
 }
 
+namespace
+{
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream num;
+    num.precision(std::numeric_limits<double>::max_digits10);
+    num << v;
+    return num.str();
+}
+
+} // namespace
+
 std::string
 renderResponse(const ServeResponse &response)
 {
     std::string out = "{\"id\": ";
     json::appendJsonString(out, response.id);
     if (response.ok) {
-        std::ostringstream num;
-        num.precision(std::numeric_limits<double>::max_digits10);
-        num << response.latency_ms;
-        out += ", \"ok\": true, \"latency_ms\": " + num.str()
+        out += ", \"ok\": true, \"latency_ms\": "
+               + formatDouble(response.latency_ms)
                + ", \"model_version\": "
-               + std::to_string(response.model_version) + "}";
+               + std::to_string(response.model_version);
     } else {
         out += ", \"ok\": false, \"error\": {\"code\": \"";
         out += serveErrorCodeName(response.error_code);
         out += "\", \"message\": ";
         json::appendJsonString(out, response.error_message);
-        out += "}}";
+        if (response.error_code == ServeErrorCode::Overloaded) {
+            // Backpressure context: what the client is waiting behind
+            // and a nominal back-off before retrying.
+            out += ", \"queue_depth\": "
+                   + std::to_string(response.queue_depth)
+                   + ", \"retry_after_ms\": "
+                   + formatDouble(response.retry_after_ms);
+        }
+        out += "}";
     }
+    // Version gate: the `degraded` field is absent for the full tier,
+    // so clients predating the ladder keep seeing unchanged lines.
+    if (response.tier != ServeTier::Full) {
+        out += ", \"degraded\": {\"tier\": \"";
+        out += serveTierName(response.tier);
+        out += "\"}";
+    }
+    out += "}";
     return out;
 }
 
@@ -134,7 +180,9 @@ RequestLoop::offer(std::string line)
 }
 
 std::string
-RequestLoop::renderOverloaded(const std::string &line)
+RequestLoop::renderOverloaded(const std::string &line,
+                              std::size_t queue_depth,
+                              double retry_after_ms)
 {
     // Best-effort id echo: a rejected line may still be valid JSON.
     std::string id;
@@ -145,8 +193,12 @@ RequestLoop::renderOverloaded(const std::string &line)
     } catch (const GcmError &) {
         // Malformed line: the rejection wins over the parse error.
     }
-    return renderResponse(ServeResponse::failure(
-        id, ServeErrorCode::Overloaded, "admission queue full"));
+    ServeResponse r = ServeResponse::failure(
+        id, ServeErrorCode::Overloaded, "admission queue full");
+    r.tier = ServeTier::Shed;
+    r.queue_depth = queue_depth;
+    r.retry_after_ms = retry_after_ms;
+    return renderResponse(r);
 }
 
 void
@@ -212,8 +264,15 @@ runServeLoop(PredictionService &service, std::istream &in,
         if (!loop.offer(line)) {
             // Queue full: drain one batch, then shed if still full.
             loop.drainBatch(responses);
-            if (!loop.offer(line))
-                responses.push_back(RequestLoop::renderOverloaded(line));
+            if (!loop.offer(line)) {
+                // Nominal back-off: one batch's worth of work per
+                // queued batch ahead of the client.
+                const double retry_ms =
+                    static_cast<double>(loop.queued())
+                    / static_cast<double>(config.batch_size);
+                responses.push_back(RequestLoop::renderOverloaded(
+                    line, loop.queued(), retry_ms));
+            }
         }
         if (loop.queued() >= config.batch_size)
             loop.drainBatch(responses);

@@ -8,15 +8,30 @@
  *   {"id": "r2", "graph": "gcm-graph v1\n...", "signature": [3.1, 8.2]}
  *
  * Fields: `id` (optional string, echoed back), exactly one of
- * `network` (zoo name) / `graph` (inline gcm-graph v1 document), and
+ * `network` (zoo name) / `graph` (inline gcm-graph v1 document),
  * exactly one of `device` (device-table name) / `signature` (array of
- * finite positive numbers, in model signature order).
+ * finite positive numbers, in model signature order), and an optional
+ * `priority` ("interactive", the default, or "bulk") consumed by the
+ * multi-worker front end's per-class queues (frontend.hh).
  *
  * Responses, one JSON object per request line, in request order:
  *
  *   {"id": "r1", "ok": true, "latency_ms": 42.25, "model_version": 1}
  *   {"id": "r2", "ok": false, "error": {"code": "bad_request",
  *    "message": "..."}}
+ *
+ * Degradation tags (version-gated: the field is *absent* for tier
+ * "full", so pre-ladder clients keep parsing unchanged responses):
+ *
+ *   {"id": "r3", "ok": true, "latency_ms": 40.5, "model_version": 1,
+ *    "degraded": {"tier": "stale"}}
+ *
+ * Shed responses carry backpressure context inside the error object —
+ * the queue depth observed at rejection and a suggested back-off:
+ *
+ *   {"id": "r4", "ok": false, "error": {"code": "overloaded",
+ *    "message": "...", "queue_depth": 256, "retry_after_ms": 12.5},
+ *    "degraded": {"tier": "shed"}}
  *
  * The response line carries no cache or timing detail, so byte-equal
  * request streams produce byte-equal response streams at any thread
@@ -59,6 +74,14 @@ inline constexpr std::size_t kMaxRequestLineBytes = 1u << 20;
  */
 ServeRequest parseRequestLine(const std::string &line);
 
+/**
+ * Non-throwing variant for the serving loops: returns an empty string
+ * on success, the error message otherwise. `out.id` is filled
+ * whenever the line was valid JSON carrying a string id, so even
+ * schema-violating requests get their id echoed back.
+ */
+std::string tryParseRequest(const std::string &line, ServeRequest &out);
+
 /** Render a response as one JSON line (no trailing newline). */
 std::string renderResponse(const ServeResponse &response);
 
@@ -100,8 +123,14 @@ class RequestLoop
     std::size_t queued() const { return queue_.size(); }
     const LoopConfig &config() const { return config_; }
 
-    /** The rejection line for a request that could not be admitted. */
-    static std::string renderOverloaded(const std::string &line);
+    /**
+     * The rejection line for a request that could not be admitted.
+     * `queue_depth` and `retry_after_ms` become the shed response's
+     * backpressure context (defaults keep legacy call sites valid).
+     */
+    static std::string renderOverloaded(const std::string &line,
+                                        std::size_t queue_depth = 0,
+                                        double retry_after_ms = 0.0);
 
   private:
     PredictionService &service_;

@@ -140,6 +140,35 @@ ModelRegistry::rollback()
     std::swap(active_, previous_);
 }
 
+ModelRegistry::ActiveModel
+ModelRegistry::previousModel() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (previous_ == 0)
+        return {};
+    const auto it = snapshots_.find(previous_);
+    if (it == snapshots_.end())
+        return {};
+    return {previous_, it->second};
+}
+
+void
+ModelRegistry::retire(Version version)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (snapshots_.count(version) == 0)
+        fatal("ModelRegistry::retire: unknown version ", version);
+    if (version == active_)
+        fatal("ModelRegistry::retire: version ", version,
+              " is active; activate another version first");
+    snapshots_.erase(version);
+    // Eviction only drops the registry's reference: batches (and the
+    // front end's stale tier) that pinned the snapshot keep it alive
+    // through their shared_ptr until they finish.
+    if (version == previous_)
+        previous_ = 0;
+}
+
 std::shared_ptr<const ModelSnapshot>
 ModelRegistry::snapshot(Version version) const
 {

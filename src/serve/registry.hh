@@ -147,6 +147,23 @@ class ModelRegistry
      */
     void rollback();
 
+    /**
+     * The version that was active before the most recent swap, as a
+     * pinnable (version, snapshot) pair; {0, nullptr} when there is
+     * none (or it has been retired). The front end's stale tier pins
+     * this once per run and serves degraded responses from it.
+     */
+    ActiveModel previousModel() const;
+
+    /**
+     * Evict a published, non-active version from the registry. Throws
+     * GcmError for unknown or currently-active versions. Holders of a
+     * pinned shared_ptr (in-flight batches, the front end's stale
+     * tier) keep the snapshot alive until they drop it; retire only
+     * prevents new pins.
+     */
+    void retire(Version version);
+
     /** Fetch a specific version (nullptr when unknown). */
     std::shared_ptr<const ModelSnapshot> snapshot(Version version) const;
 

@@ -19,6 +19,28 @@ namespace gcm::serve
 {
 
 const char *
+priorityName(Priority p)
+{
+    switch (p) {
+      case Priority::Interactive: return "interactive";
+      case Priority::Bulk: return "bulk";
+    }
+    return "?";
+}
+
+const char *
+serveTierName(ServeTier tier)
+{
+    switch (tier) {
+      case ServeTier::Full: return "full";
+      case ServeTier::Stale: return "stale";
+      case ServeTier::Analytical: return "analytical";
+      case ServeTier::Shed: return "shed";
+    }
+    return "?";
+}
+
+const char *
 serveErrorCodeName(ServeErrorCode code)
 {
     switch (code) {
@@ -33,11 +55,14 @@ serveErrorCodeName(ServeErrorCode code)
     return "?";
 }
 
-PredictionService::PredictionService(const ModelRegistry &registry,
-                                     DeviceTable device_table,
-                                     ServiceConfig config)
+PredictionService::PredictionService(
+    const ModelRegistry &registry, DeviceTable device_table,
+    ServiceConfig config, std::shared_ptr<ShardedLruCache> shared_cache)
     : registry_(registry), device_table_(std::move(device_table)),
-      cache_(config.cache_capacity, config.cache_shards)
+      cache_(shared_cache != nullptr
+                 ? std::move(shared_cache)
+                 : std::make_shared<ShardedLruCache>(
+                       config.cache_capacity, config.cache_shards))
 {
 }
 
@@ -100,11 +125,21 @@ PredictionService::resolve(const ServeRequest &request,
         NetworkMemo &memo = it->second;
         // Encode once per (network, model version); the batch pins
         // one version, so within a batch this hits after the first
-        // request for the network.
-        if (memo.enc_version != version) {
+        // request for the network. A few versions are retained so a
+        // front-end worker alternating active (full tier) and
+        // previous (stale tier) batches does not re-encode per flip.
+        const std::vector<float> *enc = memo.findEnc(version);
+        if (enc == nullptr) {
             try {
-                memo.enc = model.encodeNetwork(memo.graph);
-                memo.enc_version = version;
+                std::vector<float> fresh =
+                    model.encodeNetwork(memo.graph);
+                if (memo.enc_by_version.size() >= 4) {
+                    memo.enc_by_version.erase(
+                        memo.enc_by_version.begin());
+                }
+                memo.enc_by_version.emplace_back(version,
+                                                 std::move(fresh));
+                enc = &memo.enc_by_version.back().second;
             } catch (const GcmError &e) {
                 failWith(ServeErrorCode::Internal,
                          std::string("prediction failed: ")
@@ -113,7 +148,7 @@ PredictionService::resolve(const ServeRequest &request,
             }
         }
         r.graph = &memo.graph;
-        r.net_features = &memo.enc;
+        r.net_features = enc;
         r.key.graph_fp = memo.fp;
     } else {
         try {
@@ -172,6 +207,15 @@ PredictionService::resolve(const ServeRequest &request,
 std::vector<ServeResponse>
 PredictionService::processBatch(const std::vector<ServeRequest> &requests)
 {
+    // Pin one snapshot for the whole batch: a concurrent hot-swap
+    // lands between batches, never inside one.
+    return processBatch(requests, registry_.active());
+}
+
+std::vector<ServeResponse>
+PredictionService::processBatch(const std::vector<ServeRequest> &requests,
+                                const ModelRegistry::ActiveModel &active)
+{
     const obs::TraceSpan span("serve.batch");
     const bool timed = obs::enabled();
     const auto t0 = timed ? std::chrono::steady_clock::now()
@@ -182,9 +226,6 @@ PredictionService::processBatch(const std::vector<ServeRequest> &requests)
     for (std::size_t i = 0; i < requests.size(); ++i)
         responses[i].id = requests[i].id;
 
-    // Pin one snapshot for the whole batch: a concurrent hot-swap
-    // lands between batches, never inside one.
-    const ModelRegistry::ActiveModel active = registry_.active();
     if (!active
         || active.snapshot->kind() != SnapshotKind::CostModel) {
         const std::string msg =
@@ -240,7 +281,7 @@ PredictionService::processBatch(const std::vector<ServeRequest> &requests)
                 requests[i].id, r.error_code, r.error_message);
             continue;
         }
-        if (const auto hit = cache_.get(r.key)) {
+        if (const auto hit = cache_->get(r.key)) {
             plan[i].state = State::Hit;
             responses[i].ok = true;
             responses[i].latency_ms = *hit;
@@ -264,7 +305,7 @@ PredictionService::processBatch(const std::vector<ServeRequest> &requests)
             compute.push_back(
                 {r.graph, r.net_features, &r.signature, r.key});
         } else {
-            cache_.noteCoalesced(r.key);
+            cache_->noteCoalesced(r.key);
         }
         plan[i].state = State::Compute;
         plan[i].compute_slot = it->second;
@@ -340,7 +381,7 @@ PredictionService::processBatch(const std::vector<ServeRequest> &requests)
     // the arithmetic identical to predictMs (raw * anchor).
     for (std::size_t j = 0; j < n_compute; ++j) {
         if (errors_[j].empty())
-            cache_.put(compute[j].key, values_[j] * anchors_[j]);
+            cache_->put(compute[j].key, values_[j] * anchors_[j]);
     }
     std::uint64_t ok_count = 0;
     for (std::size_t i = 0; i < requests.size(); ++i) {

@@ -46,10 +46,40 @@
 namespace gcm::serve
 {
 
+/**
+ * Request priority class. Interactive traffic ("how fast is this
+ * network on my phone") shares the front end with bulk NAS candidate
+ * streams (src/search); the front end keeps one bounded queue per
+ * class and always drains interactive first.
+ */
+enum class Priority
+{
+    Interactive,
+    Bulk,
+};
+
+const char *priorityName(Priority p);
+
+/**
+ * Which rung of the degradation ladder produced a response (see
+ * frontend.hh). Single-loop serving (protocol.cc RequestLoop) only
+ * ever produces Full and Shed.
+ */
+enum class ServeTier
+{
+    Full,       // active snapshot via PredictionService
+    Stale,      // pinned previous registry version
+    Analytical, // model-free roofline estimate (AnalyticalEstimator)
+    Shed,       // rejected with a structured `overloaded` response
+};
+
+const char *serveTierName(ServeTier tier);
+
 /** One parsed gcm-serve/v1 request (see protocol.hh for the wire). */
 struct ServeRequest
 {
     std::string id;
+    Priority priority = Priority::Interactive;
     /** Zoo network name; empty when graph_text is used. */
     std::string network;
     /** Inline gcm-graph v1 document; empty when network is used. */
@@ -94,6 +124,12 @@ struct ServeResponse
     ModelRegistry::Version model_version = 0;
     ServeErrorCode error_code = ServeErrorCode::BadRequest;
     std::string error_message;
+    /** Ladder rung that produced this response (wire: `degraded`). */
+    ServeTier tier = ServeTier::Full;
+    /** Shed context: queue depth observed at rejection time. */
+    std::size_t queue_depth = 0;
+    /** Shed context: suggested client back-off (simulated ms). */
+    double retry_after_ms = 0.0;
 
     static ServeResponse
     failure(std::string id, ServeErrorCode code, std::string message)
@@ -125,19 +161,37 @@ class PredictionService
      *        the next batch.
      * @param device_table Known devices (may be empty: requests must
      *        then carry raw signatures).
+     * @param shared_cache When non-null, use this cache instead of
+     *        constructing a private one — the ServerFrontEnd gives
+     *        each worker its own service (processBatch is not
+     *        thread-safe) but shares one cache across all of them.
+     *        The cache itself is sharded and thread-safe.
      */
     PredictionService(const ModelRegistry &registry,
-                      DeviceTable device_table, ServiceConfig config = {});
+                      DeviceTable device_table, ServiceConfig config = {},
+                      std::shared_ptr<ShardedLruCache> shared_cache = {});
 
     /**
-     * Serve one batch. Responses are index-aligned with the requests.
-     * Never throws for malformed requests — every failure becomes a
-     * structured error response.
+     * Serve one batch against the currently active snapshot.
+     * Responses are index-aligned with the requests. Never throws for
+     * malformed requests — every failure becomes a structured error
+     * response.
      */
     std::vector<ServeResponse>
     processBatch(const std::vector<ServeRequest> &requests);
 
-    const ShardedLruCache &cache() const { return cache_; }
+    /**
+     * Serve one batch against an explicitly pinned snapshot. The
+     * front end uses this for both the full tier (pinned active) and
+     * the stale tier (pinned previous version): holding the
+     * shared_ptr for the batch lifetime means a concurrent rollback()
+     * + retire() cannot free the snapshot under an in-flight batch.
+     */
+    std::vector<ServeResponse>
+    processBatch(const std::vector<ServeRequest> &requests,
+                 const ModelRegistry::ActiveModel &pinned);
+
+    const ShardedLruCache &cache() const { return *cache_; }
     const DeviceTable &deviceTable() const { return device_table_; }
     const ModelRegistry &registry() const { return registry_; }
 
@@ -169,22 +223,34 @@ class PredictionService
 
     const ModelRegistry &registry_;
     DeviceTable device_table_;
-    ShardedLruCache cache_;
+    std::shared_ptr<ShardedLruCache> cache_;
     /**
      * Per zoo network: deployment graph, structural fingerprint, and
-     * the encoder output for the model version that last served it.
+     * the encoder outputs for the model versions that last served it.
      * The zoo is a fixed finite set, so this is bounded; it lets the
      * cold path skip rebuilding, re-quantizing and — per model
      * version — re-encoding the network, which dominates cold-path
-     * cost.
+     * cost. A front-end worker alternates between the active (full
+     * tier) and previous (stale tier) versions batch to batch, so a
+     * couple of versions are kept per network instead of one.
      */
     struct NetworkMemo
     {
         dnn::Graph graph;
         std::uint64_t fp = 0;
-        /** Encoder output for enc_version (0 = not yet encoded). */
-        std::vector<float> enc;
-        ModelRegistry::Version enc_version = 0;
+        /** Encoder output per model version (small, LRU-capped). */
+        std::vector<std::pair<ModelRegistry::Version,
+                              std::vector<float>>>
+            enc_by_version;
+
+        const std::vector<float> *
+        findEnc(ModelRegistry::Version v) const
+        {
+            for (const auto &e : enc_by_version)
+                if (e.first == v)
+                    return &e.second;
+            return nullptr;
+        }
     };
     std::map<std::string, NetworkMemo> graph_memo_;
     /**

@@ -1,0 +1,37 @@
+// gcm-lint fixture: raw std::thread spawns. All parallelism goes
+// through src/util/parallel (or the serving front end's worker pool);
+// ad-hoc thread spawns elsewhere dodge the GCM_THREADS contract and
+// the capture hygiene the parallel-capture check enforces. Never
+// compiled; tests/test_lint.cc lexes this content under a fake src/
+// path (the check exempts tests/) and asserts the line numbers.
+#include <thread>
+#include <vector>
+
+void
+spawnDirect()
+{
+    std::thread worker([] { /* work */ }); // line 13: raw spawn
+    worker.join();
+}
+
+void
+spawnDeferred()
+{
+    std::thread t;                // line 20: raw declaration
+    t = std::thread([] {});       // line 21: raw assignment
+    t.join();
+}
+
+unsigned
+queryIsFine()
+{
+    // Static queries don't spawn anything.
+    return std::thread::hardware_concurrency();
+}
+
+void
+reviewedAndAllowed()
+{
+    // Deliberate: one-shot detached helper, reviewed.
+    std::thread([] {}).detach(); // gcm-lint: allow(parallel-capture)
+}

@@ -277,6 +277,46 @@ TEST(LintChecks, ParallelCaptureFixture)
     EXPECT_EQ(r.suppressedCount(), 1u); // checksum += (allowed)
 }
 
+TEST(LintChecks, RawThreadSpawnFixture)
+{
+    // The fixture lives under tests/, which the check exempts — lex
+    // its content under a src/ path to arm it.
+    const std::string code =
+        readFile(fixturePath("parallel_capture_thread.cc"));
+    const LintReport r =
+        runAll(lint::lexString("src/ml/thread_bad.cc", code));
+    const auto errors = findingsAt(r, Severity::Error);
+    const std::set<std::pair<std::string, int>> expected = {
+        {"parallel-capture", 13}, // std::thread worker(...)
+        {"parallel-capture", 20}, // std::thread t;
+        {"parallel-capture", 21}, // t = std::thread(...)
+    };
+    EXPECT_EQ(errors, expected);
+    // hardware_concurrency() (line 29) must not flag; the detached
+    // spawn (line 36) is suppressed via allow(parallel-capture).
+    EXPECT_EQ(r.suppressedCount(), 1u);
+}
+
+TEST(LintChecks, RawThreadSpawnAllowedPaths)
+{
+    const std::string code = "#include <thread>\n"
+                             "void f() { std::thread t([] {}); "
+                             "t.join(); }\n";
+    // The thread-pool implementation and the serving front end are
+    // the two sanctioned spawn sites; tests/ is exempt wholesale.
+    for (const char *path : {"src/util/parallel.cc",
+                             "src/serve/frontend.cc",
+                             "tests/test_parallel.cc"}) {
+        const LintReport r = runAll(lint::lexString(path, code));
+        EXPECT_TRUE(findingsAt(r, Severity::Error).empty())
+            << "unexpected finding in " << path;
+    }
+    // The same code anywhere else flags.
+    const LintReport r =
+        runAll(lint::lexString("src/serve/service.cc", code));
+    EXPECT_EQ(findingsAt(r, Severity::Error).size(), 1u);
+}
+
 // ------------------------------------------------------ throw-discipline
 
 TEST(LintChecks, ThrowDisciplineFixture)

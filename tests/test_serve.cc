@@ -23,7 +23,9 @@
 #include "ml/gbt.hh"
 #include "ml/random_forest.hh"
 #include "search/genome_ops.hh"
+#include "serve/analytical.hh"
 #include "serve/cache.hh"
+#include "serve/frontend.hh"
 #include "serve/loadgen.hh"
 #include "serve/protocol.hh"
 #include "serve/registry.hh"
@@ -780,4 +782,528 @@ TEST(Loadgen, GeneratedStreamsReplayThroughTheLoop)
     for (const auto &line : lines)
         EXPECT_NO_THROW((void)serve::parseRequestLine(line)) << line;
     EXPECT_THROW((void)serve::parseLoadMix("bogus"), GcmError);
+}
+
+// --- multi-worker front end -------------------------------------------
+
+namespace
+{
+
+/** Registry with two published versions (v2 active, v1 previous). */
+const serve::ModelRegistry &
+twoVersionRegistry()
+{
+    static const serve::ModelRegistry *registry = [] {
+        auto *r = new serve::ModelRegistry;
+        std::stringstream s1, s2;
+        testModel().serialize(s1);
+        testModel().serialize(s2);
+        r->publish(serve::ModelSnapshot::fromStream(s1));
+        r->publish(serve::ModelSnapshot::fromStream(s2));
+        return r;
+    }();
+    return *registry;
+}
+
+/** Poisson arrival stream at `factor` x the front end's capacity. */
+std::vector<serve::Arrival>
+overloadArrivals(const serve::ServerFrontEnd &frontend, std::size_t n,
+                 std::uint64_t seed, double factor,
+                 double bulk_fraction = 0.0)
+{
+    serve::LoadGenConfig cfg;
+    cfg.requests = n;
+    cfg.seed = seed;
+    cfg.offered_qps = factor * frontend.capacityQps();
+    cfg.bulk_fraction = bulk_fraction;
+    return serve::generateArrivals(frontend, cfg);
+}
+
+/**
+ * The report fields covered by the determinism contract — everything
+ * except the cache counters, which are scheduling-dependent
+ * diagnostics (frontend.hh).
+ */
+std::string
+deterministicDigest(const serve::FrontEndReport &r)
+{
+    std::ostringstream oss;
+    oss << r.workers << '|' << r.offered << '|' << r.ok << '|'
+        << r.errors << '|' << r.tier_full << '|' << r.tier_stale << '|'
+        << r.tier_analytical << '|' << r.tier_shed << '|'
+        << r.peak_queue_interactive << '|' << r.peak_queue_bulk << '|'
+        << r.sim_duration_ms << '|' << r.goodput_qps << '|'
+        << r.shed_rate << '|' << r.utilization << '|'
+        << r.sojourn_p50_ms << '|' << r.sojourn_p95_ms << '|'
+        << r.sojourn_p99_ms;
+    return oss.str();
+}
+
+/** Producing tier of a rendered response ("full" when untagged). */
+std::string
+tierOf(const std::string &line)
+{
+    for (const char *t : {"stale", "analytical", "shed"}) {
+        const std::string tag =
+            std::string("\"degraded\": {\"tier\": \"") + t + "\"}";
+        if (line.find(tag) != std::string::npos)
+            return t;
+    }
+    return "full";
+}
+
+} // namespace
+
+TEST(FrontEnd, RunIsReproducible)
+{
+    serve::FrontEndConfig cfg;
+    cfg.workers = 2;
+    const auto run = [&] {
+        serve::ServerFrontEnd fe(twoVersionRegistry(),
+                                 testDeviceTable(), cfg);
+        std::vector<std::string> responses;
+        const auto arrivals = overloadArrivals(fe, 600, 17, 2.0);
+        const auto report = fe.run(arrivals, &responses);
+        return std::make_pair(deterministicDigest(report), responses);
+    };
+    const auto [s1, r1] = run();
+    const auto [s2, r2] = run();
+    EXPECT_EQ(s1, s2);
+    EXPECT_EQ(r1, r2);
+    EXPECT_FALSE(r1.empty());
+}
+
+TEST(FrontEnd, PerTierPayloadsAreWorkerCountInvariant)
+{
+    // The tier MIX legitimately depends on the worker count (the plan
+    // phase consumes it), but whenever two runs serve the same request
+    // at the same tier the response bytes must match exactly.
+    serve::LoadGenConfig gen;
+    gen.requests = 400;
+    gen.seed = 23;
+
+    // The offered rate is fixed up front, NOT capacity-derived per
+    // run: the arrival stream must be identical across worker counts.
+    serve::FrontEndConfig one_worker;
+    one_worker.workers = 1;
+    gen.offered_qps =
+        1.8
+        * serve::ServerFrontEnd(twoVersionRegistry(), testDeviceTable(),
+                                one_worker)
+              .capacityQps();
+
+    std::vector<std::vector<std::string>> runs;
+    for (const std::size_t workers : {1UL, 2UL, 8UL}) {
+        serve::FrontEndConfig cfg;
+        cfg.workers = workers;
+        serve::ServerFrontEnd fe(twoVersionRegistry(),
+                                 testDeviceTable(), cfg);
+        const auto arrivals = serve::generateArrivals(fe, gen);
+        std::vector<std::string> responses;
+        (void)fe.run(arrivals, &responses);
+        ASSERT_EQ(responses.size(), gen.requests);
+        runs.push_back(std::move(responses));
+    }
+    std::size_t compared = 0;
+    for (std::size_t i = 0; i < gen.requests; ++i) {
+        for (std::size_t a = 0; a + 1 < runs.size(); ++a) {
+            for (std::size_t b = a + 1; b < runs.size(); ++b) {
+                if (tierOf(runs[a][i]) != tierOf(runs[b][i]))
+                    continue;
+                EXPECT_EQ(runs[a][i], runs[b][i]) << "request " << i;
+                ++compared;
+            }
+        }
+    }
+    EXPECT_GT(compared, 0u); // the invariant was actually exercised
+}
+
+TEST(FrontEnd, OverloadLadderAccountsExactly)
+{
+    serve::FrontEndConfig cfg;
+    cfg.workers = 2;
+    serve::ServerFrontEnd fe(twoVersionRegistry(), testDeviceTable(),
+                             cfg);
+    std::vector<std::string> responses;
+    const auto arrivals = overloadArrivals(fe, 3000, 5, 2.0);
+    const auto report = fe.run(arrivals, &responses);
+
+    // The hard acceptance identity: every offered request is
+    // accounted to exactly one tier.
+    EXPECT_EQ(report.offered, arrivals.size());
+    EXPECT_EQ(report.tier_full + report.tier_stale
+                  + report.tier_analytical + report.tier_shed,
+              report.offered);
+    EXPECT_EQ(report.served(), report.offered - report.tier_shed);
+
+    // 2x overload walks the whole ladder and ends up shedding...
+    EXPECT_GT(report.tier_stale, 0u);
+    EXPECT_GT(report.tier_analytical, 0u);
+    EXPECT_GT(report.tier_shed, 0u);
+    EXPECT_GT(report.shed_rate, 0.0);
+    // ...while degradation keeps goodput at >= 80% of capacity.
+    EXPECT_GE(report.goodput_qps, 0.8 * fe.capacityQps());
+
+    // The rendered stream agrees with the report, line by line.
+    std::map<std::string, std::size_t> tiers;
+    for (const auto &line : responses)
+        ++tiers[tierOf(line)];
+    EXPECT_EQ(tiers["full"], report.tier_full);
+    EXPECT_EQ(tiers["stale"], report.tier_stale);
+    EXPECT_EQ(tiers["analytical"], report.tier_analytical);
+    EXPECT_EQ(tiers["shed"], report.tier_shed);
+}
+
+TEST(FrontEnd, ShedResponsesCarryBackpressureContext)
+{
+    serve::FrontEndConfig cfg;
+    cfg.workers = 1;
+    cfg.batch_size = 4;
+    cfg.queue_capacity = 8;
+    cfg.soft_watermark = 2;
+    cfg.hard_watermark = 4;
+    serve::ServerFrontEnd fe(twoVersionRegistry(), testDeviceTable(),
+                             cfg);
+    // A same-instant burst twice the queue capacity: the tail sheds.
+    std::vector<serve::Arrival> arrivals;
+    for (int i = 0; i < 16; ++i)
+        arrivals.push_back({0.0, "{\"id\": \"b" + std::to_string(i)
+                                     + "\", \"network\": "
+                                       "\"mobilenet_v2_1.0\", "
+                                       "\"device\": \""
+                                     + firstDeviceName() + "\"}"});
+    std::vector<std::string> responses;
+    const auto report = fe.run(arrivals, &responses);
+    ASSERT_GT(report.tier_shed, 0u);
+
+    std::size_t sheds = 0;
+    for (const auto &line : responses) {
+        if (tierOf(line) != "shed")
+            continue;
+        ++sheds;
+        EXPECT_NE(line.find("\"code\": \"overloaded\""),
+                  std::string::npos)
+            << line;
+        EXPECT_NE(line.find("\"queue_depth\": "), std::string::npos)
+            << line;
+        EXPECT_NE(line.find("\"retry_after_ms\": "), std::string::npos)
+            << line;
+    }
+    EXPECT_EQ(sheds, report.tier_shed);
+}
+
+TEST(FrontEnd, DegradedTagIsVersionGated)
+{
+    // Full-tier responses must NOT carry the `degraded` field at all
+    // (old clients parse them unchanged); every degraded tier must.
+    serve::FrontEndConfig cfg;
+    cfg.workers = 2;
+    serve::ServerFrontEnd fe(twoVersionRegistry(), testDeviceTable(),
+                             cfg);
+    std::vector<std::string> responses;
+    const auto arrivals = overloadArrivals(fe, 1500, 31, 2.0);
+    const auto report = fe.run(arrivals, &responses);
+    ASSERT_GT(report.tier_full, 0u);
+    ASSERT_GT(report.tier_stale + report.tier_analytical, 0u);
+    for (const auto &line : responses) {
+        const bool tagged =
+            line.find("\"degraded\"") != std::string::npos;
+        EXPECT_EQ(tagged, tierOf(line) != "full") << line;
+    }
+}
+
+TEST(FrontEnd, InteractiveDrainsBeforeBulk)
+{
+    serve::FrontEndConfig cfg;
+    cfg.workers = 1;
+    cfg.queue_capacity = 256;
+    serve::ServerFrontEnd fe(twoVersionRegistry(), testDeviceTable(),
+                             cfg);
+    // 100 bulk requests land first, then 8 interactive ones in the
+    // same instant. Per-class queues mean the interactive class sits
+    // below the soft watermark (Full) while bulk is past it (Stale),
+    // and interactive-first dispatch keeps its peak depth small.
+    std::vector<serve::Arrival> arrivals;
+    for (int i = 0; i < 100; ++i)
+        arrivals.push_back(
+            {0.0, "{\"id\": \"bulk" + std::to_string(i)
+                      + "\", \"network\": \"mobilenet_v2_1.0\", "
+                        "\"device\": \""
+                      + firstDeviceName()
+                      + "\", \"priority\": \"bulk\"}"});
+    for (int i = 0; i < 8; ++i)
+        arrivals.push_back(
+            {0.0, "{\"id\": \"inter" + std::to_string(i)
+                      + "\", \"network\": \"mobilenet_v2_1.0\", "
+                        "\"device\": \""
+                      + firstDeviceName()
+                      + "\", \"priority\": \"interactive\"}"});
+    std::vector<std::string> responses;
+    const auto report = fe.run(arrivals, &responses);
+    EXPECT_EQ(report.served(), arrivals.size());
+    EXPECT_GT(report.peak_queue_bulk, report.peak_queue_interactive);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        const bool interactive = arrivals[i].line.find("\"inter")
+                                 != std::string::npos;
+        if (interactive) {
+            EXPECT_EQ(tierOf(responses[i]), "full") << responses[i];
+        }
+    }
+    EXPECT_GT(report.tier_stale, 0u); // deep bulk queue degraded
+}
+
+TEST(FrontEnd, ShedOnlyModeSkipsTheMiddleRungs)
+{
+    serve::FrontEndConfig cfg;
+    cfg.workers = 2;
+    cfg.degrade = serve::DegradeMode::ShedOnly;
+    serve::ServerFrontEnd fe(twoVersionRegistry(), testDeviceTable(),
+                             cfg);
+    const auto arrivals = overloadArrivals(fe, 2000, 5, 2.0);
+    const auto report = fe.run(arrivals, nullptr);
+    EXPECT_EQ(report.tier_stale, 0u);
+    EXPECT_EQ(report.tier_analytical, 0u);
+    EXPECT_GT(report.tier_shed, 0u);
+    EXPECT_EQ(report.tier_full + report.tier_shed, report.offered);
+}
+
+TEST(FrontEnd, ConfigValidation)
+{
+    serve::FrontEndConfig bad;
+    bad.soft_watermark = 100;
+    bad.hard_watermark = 50; // soft > hard
+    EXPECT_THROW(bad.validate(), GcmError);
+    bad = {};
+    bad.queue_capacity = 4;
+    bad.batch_size = 8; // capacity < one batch
+    EXPECT_THROW(bad.validate(), GcmError);
+    EXPECT_THROW((void)serve::parseDegradeMode("bogus"), GcmError);
+    EXPECT_EQ(serve::parseDegradeMode("shed"),
+              serve::DegradeMode::ShedOnly);
+    EXPECT_STREQ(serve::degradeModeName(serve::DegradeMode::Ladder),
+                 "ladder");
+}
+
+TEST(FrontEnd, RetireDuringInFlightBatchKeepsPinnedSnapshot)
+{
+    // Satellite 2 regression: a batch pins the active snapshot, then
+    // the operator rolls back AND retires that version mid-flight.
+    // The pinned shared_ptr must keep the snapshot alive.
+    serve::ModelRegistry registry;
+    std::stringstream s1, s2;
+    testModel().serialize(s1);
+    testModel().serialize(s2);
+    registry.publish(serve::ModelSnapshot::fromStream(s1));
+    const auto v2 =
+        registry.publish(serve::ModelSnapshot::fromStream(s2));
+
+    serve::PredictionService service(registry, testDeviceTable(), {});
+    const auto pinned = registry.active(); // v2, as a batch would pin
+    ASSERT_EQ(pinned.version, v2);
+
+    registry.rollback();  // active back to v1
+    registry.retire(v2);  // v2 gone from the registry...
+    EXPECT_EQ(registry.snapshot(v2), nullptr);
+    EXPECT_FALSE(registry.previousModel()); // ...and not pinnable
+
+    // ...but the in-flight batch still serves on its pinned version.
+    const std::vector<serve::ServeRequest> batch = {
+        networkRequest("pin", "mobilenet_v2_1.0", firstDeviceName())};
+    const auto responses = service.processBatch(batch, pinned);
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_TRUE(responses[0].ok) << responses[0].error_message;
+    EXPECT_EQ(responses[0].model_version, v2);
+
+    EXPECT_THROW(registry.retire(registry.activeVersion()), GcmError);
+    EXPECT_THROW(registry.retire(99), GcmError);
+}
+
+TEST(FrontEnd, SurvivesConcurrentRollbackAndRetire)
+{
+    // Run under TSan: an operator thread churns activations while the
+    // front end serves; the run-pinned snapshots keep every payload
+    // on a complete version even as versions are swapped and retired.
+    serve::ModelRegistry registry;
+    std::stringstream s1, s2;
+    testModel().serialize(s1);
+    testModel().serialize(s2);
+    registry.publish(serve::ModelSnapshot::fromStream(s1));
+    const auto v2 =
+        registry.publish(serve::ModelSnapshot::fromStream(s2));
+
+    serve::FrontEndConfig cfg;
+    cfg.workers = 4;
+    serve::ServerFrontEnd fe(registry, testDeviceTable(), cfg);
+
+    std::atomic<bool> stop{false};
+    std::thread operator_thread([&] {
+        for (int i = 0; i < 100; ++i) {
+            registry.activate(1 + (i % 2));
+            std::this_thread::yield();
+        }
+        registry.activate(1);
+        registry.retire(v2);
+        stop.store(true);
+    });
+    std::size_t runs = 0;
+    while (!stop.load() || runs == 0) {
+        const auto arrivals = overloadArrivals(fe, 64, runs, 1.0);
+        std::vector<std::string> responses;
+        const auto report = fe.run(arrivals, &responses);
+        EXPECT_EQ(report.offered, arrivals.size());
+        for (const auto &line : responses)
+            EXPECT_NE(line.find("\"id\""), std::string::npos) << line;
+        ++runs;
+    }
+    operator_thread.join();
+    EXPECT_GT(runs, 0u);
+}
+
+TEST(FrontEnd, LoopHandlesHostileInputAtAnyWorkerCount)
+{
+    // Satellite 3: truncated JSON, an oversized line and interleaved
+    // valid/invalid lines through the streaming loop. At every worker
+    // count: one complete response line per input line, in input
+    // order, never torn.
+    std::string oversized = "{\"id\": \"big\", \"network\": \"";
+    oversized.append(serve::kMaxRequestLineBytes, 'a');
+    oversized += "\", \"device\": \"d\"}";
+    const std::vector<std::string> lines = {
+        "{\"id\": \"ok1\", \"network\": \"mobilenet_v2_1.0\", "
+        "\"device\": \"" + firstDeviceName() + "\"}",
+        "{\"id\": \"trunc", // truncated mid-string
+        oversized,
+        "{\"id\": \"ok2\", \"network\": \"mnasnet_a1\", \"device\": \""
+            + firstDeviceName() + "\"}",
+        "{}",
+        "{\"id\": \"ok3\", \"network\": \"mobilenet_v2_1.0\", "
+        "\"device\": \"" + firstDeviceName()
+            + "\", \"priority\": \"bulk\"}",
+    };
+    std::string expected_first; // responses must not vary by workers
+    for (const std::size_t workers : {1UL, 2UL, 8UL}) {
+        serve::FrontEndConfig cfg;
+        cfg.workers = workers;
+        serve::ServerFrontEnd fe(twoVersionRegistry(),
+                                 testDeviceTable(), cfg);
+        std::stringstream in, out;
+        for (const auto &line : lines)
+            in << line << "\n";
+        const std::size_t n = serve::runFrontEndLoop(fe, in, out);
+        EXPECT_EQ(n, lines.size());
+
+        std::vector<std::string> responses;
+        std::istringstream split(out.str());
+        for (std::string line; std::getline(split, line);)
+            responses.push_back(line);
+        ASSERT_EQ(responses.size(), lines.size()) << "workers="
+                                                  << workers;
+        // Order: each ok id answers at its own index; error lines are
+        // complete JSON objects (no torn writes).
+        EXPECT_NE(responses[0].find("\"id\": \"ok1\""),
+                  std::string::npos);
+        EXPECT_NE(responses[1].find("bad_request"), std::string::npos);
+        EXPECT_NE(responses[2].find("byte limit"), std::string::npos);
+        EXPECT_NE(responses[3].find("\"id\": \"ok2\""),
+                  std::string::npos);
+        EXPECT_NE(responses[4].find("bad_request"), std::string::npos);
+        EXPECT_NE(responses[5].find("\"id\": \"ok3\""),
+                  std::string::npos);
+        for (const auto &line : responses) {
+            ASSERT_FALSE(line.empty());
+            EXPECT_EQ(line.front(), '{');
+            EXPECT_EQ(line.back(), '}');
+        }
+        if (expected_first.empty())
+            expected_first = out.str();
+        else
+            EXPECT_EQ(out.str(), expected_first)
+                << "workers=" << workers;
+    }
+}
+
+TEST(Analytical, EstimatorIsPureAndValidates)
+{
+    const auto table = testDeviceTable();
+    serve::AnalyticalEstimator est(&table);
+
+    const dnn::Graph g =
+        dnn::quantize(dnn::buildZooModel("mobilenet_v2_1.0"));
+    const double ms = est.estimateMs(g);
+    EXPECT_TRUE(std::isfinite(ms));
+    EXPECT_GT(ms, 0.0);
+    EXPECT_EQ(est.estimateMs(g), ms); // pure
+
+    const auto request =
+        networkRequest("a", "mobilenet_v2_1.0", firstDeviceName());
+    const auto r1 = est.serve(request);
+    const auto r2 = est.serve(request);
+    ASSERT_TRUE(r1.ok) << r1.error_message;
+    EXPECT_EQ(r1.latency_ms, r2.latency_ms);
+    EXPECT_EQ(r1.tier, serve::ServeTier::Analytical);
+    EXPECT_EQ(r1.model_version, 0u);
+
+    // Same schema hardening as the full path.
+    auto bad = request;
+    bad.device = "no-such-device";
+    EXPECT_FALSE(est.serve(bad).ok);
+    bad = request;
+    bad.network.clear();
+    EXPECT_FALSE(est.serve(bad).ok);
+}
+
+TEST(FrontEnd, OpenLoadGenIsDeterministic)
+{
+    serve::LoadGenConfig cfg;
+    cfg.requests = 500;
+    cfg.seed = 11;
+    cfg.bulk_fraction = 0.3;
+    const auto run = [&] {
+        serve::FrontEndConfig fcfg;
+        fcfg.workers = 2;
+        serve::ServerFrontEnd fe(twoVersionRegistry(),
+                                 testDeviceTable(), fcfg);
+        serve::LoadGenConfig c = cfg;
+        c.offered_qps = 2.0 * fe.capacityQps();
+        std::ostringstream out;
+        const auto report = serve::runOpenLoadGen(fe, c, &out);
+        // The cache counters are the one scheduling-dependent part of
+        // the summary (frontend.hh), so compare the deterministic
+        // digest alongside the full response stream.
+        EXPECT_NE(report.summary().find("goodput"),
+                  std::string::npos);
+        EXPECT_NE(report.summary().find("capacity"),
+                  std::string::npos);
+        return std::make_pair(deterministicDigest(report.frontend),
+                              out.str());
+    };
+    const auto [sum1, out1] = run();
+    const auto [sum2, out2] = run();
+    EXPECT_EQ(sum1, sum2);
+    EXPECT_EQ(out1, out2);
+
+    // The arrival stream itself: sorted times, ~bulk_fraction tagged,
+    // and priority tagging never perturbs the request bodies.
+    serve::FrontEndConfig fcfg;
+    fcfg.workers = 2;
+    serve::ServerFrontEnd fe(twoVersionRegistry(), testDeviceTable(),
+                             fcfg);
+    auto c = cfg;
+    c.offered_qps = 100.0;
+    const auto arrivals = serve::generateArrivals(fe, c);
+    ASSERT_EQ(arrivals.size(), cfg.requests);
+    std::size_t bulk = 0;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        if (i > 0) {
+            EXPECT_GE(arrivals[i].time_ms, arrivals[i - 1].time_ms);
+        }
+        bulk += arrivals[i].line.find("\"priority\": \"bulk\"")
+                != std::string::npos;
+    }
+    EXPECT_GT(bulk, arrivals.size() / 5);
+    EXPECT_LT(bulk, arrivals.size() / 2);
+    EXPECT_THROW(
+        (void)serve::generateArrivals(
+            fe, [] { auto b = serve::LoadGenConfig{}; b.offered_qps = -1.0; return b; }()),
+        GcmError);
 }

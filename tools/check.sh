@@ -10,7 +10,10 @@
 #      run the tier-1 test suite;
 #   3. rebuild the parallel-path tests under TSan (address and thread
 #      sanitizers are mutually exclusive, hence the second build tree)
-#      and run them with a worker pool forced on via GCM_THREADS;
+#      and run them with a worker pool forced on via GCM_THREADS,
+#      then soak the serving front end at 2x capacity (open-loop
+#      Poisson with operator churn; asserts zero crashes, a positive
+#      shed-rate and exact per-tier accounting);
 #   4. rebuild with gcov instrumentation, run the observability,
 #      serving and search tests and enforce a 70% line-coverage floor
 #      on src/obs, src/serve and src/search.
@@ -102,7 +105,8 @@ PARALLEL_TESTS=(test_parallel test_tree test_gbt test_baselines
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
     -DGCM_SANITIZE=thread \
     -DGCM_WERROR=ON
-cmake --build "$TSAN_BUILD" -j "$JOBS" --target "${PARALLEL_TESTS[@]}"
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target "${PARALLEL_TESTS[@]}" \
+    soak_serve_overload
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 for t in "${PARALLEL_TESTS[@]}"; do
@@ -111,7 +115,13 @@ for t in "${PARALLEL_TESTS[@]}"; do
     GCM_THREADS=8 "$TSAN_BUILD/tests/$t"
 done
 
-echo "check.sh: parallel-path tests clean under TSan (GCM_THREADS=8)"
+# Overload soak: 8 front-end workers race over the shared cache and
+# the pinned snapshots at 2x offered load while an operator thread
+# rolls back and retires a version. The binary enforces the ladder's
+# accounting invariants itself; TSan enforces the absence of races.
+GCM_THREADS=8 "$TSAN_BUILD/tests/soak_serve_overload"
+
+echo "check.sh: parallel-path tests + overload soak clean under TSan (GCM_THREADS=8)"
 
 # --- Coverage lane: gcov-instrumented build of the observability,
 # serving and search tests; src/obs, src/serve and src/search must

@@ -11,7 +11,10 @@
  *   gcm profile --network <name> --device <model-name>
  *   gcm serve --model m.txt                gcm-serve/v1 loop on
  *                                          stdin/stdout (or files)
+ *   gcm serve --model m.txt --workers 4    multi-worker front end
+ *                                          with the degradation ladder
  *   gcm loadgen --model m.txt --mix duplicate|unique
+ *   gcm loadgen --model m.txt --arrivals open  overload mode
  *   gcm list-networks | gcm list-devices
  *
  * The standard suite/fleet are deterministic, so a dataset exported on
@@ -37,6 +40,7 @@
 #include "dnn/zoo.hh"
 #include "obs/obs.hh"
 #include "search/search.hh"
+#include "serve/frontend.hh"
 #include "serve/loadgen.hh"
 #include "serve/protocol.hh"
 #include "serve/registry.hh"
@@ -405,15 +409,32 @@ loopConfigFromFlags(const std::map<std::string, std::string> &flags)
     return cfg;
 }
 
+serve::FrontEndConfig
+frontEndConfigFromFlags(const std::map<std::string, std::string> &flags)
+{
+    serve::FrontEndConfig cfg;
+    cfg.workers = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "workers", "0")));
+    cfg.degrade =
+        serve::parseDegradeMode(flagOr(flags, "degrade", "ladder"));
+    cfg.batch_size = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "batch", "16")));
+    cfg.queue_capacity = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "queue", "256")));
+    cfg.soft_watermark = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "soft", "64")));
+    cfg.hard_watermark = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "hard", "160")));
+    cfg.service = serviceConfigFromFlags(flags);
+    return cfg;
+}
+
 int
 cmdServe(const std::map<std::string, std::string> &flags)
 {
     serve::ModelRegistry registry;
     publishModelOrDie(flags, registry);
     const auto active = registry.active();
-    serve::PredictionService service(
-        registry, buildDeviceTable(active.snapshot->costModel()),
-        serviceConfigFromFlags(flags));
 
     const std::string in_path = flagOr(flags, "in", "");
     const std::string out_path = flagOr(flags, "out", "");
@@ -434,6 +455,41 @@ cmdServe(const std::map<std::string, std::string> &flags)
         out = &fout;
     }
 
+    // --workers (or --degrade / --arrival-qps) selects the
+    // multi-worker front end with the degradation ladder; without
+    // them the original single-threaded micro-batching loop runs.
+    const bool use_frontend = flags.count("workers") != 0
+                              || flags.count("degrade") != 0
+                              || flags.count("arrival-qps") != 0;
+    if (use_frontend) {
+        serve::ServerFrontEnd frontend(
+            registry, buildDeviceTable(active.snapshot->costModel()),
+            frontEndConfigFromFlags(flags));
+        const double arrival_qps =
+            std::stod(flagOr(flags, "arrival-qps", "0"));
+        const std::size_t consumed =
+            serve::runFrontEndLoop(frontend, *in, *out, arrival_qps);
+        const auto st = frontend.cache().stats();
+        std::fprintf(stderr,
+                     "served %zu requests on %zu worker(s) "
+                     "(model version %llu, degrade %s)\n"
+                     "cache: %llu hits, %llu misses, %llu evictions, "
+                     "%llu coalesced (hit rate %.1f%%)\n",
+                     consumed, frontend.workers(),
+                     (unsigned long long)active.version,
+                     serve::degradeModeName(
+                         frontend.config().degrade),
+                     (unsigned long long)st.hits,
+                     (unsigned long long)st.misses,
+                     (unsigned long long)st.evictions,
+                     (unsigned long long)st.coalesced,
+                     st.hitRate() * 100.0);
+        return 0;
+    }
+
+    serve::PredictionService service(
+        registry, buildDeviceTable(active.snapshot->costModel()),
+        serviceConfigFromFlags(flags));
     const std::size_t consumed =
         serve::runServeLoop(service, *in, *out, loopConfigFromFlags(flags));
     const auto st = service.cache().stats();
@@ -456,9 +512,6 @@ cmdLoadgen(const std::map<std::string, std::string> &flags)
     serve::ModelRegistry registry;
     publishModelOrDie(flags, registry);
     const auto active = registry.active();
-    serve::PredictionService service(
-        registry, buildDeviceTable(active.snapshot->costModel()),
-        serviceConfigFromFlags(flags));
 
     serve::LoadGenConfig cfg;
     cfg.requests = static_cast<std::size_t>(
@@ -480,6 +533,34 @@ cmdLoadgen(const std::map<std::string, std::string> &flags)
         if (!fout)
             fatal("cannot open ", out_path, " for writing");
     }
+
+    const std::string arrivals = flagOr(flags, "arrivals", "closed");
+    if (arrivals == "open") {
+        // Open-loop overload mode against the multi-worker front
+        // end: Poisson arrivals on the simulated clock at
+        // --offered-qps (default 2x the front end's capacity).
+        serve::ServerFrontEnd frontend(
+            registry, buildDeviceTable(active.snapshot->costModel()),
+            frontEndConfigFromFlags(flags));
+        cfg.bulk_fraction =
+            std::stod(flagOr(flags, "bulk-fraction", "0"));
+        const std::string offered = flagOr(flags, "offered-qps", "");
+        cfg.offered_qps = offered.empty()
+                              ? 2.0 * frontend.capacityQps()
+                              : std::stod(offered);
+        const serve::OpenLoadReport report = serve::runOpenLoadGen(
+            frontend, cfg, out_path.empty() ? nullptr : &fout);
+        std::printf("%s\n", report.summary().c_str());
+        if (!out_path.empty())
+            std::printf("responses written to %s\n", out_path.c_str());
+        return 0;
+    }
+    if (arrivals != "closed")
+        fatal("--arrivals must be 'closed' or 'open'");
+
+    serve::PredictionService service(
+        registry, buildDeviceTable(active.snapshot->costModel()),
+        serviceConfigFromFlags(flags));
     const serve::LoadGenReport report = serve::runLoadGen(
         service, cfg, out_path.empty() ? nullptr : &fout);
     std::printf("%s\n", report.summary().c_str());
@@ -593,6 +674,13 @@ usage()
         "                admission-queue capacity (default 32/256)\n"
         "           [--cache N] [--shards N]      prediction cache\n"
         "                capacity and shard count (default 4096/8)\n"
+        "           [--workers N] [--degrade ladder|shed]\n"
+        "                multi-worker front end with the graceful-\n"
+        "                degradation ladder (DESIGN.md §14); per-\n"
+        "                priority bounded queues, responses tagged\n"
+        "                with the producing tier\n"
+        "           [--soft N] [--hard N]  ladder watermarks\n"
+        "           [--arrival-qps X]      simulated arrival pacing\n"
         "  loadgen  --model FILE                  seeded closed-loop\n"
         "           load generator over the serve loop\n"
         "           [--requests N] [--burst N] [--qps X] [--seed N]\n"
@@ -600,6 +688,13 @@ usage()
         "           [--batch N] [--queue N] [--cache N] [--shards N]\n"
         "           [--out FILE]  write the response stream (byte-\n"
         "                identical across runs and thread counts)\n"
+        "           [--arrivals open] [--offered-qps X]\n"
+        "                open-loop Poisson overload mode against the\n"
+        "                multi-worker front end (default offered load\n"
+        "                2x capacity); reports goodput, shed-rate and\n"
+        "                per-tier fractions on the simulated clock\n"
+        "           [--bulk-fraction X] [--workers N]\n"
+        "           [--degrade ladder|shed] [--soft N] [--hard N]\n"
         "  search   --model FILE --budget-ms X    latency-constrained\n"
         "           --device NAME | --devices a,b,...  architecture\n"
         "                search over the generator space; emits the\n"
