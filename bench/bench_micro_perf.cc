@@ -21,6 +21,7 @@
 #include "core/signature.hh"
 #include "dnn/quantize.hh"
 #include "dnn/zoo.hh"
+#include "fleet/loop.hh"
 #include "ml/flat_ensemble.hh"
 #include "ml/gbt.hh"
 #include "search/search.hh"
@@ -533,6 +534,41 @@ BM_Search(benchmark::State &state)
     state.SetLabel("pop 16 x 3 gens x 2 devices");
 }
 BENCHMARK(BM_Search)->Unit(benchmark::kMillisecond);
+
+/**
+ * Fleet closed loop end to end: streaming campaign rounds feeding the
+ * measurement repository, two cadenced retrains through the canary
+ * gate, and live front-end traffic between rounds — the steady-state
+ * cost of one control-loop pass at CI scale. items/s is rounds per
+ * second.
+ */
+static void
+BM_FleetLoop(benchmark::State &state)
+{
+    fleet::FleetLoopConfig cfg;
+    cfg.fleet.fleet_size = 120;
+    cfg.fleet.seed_fleet_size = 40;
+    cfg.rounds = 4;
+    cfg.devices_per_round = 8;
+    cfg.fault_rate = 0.1;
+    cfg.num_random_networks = 2;
+    cfg.campaign.runs_per_network = 3;
+    cfg.retrain.cadence_rounds = 2;
+    cfg.retrain.min_train_devices = 4;
+    cfg.retrain.selection.size = 6;
+    cfg.retrain.gbt.n_estimators = 20;
+    cfg.canary.max_eval_devices = 6;
+    cfg.traffic.requests_per_round = 24;
+    cfg.traffic.workers = 2;
+    for (auto _ : state) {
+        const fleet::FleetResult result = fleet::runFleetLoop(cfg);
+        benchmark::DoNotOptimize(result.served_total);
+    }
+    state.SetItemsProcessed(
+        state.iterations() * static_cast<std::int64_t>(cfg.rounds));
+    state.SetLabel("4 rounds, 2 retrains, live serving");
+}
+BENCHMARK(BM_FleetLoop)->Unit(benchmark::kMillisecond);
 
 static void
 BM_KMeansDevices(benchmark::State &state)

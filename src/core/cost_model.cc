@@ -4,6 +4,7 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
+#include <set>
 
 #include "util/error.hh"
 
@@ -48,8 +49,27 @@ SignatureCostModel::train(const std::vector<dnn::Graph> &suite,
     }
 
     SignatureCostModel model;
-    model.signature_ =
-        selectSignature(latencies, config.method, config.selection);
+    if (!config.pinned_signature.empty()) {
+        std::set<std::size_t> uniq;
+        for (std::size_t s : config.pinned_signature) {
+            if (s >= suite.size()) {
+                fatal("SignatureCostModel: pinned signature index ", s,
+                      " is outside the ", suite.size(),
+                      "-network suite");
+            }
+            if (!uniq.insert(s).second)
+                fatal("SignatureCostModel: pinned signature index ", s,
+                      " is duplicated");
+        }
+        if (config.pinned_signature.size() >= suite.size()) {
+            fatal("SignatureCostModel: pinned signature covers the "
+                  "whole suite; nothing left to predict");
+        }
+        model.signature_ = config.pinned_signature;
+    } else {
+        model.signature_ =
+            selectSignature(latencies, config.method, config.selection);
+    }
     model.signatureNames_.reserve(model.signature_.size());
     for (std::size_t s : model.signature_)
         model.signatureNames_.push_back(suite[s].name());

@@ -41,6 +41,16 @@ class SignatureCostModel
     {
         SignatureMethod method = SignatureMethod::MutualInformation;
         SignatureConfig selection;
+        /**
+         * When non-empty, skip signature selection and use exactly
+         * these suite indices as the signature set. Retraining
+         * pipelines (fleet/loop.hh) pin the deployed signature this
+         * way: fielded clients have already measured those networks,
+         * so a retrain must not silently move the signature out from
+         * under their device tables. Indices must be unique and in
+         * range; validated by train().
+         */
+        std::vector<std::size_t> pinned_signature;
         ml::GbtParams gbt;
         /**
          * Extra padded layers beyond the training suite's deepest

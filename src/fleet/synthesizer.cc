@@ -1,0 +1,77 @@
+#include "fleet/synthesizer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace gcm::fleet
+{
+
+namespace
+{
+
+void
+checkJitter(const char *name, double j)
+{
+    if (!std::isfinite(j) || j < 0.0 || j >= 0.5)
+        fatal("FleetSynthConfig: ", name, " must be in [0, 0.5), got ",
+              j);
+}
+
+} // namespace
+
+void
+FleetSynthConfig::validate() const
+{
+    if (fleet_size == 0)
+        fatal("FleetSynthConfig: fleet_size must be >= 1");
+    if (seed_fleet_size == 0)
+        fatal("FleetSynthConfig: seed_fleet_size must be >= 1");
+    checkJitter("freq_jitter", freq_jitter);
+    checkJitter("thermal_jitter", thermal_jitter);
+    checkJitter("mem_jitter", mem_jitter);
+    checkJitter("os_jitter", os_jitter);
+}
+
+sim::DeviceDatabase
+synthesizeFleet(const FleetSynthConfig &config)
+{
+    config.validate();
+    const sim::DeviceDatabase seeds = sim::DeviceDatabase::standard(
+        config.seed_fleet_seed, config.seed_fleet_size);
+    const Rng root(config.seed);
+
+    std::vector<sim::DeviceSpec> devices;
+    devices.reserve(config.fleet_size);
+    for (std::size_t i = 0; i < config.fleet_size; ++i) {
+        Rng rng = root.fork(i);
+        sim::DeviceSpec d = seeds.device(i % seeds.size());
+        d.id = static_cast<std::int32_t>(i);
+        // "-fv<g>" marks the variant generation; generation g covers
+        // fleet indices [g * seeds, (g + 1) * seeds).
+        d.model_name += "-fv" + std::to_string(i / seeds.size());
+        d.freq_ghz *= 1.0
+            + rng.uniform(-config.freq_jitter, config.freq_jitter);
+        auto &h = d.hidden;
+        h.thermal_sustain = std::clamp(
+            h.thermal_sustain
+                * (1.0
+                   + rng.uniform(-config.thermal_jitter,
+                                 config.thermal_jitter)),
+            0.05, 1.0);
+        h.mem_efficiency = std::max(
+            0.05, h.mem_efficiency
+                      * (1.0
+                         + rng.uniform(-config.mem_jitter,
+                                       config.mem_jitter)));
+        h.os_overhead *= 1.0 + rng.uniform(0.0, config.os_jitter);
+        devices.push_back(std::move(d));
+    }
+    return sim::DeviceDatabase::fromDevices(std::move(devices));
+}
+
+} // namespace gcm::fleet

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * FleetSynthesizer — expand the paper's 105 seed configurations into
+ * a production-scale fleet (10k+ devices) with seeded per-device
+ * variation, in the spirit of EmBench's observation that two "same
+ * model" phones in the field differ in shipped frequency, thermal
+ * budget, memory timings and firmware overhead (see PAPERS.md).
+ *
+ * Every synthesized device clones a seed config and perturbs the
+ * knobs a fleet actually varies on: shipped big-core frequency,
+ * thermal sustain, memory-subsystem efficiency and OS overhead.
+ * Device i draws from Rng(seed).fork(i), so the fleet is a pure
+ * function of the config — byte-identical at any thread count and
+ * stable under fleet-size growth (device i never changes when the
+ * fleet grows past it).
+ */
+
+#ifndef GCM_FLEET_SYNTHESIZER_HH
+#define GCM_FLEET_SYNTHESIZER_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/device.hh"
+
+namespace gcm::fleet
+{
+
+/** Fleet synthesis parameters. */
+struct FleetSynthConfig
+{
+    /** Synthesized fleet size (the production target is 10k+). */
+    std::size_t fleet_size = 10000;
+    /** Per-device variation stream seed. */
+    std::uint64_t seed = 9000;
+    /** Seed population the variants are cloned from. */
+    std::uint64_t seed_fleet_seed = 2020;
+    std::size_t seed_fleet_size = 105;
+    /**
+     * Multiplicative jitter half-widths. A variant multiplies the
+     * seed device's value by U[1-j, 1+j] (OS overhead only grows:
+     * U[1, 1+j] — field firmware accumulates bloat, it never sheds
+     * it). Each must lie in [0, 0.5).
+     */
+    double freq_jitter = 0.05;
+    double thermal_jitter = 0.15;
+    double mem_jitter = 0.10;
+    double os_jitter = 0.10;
+
+    /** Throws GcmError on out-of-range parameters. */
+    void validate() const;
+};
+
+/**
+ * Synthesize the fleet: device i clones seed config (i % seed count)
+ * with jittered factors, id i and a unique "-fv<generation>" model
+ * name suffix. Validates the config first.
+ */
+sim::DeviceDatabase synthesizeFleet(const FleetSynthConfig &config);
+
+} // namespace gcm::fleet
+
+#endif // GCM_FLEET_SYNTHESIZER_HH

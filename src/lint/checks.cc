@@ -636,8 +636,9 @@ checkThrowDiscipline(const SourceFile &f, LintReport &r)
 }
 
 // ---------------------------------------------------------------------
-// obs-hot-loop: obs calls inside innermost src/ml | src/dnn loops
-// must go through the sampled/guarded macros.
+// obs-hot-loop: obs calls inside innermost src/ml | src/dnn |
+// src/search | src/fleet loops must go through the sampled/guarded
+// macros.
 // ---------------------------------------------------------------------
 
 void
@@ -646,7 +647,8 @@ checkObsHotLoop(const SourceFile &f, LintReport &r)
     static const char *kId = "obs-hot-loop";
     if (!pathContains(f.path, "src/ml/")
         && !pathContains(f.path, "src/dnn/")
-        && !pathContains(f.path, "src/search/")) {
+        && !pathContains(f.path, "src/search/")
+        && !pathContains(f.path, "src/fleet/")) {
         return;
     }
     const auto &toks = f.tokens;
@@ -732,7 +734,8 @@ checkObsHotLoop(const SourceFile &f, LintReport &r)
             r.add(f, t.line, kId, Severity::Error,
                   "obs instrumentation '" + t.text
                       + "' inside an innermost src/ml|src/dnn|"
-                        "src/search loop perturbs the hot path",
+                        "src/search|src/fleet loop perturbs the "
+                        "hot path",
                   "hoist it out of the loop, or wrap the call in "
                   "GCM_OBS_GUARDED(...) / GCM_OBS_SAMPLED(...) "
                   "(src/obs/obs.hh)");
@@ -842,8 +845,8 @@ registerBuiltinChecks(CheckRegistry &registry)
         checkThrowDiscipline);
     registry.registerCheck(
         "obs-hot-loop",
-        "obs calls in innermost src/ml|src/dnn|src/search loops go "
-        "through GCM_OBS_GUARDED/GCM_OBS_SAMPLED",
+        "obs calls in innermost src/ml|src/dnn|src/search|src/fleet "
+        "loops go through GCM_OBS_GUARDED/GCM_OBS_SAMPLED",
         checkObsHotLoop);
     registry.registerCheck(
         "header-hygiene",

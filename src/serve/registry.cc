@@ -3,10 +3,32 @@
 #include <istream>
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace gcm::serve
 {
+
+namespace
+{
+
+/**
+ * serve.registry.* metrics (DESIGN.md §8: compiled in, off by
+ * default, never read back into any decision). Counters track
+ * operator actions; gauges mirror the registry state so a fleet
+ * controller's publish/rollback churn is visible without polling.
+ */
+void
+noteRegistryState(ModelRegistry::Version active,
+                  std::size_t pinned_snapshots)
+{
+    obs::gaugeSet("serve.registry.active_version",
+                  static_cast<double>(active));
+    obs::gaugeSet("serve.registry.snapshots",
+                  static_cast<double>(pinned_snapshots));
+}
+
+} // namespace
 
 const char *
 snapshotKindName(SnapshotKind kind)
@@ -100,6 +122,8 @@ ModelRegistry::publish(ModelSnapshot snapshot)
         v, std::make_shared<const ModelSnapshot>(std::move(snapshot)));
     previous_ = active_;
     active_ = v;
+    obs::counterAdd("serve.registry.publishes");
+    noteRegistryState(active_, snapshots_.size());
     return v;
 }
 
@@ -129,6 +153,8 @@ ModelRegistry::activate(Version version)
         return;
     previous_ = active_;
     active_ = version;
+    obs::counterAdd("serve.registry.activates");
+    noteRegistryState(active_, snapshots_.size());
 }
 
 void
@@ -138,6 +164,8 @@ ModelRegistry::rollback()
     if (previous_ == 0)
         fatal("ModelRegistry::rollback: no previous version");
     std::swap(active_, previous_);
+    obs::counterAdd("serve.registry.rollbacks");
+    noteRegistryState(active_, snapshots_.size());
 }
 
 ModelRegistry::ActiveModel
@@ -167,6 +195,8 @@ ModelRegistry::retire(Version version)
     // through their shared_ptr until they finish.
     if (version == previous_)
         previous_ = 0;
+    obs::counterAdd("serve.registry.retires");
+    noteRegistryState(active_, snapshots_.size());
 }
 
 std::shared_ptr<const ModelSnapshot>

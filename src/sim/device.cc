@@ -1,6 +1,7 @@
 #include "sim/device.hh"
 
 #include <algorithm>
+#include <set>
 
 #include "util/error.hh"
 
@@ -142,6 +143,32 @@ DeviceDatabase::standard(std::uint64_t seed, std::size_t count)
         d.hidden = drawHiddenFactors(dev_rng);
         db.devices_.push_back(std::move(d));
     }
+    return db;
+}
+
+DeviceDatabase
+DeviceDatabase::fromDevices(std::vector<DeviceSpec> devices)
+{
+    if (devices.empty())
+        fatal("DeviceDatabase::fromDevices: empty device list");
+    const auto &chipsets = chipsetTable();
+    std::set<std::int32_t> ids;
+    std::set<std::string> names;
+    for (const auto &d : devices) {
+        if (d.chipset_index >= chipsets.size()) {
+            fatal("DeviceDatabase::fromDevices: device '", d.model_name,
+                  "' references chipset index ", d.chipset_index,
+                  " outside the ", chipsets.size(), "-entry table");
+        }
+        if (!ids.insert(d.id).second)
+            fatal("DeviceDatabase::fromDevices: duplicate device id ",
+                  d.id);
+        if (!names.insert(d.model_name).second)
+            fatal("DeviceDatabase::fromDevices: duplicate model name '",
+                  d.model_name, "'");
+    }
+    DeviceDatabase db;
+    db.devices_ = std::move(devices);
     return db;
 }
 

@@ -72,6 +72,14 @@ class DeviceDatabase
     static DeviceDatabase standard(std::uint64_t seed = 2020,
                                    std::size_t count = 105);
 
+    /**
+     * Build a fleet from explicit specs — the entry point for
+     * synthesized fleets (fleet/synthesizer.hh) and per-cohort
+     * sub-fleets. Throws GcmError on an empty list, duplicate ids or
+     * model names, or a chipset_index outside the chipset table.
+     */
+    static DeviceDatabase fromDevices(std::vector<DeviceSpec> devices);
+
     std::size_t size() const { return devices_.size(); }
     const DeviceSpec &device(std::size_t i) const;
     const std::vector<DeviceSpec> &devices() const { return devices_; }

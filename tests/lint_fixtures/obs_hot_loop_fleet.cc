@@ -1,0 +1,47 @@
+// gcm-lint fixture: the src/fleet/ closed-loop shape. The controller
+// bumps round-level counters at function top-level (legal) but must
+// never instrument the innermost per-record merge sweep unguarded.
+// tests/test_lint.cc lexes this content under a synthetic src/fleet/
+// path (and the generic bad fixture proves path gating separately).
+#include "obs/obs.hh"
+
+
+unsigned
+mergeRoundRecords(const double *lat, unsigned n)
+{
+    gcm::obs::counterAdd("fleet.rounds"); // top-level: legal
+    unsigned appended = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        if (lat[i] <= 0.0)
+            continue;
+        ++appended;
+        gcm::obs::counterAdd("fleet.records"); // line 18: unguarded
+    }
+    gcm::obs::gaugeSet("fleet.repo.size", appended); // legal
+    return appended;
+}
+
+double
+cohortSweepIsFine(const double *lat, unsigned devices, unsigned nets)
+{
+    // Outer per-device loop wraps the per-network sweep, so the
+    // device-level counter amortizes and stays legal unguarded.
+    double acc = 0.0;
+    for (unsigned d = 0; d < devices; ++d) {
+        gcm::obs::counterAdd("fleet.cohort.devices");
+        for (unsigned m = 0; m < nets; ++m)
+            acc += lat[d * nets + m];
+    }
+    return acc;
+}
+
+double
+guardedCanarySweep(const double *err, unsigned n)
+{
+    double acc = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        acc += err[i] * err[i];
+        GCM_OBS_GUARDED(gcm::obs::counterAdd("fleet.canary.evals"));
+    }
+    return acc;
+}

@@ -179,3 +179,51 @@ TEST(CostModel, AnchorFlagSurvivesSerialization)
     EXPECT_DOUBLE_EQ(loaded.predictMs(ctx.suite()[14], sig),
                      model.predictMs(ctx.suite()[14], sig));
 }
+
+TEST(CostModel, PinnedSignatureBypassesSelection)
+{
+    const auto &ctx = gcmtest::smallContext();
+    SignatureCostModel::Config cfg;
+    cfg.selection.size = 4;
+    cfg.gbt.n_estimators = 10;
+    // An arbitrary signature no selection method would pick in this
+    // order; train() must take it verbatim (retraining pipelines pin
+    // the deployed signature this way — fleet/loop.hh).
+    cfg.pinned_signature = {2, 0, 5};
+    const auto model =
+        SignatureCostModel::train(ctx.suite(), allLatencies(ctx), cfg);
+    EXPECT_EQ(model.signature(), cfg.pinned_signature);
+    ASSERT_EQ(model.signatureNames().size(), 3u);
+    EXPECT_EQ(model.signatureNames()[0], ctx.networkNames()[2]);
+    EXPECT_EQ(model.signatureNames()[1], ctx.networkNames()[0]);
+    EXPECT_EQ(model.signatureNames()[2], ctx.networkNames()[5]);
+
+    // Predictions work against the pinned set.
+    std::vector<double> sig_lat;
+    for (std::size_t s : model.signature())
+        sig_lat.push_back(ctx.latencyMs(0, s));
+    const double ms = model.predictMs(ctx.suite()[1], sig_lat);
+    EXPECT_TRUE(std::isfinite(ms));
+    EXPECT_GT(ms, 0.0);
+}
+
+TEST(CostModel, PinnedSignatureValidatesIndices)
+{
+    const auto &ctx = gcmtest::smallContext();
+    SignatureCostModel::Config cfg;
+    cfg.gbt.n_estimators = 5;
+    cfg.pinned_signature = {0, ctx.suite().size()};
+    EXPECT_THROW(
+        SignatureCostModel::train(ctx.suite(), allLatencies(ctx), cfg),
+        GcmError);
+    cfg.pinned_signature = {1, 1};
+    EXPECT_THROW(
+        SignatureCostModel::train(ctx.suite(), allLatencies(ctx), cfg),
+        GcmError);
+    cfg.pinned_signature.clear();
+    for (std::size_t i = 0; i < ctx.suite().size(); ++i)
+        cfg.pinned_signature.push_back(i);
+    EXPECT_THROW(
+        SignatureCostModel::train(ctx.suite(), allLatencies(ctx), cfg),
+        GcmError);
+}

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "sim/device.hh"
 #include "util/error.hh"
@@ -131,4 +132,44 @@ TEST(DeviceDatabase, CustomFleetSize)
 {
     const auto db = DeviceDatabase::standard(7, 30);
     EXPECT_EQ(db.size(), 30u);
+}
+
+TEST(DeviceDatabase, FromDevicesRoundTripsSpecs)
+{
+    const auto seed = DeviceDatabase::standard(2020, 10);
+    std::vector<DeviceSpec> specs(seed.devices().begin(),
+                                  seed.devices().end());
+    const auto db = DeviceDatabase::fromDevices(specs);
+    ASSERT_EQ(db.size(), 10u);
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        EXPECT_EQ(db.device(i).model_name, seed.device(i).model_name);
+        EXPECT_DOUBLE_EQ(db.device(i).freq_ghz,
+                         seed.device(i).freq_ghz);
+        EXPECT_EQ(&db.chipsetOf(db.device(i)),
+                  &db.chipsetOf(db.device(i)));
+    }
+    EXPECT_EQ(db.byName(seed.device(3).model_name).id,
+              seed.device(3).id);
+}
+
+TEST(DeviceDatabase, FromDevicesRejectsBadSpecs)
+{
+    EXPECT_THROW(DeviceDatabase::fromDevices({}), GcmError);
+
+    const auto seed = DeviceDatabase::standard(2020, 4);
+    std::vector<DeviceSpec> specs(seed.devices().begin(),
+                                  seed.devices().end());
+
+    auto dup_id = specs;
+    dup_id[1].id = dup_id[0].id;
+    dup_id[1].model_name = "unique-name";
+    EXPECT_THROW(DeviceDatabase::fromDevices(dup_id), GcmError);
+
+    auto dup_name = specs;
+    dup_name[2].model_name = dup_name[0].model_name;
+    EXPECT_THROW(DeviceDatabase::fromDevices(dup_name), GcmError);
+
+    auto bad_chipset = specs;
+    bad_chipset[3].chipset_index = 1000000;
+    EXPECT_THROW(DeviceDatabase::fromDevices(bad_chipset), GcmError);
 }

@@ -383,7 +383,7 @@ TEST(LintChecks, ObsHotLoopFlatEnsembleShape)
     EXPECT_EQ(hotLoopErrors, expected);
 }
 
-TEST(LintChecks, ObsHotLoopOnlyAppliesToMlDnnAndSearch)
+TEST(LintChecks, ObsHotLoopOnlyAppliesToInstrumentedHotDirs)
 {
     const std::string code =
         readFile(fixturePath("obs_hot_loop_bad.cc"));
@@ -392,15 +392,38 @@ TEST(LintChecks, ObsHotLoopOnlyAppliesToMlDnnAndSearch)
     for (const Finding &f : r.findings())
         EXPECT_NE(f.check, "obs-hot-loop") << f.str();
 
-    // src/search is instrumented hot-path code too: the same fixture
-    // under a search path must trip the check (the lint_tree-clean
-    // guarantee for the real tree is enforced by tools/check.sh).
-    const LintReport rs = runAll(
-        lint::lexString("src/search/obs_hot_loop_bad.cc", code));
-    bool found = false;
-    for (const Finding &f : rs.findings())
-        found = found || f.check == "obs-hot-loop";
-    EXPECT_TRUE(found);
+    // src/search and src/fleet are instrumented hot-path code too:
+    // the same fixture under those paths must trip the check (the
+    // lint_tree-clean guarantee for the real tree is enforced by
+    // tools/check.sh).
+    for (const char *path : {"src/search/obs_hot_loop_bad.cc",
+                             "src/fleet/obs_hot_loop_bad.cc"}) {
+        const LintReport rs = runAll(lint::lexString(path, code));
+        bool found = false;
+        for (const Finding &f : rs.findings())
+            found = found || f.check == "obs-hot-loop";
+        EXPECT_TRUE(found) << path;
+    }
+}
+
+TEST(LintChecks, ObsHotLoopFleetControllerShape)
+{
+    // The src/fleet controller shape: round counters at function
+    // top-level and an amortized per-device counter are legal; only
+    // the innermost per-record merge counter trips the check.
+    const std::string code =
+        readFile(fixturePath("obs_hot_loop_fleet.cc"));
+    const LintReport r = runAll(
+        lint::lexString("src/fleet/obs_hot_loop_fleet.cc", code));
+    std::set<std::pair<std::string, int>> hotLoopErrors;
+    for (const auto &f : findingsAt(r, Severity::Error)) {
+        if (f.first == "obs-hot-loop")
+            hotLoopErrors.insert(f);
+    }
+    const std::set<std::pair<std::string, int>> expected = {
+        {"obs-hot-loop", 18}, // counterAdd in the merge sweep
+    };
+    EXPECT_EQ(hotLoopErrors, expected);
 }
 
 // -------------------------------------------------------- header-hygiene

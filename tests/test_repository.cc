@@ -167,3 +167,95 @@ TEST(Repository, SparseLatencyMatrixMarksMissingAsNaN)
     EXPECT_DOUBLE_EQ(m[1][1], 22.0);
     EXPECT_EQ(repo.missingCells({0, 1}, {"a", "b"}), 1u);
 }
+
+// --- Streaming-append coverage: the fleet closed loop (DESIGN.md
+// §15) appends campaign rounds into one long-lived repository and
+// snapshots it through toCsv between rounds. These tests pin the
+// contract that makes that safe: interleaving appends with CSV
+// round-trips is invisible (bit-exact values, byte-exact CSV) and
+// quarantine rejection accounting stays exact throughout.
+
+namespace
+{
+
+/** A latency that does not round-trip through short decimals. */
+double
+gnarly(int i)
+{
+    return (10.0 + static_cast<double>(i)) / 3.0
+        + 1.0 / (static_cast<double>(i) + 7.0);
+}
+
+} // namespace
+
+TEST(Repository, InterleavedAppendCsvRoundTripIsBitExact)
+{
+    MeasurementRepository live; // appended continuously
+    // `restored` is rebuilt from CSV between every round.
+    MeasurementRepository restored;
+
+    for (int round = 0; round < 4; ++round) {
+        for (int d = 0; d < 3; ++d) {
+            auto r = rec(d, "net" + std::to_string(round),
+                         gnarly(3 * round + d));
+            r.stddev_ms = gnarly(d) / 100.0;
+            live.add(r);
+            restored.add(r);
+        }
+        // Snapshot + restore mid-stream; later rounds append into
+        // the round-tripped repository.
+        restored = MeasurementRepository::fromCsv(restored.toCsv());
+    }
+
+    EXPECT_EQ(live.size(), restored.size());
+    EXPECT_EQ(live.toCsv(), restored.toCsv());
+    for (int round = 0; round < 4; ++round) {
+        const std::string net = "net" + std::to_string(round);
+        for (int d = 0; d < 3; ++d) {
+            // Bit-exact, not just approximately equal: the %.17g
+            // serialization must reproduce the stored double.
+            EXPECT_EQ(live.latencyMs(d, net),
+                      restored.latencyMs(d, net));
+        }
+    }
+}
+
+TEST(Repository, StreamingQuarantineAccountingStaysExact)
+{
+    MeasurementRepository repo;
+    std::size_t appended = 0;
+    std::size_t rejected = 0;
+
+    for (int round = 0; round < 3; ++round) {
+        if (round == 1)
+            repo.quarantine(1);
+        for (int d = 0; d < 3; ++d) {
+            const auto r =
+                rec(d, "n" + std::to_string(round), gnarly(d));
+            if (repo.isQuarantined(r.device_id)) {
+                EXPECT_THROW(repo.add(r), GcmError);
+                ++rejected;
+                continue;
+            }
+            repo.add(r);
+            ++appended;
+        }
+    }
+    // Rounds 1 and 2 each reject device 1's upload.
+    EXPECT_EQ(rejected, 2u);
+    EXPECT_EQ(repo.size(), appended);
+    EXPECT_EQ(repo.size(), 7u);
+    EXPECT_EQ(repo.quarantined().size(), 1u);
+
+    // The CSV snapshot persists records, not runtime quarantine
+    // state: a restored repository accepts the barred device again
+    // until the stream re-applies its quarantine list.
+    MeasurementRepository restored =
+        MeasurementRepository::fromCsv(repo.toCsv());
+    EXPECT_EQ(restored.size(), repo.size());
+    EXPECT_TRUE(restored.quarantined().empty());
+    EXPECT_NO_THROW(restored.add(rec(1, "late", 5.0)));
+    restored.quarantine(1);
+    EXPECT_THROW(restored.add(rec(1, "later", 5.0)), GcmError);
+    EXPECT_EQ(restored.quarantined().count(1), 1u);
+}

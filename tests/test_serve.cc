@@ -21,6 +21,7 @@
 #include "dnn/serialize.hh"
 #include "dnn/zoo.hh"
 #include "ml/gbt.hh"
+#include "obs/obs.hh"
 #include "ml/random_forest.hh"
 #include "search/genome_ops.hh"
 #include "serve/analytical.hh"
@@ -1306,4 +1307,59 @@ TEST(FrontEnd, OpenLoadGenIsDeterministic)
         (void)serve::generateArrivals(
             fe, [] { auto b = serve::LoadGenConfig{}; b.offered_qps = -1.0; return b; }()),
         GcmError);
+}
+
+TEST(Registry, LifecycleEmitsObsMetrics)
+{
+    // §8 zero-perturbation: metrics are plain counter/gauge writes at
+    // the registry's mutation points, so with collection enabled every
+    // lifecycle step must account exactly — and the counters must stay
+    // flat while collection is off.
+    obs::reset();
+    obs::setEnabled(true);
+    const auto publishes0 =
+        obs::counterValue("serve.registry.publishes");
+    const auto rollbacks0 =
+        obs::counterValue("serve.registry.rollbacks");
+    const auto retires0 = obs::counterValue("serve.registry.retires");
+    const auto activates0 =
+        obs::counterValue("serve.registry.activates");
+
+    serve::ModelRegistry registry;
+    std::stringstream s1, s2;
+    testModel().serialize(s1);
+    testModel().serialize(s2);
+    const auto v1 =
+        registry.publish(serve::ModelSnapshot::fromStream(s1));
+    (void)registry.publish(serve::ModelSnapshot::fromStream(s2));
+    registry.activate(v1); // v2 -> v1
+    registry.rollback();   // back to v2
+    registry.retire(v1);   // v1 is no longer active: retirable
+
+    EXPECT_EQ(obs::counterValue("serve.registry.publishes"),
+              publishes0 + 2);
+    EXPECT_EQ(obs::counterValue("serve.registry.rollbacks"),
+              rollbacks0 + 1);
+    EXPECT_EQ(obs::counterValue("serve.registry.retires"),
+              retires0 + 1);
+    EXPECT_EQ(obs::counterValue("serve.registry.activates"),
+              activates0 + 1);
+
+    // Gauges track the latest registry state in the perf report.
+    const std::string report = obs::reportJson();
+    EXPECT_NE(report.find("serve.registry.active_version"),
+              std::string::npos);
+    EXPECT_NE(report.find("serve.registry.snapshots"),
+              std::string::npos);
+
+    // Disabled collection leaves the counters untouched.
+    obs::setEnabled(false);
+    std::stringstream s3;
+    testModel().serialize(s3);
+    (void)registry.publish(serve::ModelSnapshot::fromStream(s3));
+    obs::setEnabled(true);
+    EXPECT_EQ(obs::counterValue("serve.registry.publishes"),
+              publishes0 + 2);
+    obs::setEnabled(false);
+    obs::reset();
 }

@@ -13,10 +13,12 @@
 #      and run them with a worker pool forced on via GCM_THREADS,
 #      then soak the serving front end at 2x capacity (open-loop
 #      Poisson with operator churn; asserts zero crashes, a positive
-#      shed-rate and exact per-tier accounting);
+#      shed-rate and exact per-tier accounting) and the fleet closed
+#      loop (streaming campaign -> retrain -> canary rollback drill
+#      with live serving between rounds);
 #   4. rebuild with gcov instrumentation, run the observability,
-#      serving and search tests and enforce a 70% line-coverage floor
-#      on src/obs, src/serve and src/search.
+#      serving, search and fleet tests and enforce a 70% line-coverage
+#      floor on src/obs, src/serve, src/search and src/fleet.
 # Any lint finding, warning, test failure, sanitizer report or
 # coverage shortfall fails the script.
 #
@@ -100,13 +102,13 @@ echo "check.sh: clean under ASan+UBSan with -Wall -Wextra -Werror"
 PARALLEL_TESTS=(test_parallel test_tree test_gbt test_baselines
                 test_campaign test_cross_validation test_signature
                 test_obs test_obs_determinism test_faults test_serve
-                test_flat_ensemble test_search)
+                test_flat_ensemble test_search test_fleet)
 
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
     -DGCM_SANITIZE=thread \
     -DGCM_WERROR=ON
 cmake --build "$TSAN_BUILD" -j "$JOBS" --target "${PARALLEL_TESTS[@]}" \
-    soak_serve_overload
+    soak_serve_overload soak_fleet_loop
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 for t in "${PARALLEL_TESTS[@]}"; do
@@ -121,14 +123,22 @@ done
 # accounting invariants itself; TSan enforces the absence of races.
 GCM_THREADS=8 "$TSAN_BUILD/tests/soak_serve_overload"
 
-echo "check.sh: parallel-path tests + overload soak clean under TSan (GCM_THREADS=8)"
+# Fleet closed-loop soak: the controller's campaign/retrain/canary
+# machinery runs on the worker pool while the front end's worker
+# threads serve between rounds; the rollback drill hot-swaps model
+# snapshots under that traffic. The binary asserts the canary gate's
+# decisions and exact accounting; TSan watches the swaps.
+GCM_THREADS=8 "$TSAN_BUILD/tests/soak_fleet_loop"
+
+echo "check.sh: parallel-path tests + overload/fleet soaks clean under TSan (GCM_THREADS=8)"
 
 # --- Coverage lane: gcov-instrumented build of the observability,
-# serving and search tests; src/obs, src/serve and src/search must
-# stay above the 70% line-coverage floor. The container ships raw gcov (no gcovr/lcov),
-# so per-directory numbers are aggregated from `gcov` summary lines
-# directly.
-COVERAGE_TESTS=(test_obs test_obs_determinism test_serve test_search)
+# serving, search and fleet tests; src/obs, src/serve, src/search and
+# src/fleet must stay above the 70% line-coverage floor. The container
+# ships raw gcov (no gcovr/lcov), so per-directory numbers are
+# aggregated from `gcov` summary lines directly.
+COVERAGE_TESTS=(test_obs test_obs_determinism test_serve test_search
+                test_fleet)
 COVERAGE_FLOOR=70
 
 if ! command -v gcov >/dev/null 2>&1; then
@@ -185,7 +195,7 @@ echo "check.sh: per-directory line coverage (obs test binaries)"
 COVERAGE_TABLE="$(report_coverage)"
 echo "$COVERAGE_TABLE"
 
-for dir in obs serve search; do
+for dir in obs serve search fleet; do
     DIR_PCT="$(echo "$COVERAGE_TABLE" \
         | awk -v d="$dir" '$1 == d { print int($2) }')"
     if [ -z "$DIR_PCT" ]; then

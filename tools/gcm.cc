@@ -38,6 +38,7 @@
 #include "core/imputation.hh"
 #include "dnn/quantize.hh"
 #include "dnn/zoo.hh"
+#include "fleet/loop.hh"
 #include "obs/obs.hh"
 #include "search/search.hh"
 #include "serve/frontend.hh"
@@ -625,6 +626,74 @@ cmdSearch(const std::map<std::string, std::string> &flags)
 }
 
 int
+cmdFleet(const std::map<std::string, std::string> &flags)
+{
+    fleet::FleetLoopConfig cfg;
+    cfg.fleet.fleet_size = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "fleet-size", "10000")));
+    cfg.fleet.seed = static_cast<std::uint64_t>(
+        std::stoull(flagOr(flags, "fleet-seed", "9000")));
+    cfg.rounds = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "rounds", "6")));
+    cfg.devices_per_round = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "cohort", "24")));
+    cfg.fault_rate = std::stod(flagOr(flags, "faults", "0.1"));
+    cfg.num_random_networks = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "networks", "8")));
+    cfg.campaign.runs_per_network = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "runs", "5")));
+    cfg.retrain.cadence_rounds = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "cadence", "2")));
+    cfg.retrain.gbt.n_estimators = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "estimators", "60")));
+    cfg.canary.holdout_fraction =
+        std::stod(flagOr(flags, "holdout", "0.2"));
+    cfg.canary.max_r2_regression =
+        std::stod(flagOr(flags, "max-regression", "0.01"));
+    cfg.traffic.requests_per_round = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "requests", "64")));
+    cfg.traffic.workers = static_cast<std::size_t>(
+        std::stoul(flagOr(flags, "workers", "2")));
+    // Injected-regression drill: corrupt these retrain ordinals so
+    // the canary gate's rollback path can be demonstrated on demand.
+    const std::string sabotage = flagOr(flags, "sabotage", "");
+    if (!sabotage.empty()) {
+        std::stringstream ss(sabotage);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            cfg.sabotage_retrains.push_back(
+                static_cast<std::size_t>(std::stoul(item)));
+    }
+
+    std::string report;
+    const fleet::FleetResult result =
+        fleet::runFleetLoop(cfg, &report);
+
+    const std::string out_path = flagOr(flags, "out", "");
+    if (out_path.empty()) {
+        std::fputs(report.c_str(), stdout);
+    } else {
+        std::ofstream fout(out_path);
+        if (!fout)
+            fatal("cannot open ", out_path, " for writing");
+        fout << report;
+        std::printf("gcm-fleet/v1 report written to %s\n",
+                    out_path.c_str());
+    }
+    std::fprintf(
+        stderr,
+        "fleet: %zu rounds, %zu publishes, %zu rollbacks, %zu "
+        "skipped; active v%llu; repo %zu records (%zu devices "
+        "quarantined); served %zu (shed %zu)\n",
+        result.rounds.size(), result.publishes, result.rollbacks,
+        result.skipped,
+        static_cast<unsigned long long>(result.final_version),
+        result.repo_size, result.quarantined_devices,
+        result.served_total, result.shed_total);
+    return 0;
+}
+
+int
 cmdListNetworks()
 {
     const auto ctx = core::ExperimentContext::build();
@@ -702,6 +771,20 @@ usage()
         "                byte-identical at any --threads\n"
         "           [--seed N] [--population N] [--generations N]\n"
         "           [--elite N] [--cache N] [--shards N] [--out FILE]\n"
+        "  fleet    closed loop: streaming campaign -> incremental\n"
+        "           retrain -> canaried hot-swap over a synthesized\n"
+        "           fleet, on the simulated clock (DESIGN.md §15);\n"
+        "           emits the gcm-fleet/v1 report, byte-identical\n"
+        "           at any --threads\n"
+        "           [--fleet-size N] [--fleet-seed N] [--rounds N]\n"
+        "           [--cohort N]     devices measured per round\n"
+        "           [--faults RATE] [--networks N] [--runs N]\n"
+        "           [--cadence N]    rounds between retrains\n"
+        "           [--estimators N] [--holdout X]\n"
+        "           [--max-regression X]  canary R^2 tolerance\n"
+        "           [--requests N] [--workers N] [--out FILE]\n"
+        "           [--sabotage i,j,...]  corrupt these retrain\n"
+        "                ordinals (canary rollback drill)\n"
         "  list-networks | list-devices\n"
         "global flags:\n"
         "  --threads N   worker threads (default: GCM_THREADS env,\n"
@@ -751,6 +834,8 @@ main(int argc, char **argv)
             rc = cmdLoadgen(flags);
         else if (cmd == "search")
             rc = cmdSearch(flags);
+        else if (cmd == "fleet")
+            rc = cmdFleet(flags);
         else if (cmd == "list-networks")
             rc = cmdListNetworks();
         else if (cmd == "list-devices")
